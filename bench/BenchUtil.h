@@ -1,0 +1,97 @@
+//===- bench/BenchUtil.h - Shared benchmark plumbing ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table-reproduction benchmarks: compile a corpus
+/// program to all representations and collect the static metrics the
+/// paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BENCH_BENCHUTIL_H
+#define SAFETSA_BENCH_BENCHUTIL_H
+
+#include "bytecode/BCCompiler.h"
+#include "bytecode/BCFile.h"
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "opt/Optimizer.h"
+#include "tsa/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace safetsa {
+
+/// All static metrics for one corpus program.
+struct ProgramMetrics {
+  std::string Name;
+  // Sizes in bytes.
+  size_t BytecodeBytes = 0;
+  size_t TSABytes = 0;
+  size_t TSAOptBytes = 0;
+  // Instruction counts.
+  unsigned BytecodeInsts = 0;
+  unsigned TSAInsts = 0;
+  unsigned TSAOptInsts = 0;
+  // Figure 6 counters.
+  unsigned PhisBefore = 0, PhisAfter = 0;
+  unsigned NullChecksBefore = 0, NullChecksAfter = 0;
+  unsigned IndexChecksBefore = 0, IndexChecksAfter = 0;
+  OptStats Opt;
+};
+
+inline ProgramMetrics measureProgram(const CorpusProgram &P,
+                                     const OptOptions &Options = {}) {
+  ProgramMetrics M;
+  M.Name = P.Name;
+
+  auto C = compileMJ(P.Name, P.Source);
+  if (!C->ok()) {
+    std::fprintf(stderr, "corpus program %s failed to compile:\n%s\n",
+                 P.Name, C->renderDiagnostics().c_str());
+    std::exit(1);
+  }
+  TSAVerifier V(*C->TSA);
+  if (!V.verify()) {
+    std::fprintf(stderr, "corpus program %s failed verification\n", P.Name);
+    std::exit(1);
+  }
+
+  BCCompiler BCC(C->Types, *C->Table);
+  auto BC = BCC.compile(C->AST);
+  M.BytecodeInsts = BC->countInstructions();
+  M.BytecodeBytes = writeBCModule(*BC).size();
+
+  M.TSAInsts = C->TSA->countInstructions();
+  M.TSABytes = encodeModule(*C->TSA).size();
+  M.PhisBefore = C->TSA->countOpcode(Opcode::Phi);
+  M.NullChecksBefore = C->TSA->countOpcode(Opcode::NullCheck);
+  M.IndexChecksBefore = C->TSA->countOpcode(Opcode::IndexCheck);
+
+  M.Opt = optimizeModule(*C->TSA, Options);
+  M.TSAOptInsts = C->TSA->countInstructions();
+  M.TSAOptBytes = encodeModule(*C->TSA).size();
+  M.PhisAfter = C->TSA->countOpcode(Opcode::Phi);
+  M.NullChecksAfter = C->TSA->countOpcode(Opcode::NullCheck);
+  M.IndexChecksAfter = C->TSA->countOpcode(Opcode::IndexCheck);
+  return M;
+}
+
+/// Percentage delta rendered like the paper's tables (negative = fewer).
+inline int deltaPercent(unsigned Before, unsigned After) {
+  if (Before == 0)
+    return 0;
+  return static_cast<int>(
+      (static_cast<long>(After) - static_cast<long>(Before)) * 100 /
+      static_cast<long>(Before));
+}
+
+} // namespace safetsa
+
+#endif // SAFETSA_BENCH_BENCHUTIL_H

@@ -1,0 +1,65 @@
+//===- bench/bench_figure6.cpp - Paper Figure 6 reproduction --*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 6: per benchmark program, the number of phi,
+/// null-check, and array-check instructions before and after producer-side
+/// optimization, with deltas. The paper's shape claims: phis drop by more
+/// than 30% in most cases (31% on average from DCE), null checks by
+/// 30-70%, array checks visibly only on array-heavy programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace safetsa;
+
+int main() {
+  std::printf("Figure 6: Phi-, Null-Check and Array-Check instructions "
+              "before and after optimization\n\n");
+  std::printf("%-20s | %6s %6s %5s | %6s %6s %5s | %6s %6s %5s\n",
+              "Program", "PhiB", "PhiA", "d%", "NullB", "NullA", "d%",
+              "IdxB", "IdxA", "d%");
+  std::printf("---------------------+---------------------+----------------"
+              "-----+---------------------\n");
+
+  unsigned TPB = 0, TPA = 0, TNB = 0, TNA = 0, TIB = 0, TIA = 0;
+  for (const CorpusProgram &P : getCorpus()) {
+    ProgramMetrics M = measureProgram(P);
+    auto Cell = [](unsigned B, unsigned A, char *Buf) {
+      if (B == 0)
+        std::snprintf(Buf, 8, "N/A");
+      else
+        std::snprintf(Buf, 8, "%d", deltaPercent(B, A));
+      return Buf;
+    };
+    char D1[8], D2[8], D3[8];
+    std::printf("%-20s | %6u %6u %5s | %6u %6u %5s | %6u %6u %5s\n",
+                M.Name.c_str(), M.PhisBefore, M.PhisAfter,
+                Cell(M.PhisBefore, M.PhisAfter, D1), M.NullChecksBefore,
+                M.NullChecksAfter,
+                Cell(M.NullChecksBefore, M.NullChecksAfter, D2),
+                M.IndexChecksBefore, M.IndexChecksAfter,
+                Cell(M.IndexChecksBefore, M.IndexChecksAfter, D3));
+    TPB += M.PhisBefore;
+    TPA += M.PhisAfter;
+    TNB += M.NullChecksBefore;
+    TNA += M.NullChecksAfter;
+    TIB += M.IndexChecksBefore;
+    TIA += M.IndexChecksAfter;
+  }
+  std::printf("---------------------+---------------------+----------------"
+              "-----+---------------------\n");
+  std::printf("%-20s | %6u %6u %4d%% | %6u %6u %4d%% | %6u %6u %4d%%\n",
+              "TOTAL", TPB, TPA, deltaPercent(TPB, TPA), TNB, TNA,
+              deltaPercent(TNB, TNA), TIB, TIA, deltaPercent(TIB, TIA));
+  std::printf("\nShape checks (paper claims): phi reduction > 30%% in most "
+              "cases (31%% average),\nnull-check reduction 30-70%%, "
+              "array-check reductions on array-heavy programs only.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+//===- bench/bench_pipeline.cpp - Toolchain throughput --------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings for every pipeline stage over the whole
+/// corpus: front end, SafeTSA generation, optimization, encoding,
+/// decoding, bytecode compilation, and both executions. Not a paper
+/// table; it documents where time goes in this implementation and guards
+/// against accidental quadratic regressions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "bytecode/BCInterp.h"
+#include "exec/TSAInterp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace safetsa;
+
+namespace {
+
+void BM_FrontEnd(benchmark::State &State) {
+  for (auto _ : State)
+    for (const CorpusProgram &P : getCorpus()) {
+      auto C = compileMJ(P.Name, P.Source, /*EmitTSA=*/false);
+      benchmark::DoNotOptimize(C->ok());
+    }
+}
+BENCHMARK(BM_FrontEnd);
+
+void BM_FrontEndPlusTSAGen(benchmark::State &State) {
+  for (auto _ : State)
+    for (const CorpusProgram &P : getCorpus()) {
+      auto C = compileMJ(P.Name, P.Source);
+      benchmark::DoNotOptimize(C->TSA.get());
+    }
+}
+BENCHMARK(BM_FrontEndPlusTSAGen);
+
+void BM_Optimize(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+    for (const CorpusProgram &P : getCorpus())
+      Compiled.push_back(compileMJ(P.Name, P.Source));
+    State.ResumeTiming();
+    for (auto &C : Compiled) {
+      OptStats S = optimizeModule(*C->TSA);
+      benchmark::DoNotOptimize(S.CSERemoved);
+    }
+  }
+}
+BENCHMARK(BM_Optimize);
+
+void BM_Encode(benchmark::State &State) {
+  std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+  for (const CorpusProgram &P : getCorpus())
+    Compiled.push_back(compileMJ(P.Name, P.Source));
+  size_t Bytes = 0;
+  for (auto _ : State)
+    for (auto &C : Compiled) {
+      std::vector<uint8_t> Wire = encodeModule(*C->TSA);
+      Bytes += Wire.size();
+      benchmark::DoNotOptimize(Wire.data());
+    }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes));
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State &State) {
+  std::vector<std::vector<uint8_t>> Wires;
+  for (const CorpusProgram &P : getCorpus()) {
+    auto C = compileMJ(P.Name, P.Source);
+    Wires.push_back(encodeModule(*C->TSA));
+  }
+  size_t Bytes = 0;
+  for (auto _ : State)
+    for (const auto &W : Wires) {
+      std::string Err;
+      auto Unit = decodeModule(W, &Err);
+      if (!Unit)
+        std::abort();
+      Bytes += W.size();
+      benchmark::DoNotOptimize(Unit->Module.get());
+    }
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes));
+}
+BENCHMARK(BM_Decode);
+
+void BM_BytecodeCompile(benchmark::State &State) {
+  std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+  for (const CorpusProgram &P : getCorpus())
+    Compiled.push_back(compileMJ(P.Name, P.Source, /*EmitTSA=*/false));
+  for (auto _ : State)
+    for (auto &C : Compiled) {
+      BCCompiler BCC(C->Types, *C->Table);
+      auto BC = BCC.compile(C->AST);
+      benchmark::DoNotOptimize(BC->countInstructions());
+    }
+}
+BENCHMARK(BM_BytecodeCompile);
+
+void BM_ExecuteTSA(benchmark::State &State) {
+  // One representative program to keep iteration times sane.
+  auto C = compileMJ("Sorter", findCorpusProgram("Sorter")->Source);
+  optimizeModule(*C->TSA);
+  for (auto _ : State) {
+    Runtime RT(*C->Table);
+    TSAInterpreter I(*C->TSA, RT);
+    ExecResult R = I.runMain();
+    if (!R.ok())
+      std::abort();
+    benchmark::DoNotOptimize(RT.getOutput().size());
+  }
+}
+BENCHMARK(BM_ExecuteTSA);
+
+void BM_ExecuteBytecode(benchmark::State &State) {
+  auto C = compileMJ("Sorter", findCorpusProgram("Sorter")->Source,
+                     /*EmitTSA=*/false);
+  BCCompiler BCC(C->Types, *C->Table);
+  auto BC = BCC.compile(C->AST);
+  for (auto _ : State) {
+    Runtime RT(*C->Table);
+    BCInterpreter I(*BC, RT, C->Types);
+    ExecResult R = I.runMain();
+    if (!R.ok())
+      std::abort();
+    benchmark::DoNotOptimize(RT.getOutput().size());
+  }
+}
+BENCHMARK(BM_ExecuteBytecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

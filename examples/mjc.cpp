@@ -1,0 +1,254 @@
+//===- examples/mjc.cpp - Command-line MJ/SafeTSA toolchain ---*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line front door to the whole toolchain, in the spirit of the
+/// paper's compiler + dynamic class loader pair:
+///
+///   mjc compile  in.mj [-o out.stsa] [-O] [--bytecode out.mjbc]
+///       Compile MJ source to a SafeTSA mobile-code unit (optionally
+///       optimized) and, if asked, to a baseline class file.
+///   mjc run      in.mj|in.stsa [-O]
+///       Compile (or decode), verify, and execute; prints program output.
+///   mjc verify   in.stsa
+///       Consumer-side check of a mobile-code unit.
+///   mjc dump     in.mj|in.stsa [-O]
+///       Print the SafeTSA form in the paper's (l-r) notation.
+///   mjc stats    in.mj
+///       Per-method instruction/check counts before and after
+///       optimization (a one-program Figure 5/6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BCCompiler.h"
+#include "bytecode/BCFile.h"
+#include "codec/Codec.h"
+#include "driver/Compiler.h"
+#include "exec/TSAInterp.h"
+#include "opt/Optimizer.h"
+#include "tsa/Printer.h"
+#include "tsa/Verifier.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace safetsa;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mjc <compile|run|verify|dump|stats> <input> [options]\n"
+      "  compile in.mj [-o out.stsa] [-O] [--bytecode out.mjbc]\n"
+      "  run     in.mj|in.stsa [-O]\n"
+      "  verify  in.stsa\n"
+      "  dump    in.mj|in.stsa [-O]\n"
+      "  stats   in.mj\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream OutStream(Path, std::ios::binary);
+  if (!OutStream)
+    return false;
+  OutStream.write(reinterpret_cast<const char *>(Bytes.data()),
+                  static_cast<std::streamsize>(Bytes.size()));
+  return OutStream.good();
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+/// Either a locally compiled program or a decoded mobile-code unit; both
+/// expose a table + module for the downstream verbs.
+struct Loaded {
+  std::unique_ptr<CompiledProgram> Local;
+  std::unique_ptr<DecodedUnit> Remote;
+
+  TSAModule *module() {
+    return Local ? Local->TSA.get() : Remote->Module.get();
+  }
+  ClassTable *table() {
+    return Local ? Local->Table.get() : Remote->Table.get();
+  }
+};
+
+bool load(const std::string &Path, bool Optimize, Loaded &Out) {
+  if (endsWith(Path, ".stsa")) {
+    std::vector<uint8_t> Bytes;
+    if (!readFile(Path, Bytes)) {
+      std::fprintf(stderr, "mjc: cannot read '%s'\n", Path.c_str());
+      return false;
+    }
+    std::string Err;
+    Out.Remote = decodeModule(Bytes, &Err);
+    if (!Out.Remote) {
+      std::fprintf(stderr, "mjc: decode failed: %s\n", Err.c_str());
+      return false;
+    }
+  } else {
+    std::vector<uint8_t> Bytes;
+    if (!readFile(Path, Bytes)) {
+      std::fprintf(stderr, "mjc: cannot read '%s'\n", Path.c_str());
+      return false;
+    }
+    Out.Local = compileMJ(Path, std::string(Bytes.begin(), Bytes.end()));
+    if (!Out.Local->ok()) {
+      std::fputs(Out.Local->renderDiagnostics().c_str(), stderr);
+      return false;
+    }
+  }
+  if (Optimize)
+    optimizeModule(*Out.module());
+  TSAVerifier V(*Out.module());
+  if (!V.verify()) {
+    for (const std::string &E : V.getErrors())
+      std::fprintf(stderr, "mjc: verify: %s\n", E.c_str());
+    return false;
+  }
+  return true;
+}
+
+int runModule(Loaded &L) {
+  Runtime RT(*L.table());
+  TSAInterpreter Interp(*L.module(), RT);
+  ExecResult R = Interp.runMain();
+  std::fputs(RT.getOutput().c_str(), stdout);
+  if (!R.ok()) {
+    std::fprintf(stderr, "mjc: uncaught %s\n", runtimeErrorName(R.Err));
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Verb = argv[1];
+  std::string Input = argv[2];
+
+  bool Optimize = false;
+  std::string OutPath;
+  std::string BytecodePath;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-O")
+      Optimize = true;
+    else if (Arg == "-o" && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (Arg == "--bytecode" && I + 1 < argc)
+      BytecodePath = argv[++I];
+    else
+      return usage();
+  }
+
+  if (Verb == "compile") {
+    if (endsWith(Input, ".stsa")) {
+      std::fprintf(stderr, "mjc: compile expects MJ source input\n");
+      return 2;
+    }
+    Loaded L;
+    if (!load(Input, Optimize, L))
+      return 1;
+    if (OutPath.empty()) {
+      OutPath = Input;
+      if (endsWith(OutPath, ".mj"))
+        OutPath.resize(OutPath.size() - 3);
+      OutPath += ".stsa";
+    }
+    std::vector<uint8_t> Wire = encodeModule(*L.module());
+    if (!writeFile(OutPath, Wire)) {
+      std::fprintf(stderr, "mjc: cannot write '%s'\n", OutPath.c_str());
+      return 1;
+    }
+    std::printf("mjc: wrote %s (%zu bytes, %u instructions)\n",
+                OutPath.c_str(), Wire.size(),
+                L.module()->countInstructions());
+    if (!BytecodePath.empty()) {
+      BCCompiler BCC(L.Local->Types, *L.Local->Table);
+      auto BC = BCC.compile(L.Local->AST);
+      std::vector<uint8_t> Bytes = writeBCModule(*BC);
+      if (!writeFile(BytecodePath, Bytes)) {
+        std::fprintf(stderr, "mjc: cannot write '%s'\n",
+                     BytecodePath.c_str());
+        return 1;
+      }
+      std::printf("mjc: wrote %s (%zu bytes, %u instructions)\n",
+                  BytecodePath.c_str(), Bytes.size(),
+                  BC->countInstructions());
+    }
+    return 0;
+  }
+
+  if (Verb == "run") {
+    Loaded L;
+    if (!load(Input, Optimize, L))
+      return 1;
+    return runModule(L);
+  }
+
+  if (Verb == "verify") {
+    Loaded L;
+    if (!load(Input, /*Optimize=*/false, L))
+      return 1;
+    std::printf("mjc: %s verifies (%zu methods, %u instructions)\n",
+                Input.c_str(), L.module()->Methods.size(),
+                L.module()->countInstructions());
+    return 0;
+  }
+
+  if (Verb == "dump") {
+    Loaded L;
+    if (!load(Input, Optimize, L))
+      return 1;
+    std::fputs(printModule(*L.module()).c_str(), stdout);
+    return 0;
+  }
+
+  if (Verb == "stats") {
+    Loaded L;
+    if (!load(Input, /*Optimize=*/false, L))
+      return 1;
+    TSAModule *M = L.module();
+    std::printf("%-40s %6s %6s %6s %6s\n", "method", "insts", "phis",
+                "nullck", "idxck");
+    auto Row = [&](const char *Tag) {
+      std::printf("== %s: %u instructions, %u phis, %u null checks, %u "
+                  "index checks\n",
+                  Tag, M->countInstructions(), M->countOpcode(Opcode::Phi),
+                  M->countOpcode(Opcode::NullCheck),
+                  M->countOpcode(Opcode::IndexCheck));
+    };
+    for (const auto &F : M->Methods)
+      std::printf("%-40s %6u %6u %6u %6u\n",
+                  F->Symbol->signature().c_str(), F->countInstructions(),
+                  F->countOpcode(Opcode::Phi),
+                  F->countOpcode(Opcode::NullCheck),
+                  F->countOpcode(Opcode::IndexCheck));
+    Row("before optimization");
+    optimizeModule(*M);
+    Row("after CP+CSE+DCE");
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,106 @@
+//===- examples/optimizer_tour.cpp - Producer-side optimization -*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows what the paper's §8 pipeline does to one method: the SafeTSA
+/// form before and after, plus per-pass statistics. The star of the show
+/// is check elimination: dominating nullcheck/indexcheck values are
+/// reused by CSE, so the transmitted program carries provably fewer
+/// dynamic checks — and the consumer need not trust the producer, because
+/// a missing-but-needed check is inexpressible.
+///
+/// Build & run:  ./build/examples/optimizer_tour
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "opt/Optimizer.h"
+#include "tsa/Printer.h"
+#include "tsa/Verifier.h"
+
+#include <cstdio>
+
+using namespace safetsa;
+
+int main() {
+  // A method with obvious redundancy: repeated field loads, repeated
+  // array accesses (each with its null- and index-check), a constant
+  // subexpression, and a loop with superfluous phis.
+  const char *Source = R"MJ(
+    class Stats {
+      int[] data;
+      int scale;
+
+      Stats(int n) {
+        data = new int[n];
+        scale = 3 * 7 + 21;
+      }
+
+      int weighted(int i) {
+        // data is null-checked three times and data[i] twice before
+        // optimization; afterwards each check happens once.
+        return data[i] * scale + data[i] * (scale - 10) + data.length;
+      }
+
+      int total() {
+        int sum = 0;
+        int unchanged = scale;
+        for (int i = 0; i < data.length; i++) {
+          sum = sum + weighted(i);
+        }
+        return sum + unchanged;
+      }
+    }
+
+    class Main {
+      static void main() {
+        Stats s = new Stats(8);
+        for (int i = 0; i < s.data.length; i++) s.data[i] = i + 1;
+        IO.printInt(s.total());
+        IO.println();
+      }
+    }
+  )MJ";
+
+  auto P = compileMJ("stats.mj", Source);
+  if (!P->ok()) {
+    std::fprintf(stderr, "%s", P->renderDiagnostics().c_str());
+    return 1;
+  }
+  PlaneContext Ctx{P->Types, *P->Table};
+
+  auto Show = [&](const char *Title) {
+    std::printf("=== %s ===\n", Title);
+    for (const auto &M : P->TSA->Methods)
+      if (M->Symbol->Name == "weighted")
+        std::printf("%s\n", printMethod(*M, Ctx).c_str());
+    std::printf("module: %u instructions, %u phis, %u nullchecks, %u "
+                "indexchecks\n\n",
+                P->TSA->countInstructions(),
+                P->TSA->countOpcode(Opcode::Phi),
+                P->TSA->countOpcode(Opcode::NullCheck),
+                P->TSA->countOpcode(Opcode::IndexCheck));
+  };
+
+  Show("before optimization");
+
+  OptStats S = optimizeModule(*P->TSA);
+  Show("after CP + CSE(Mem) + DCE");
+
+  std::printf("=== pass statistics ===\n");
+  std::printf("constants folded            : %u\n", S.FoldedConstants);
+  std::printf("values unified by CSE       : %u\n", S.CSERemoved);
+  std::printf("  of which null checks      : %u\n", S.CSERemovedNullChecks);
+  std::printf("  of which index checks     : %u\n",
+              S.CSERemovedIndexChecks);
+  std::printf("dead instructions removed   : %u\n", S.DCERemoved);
+  std::printf("  of which phis             : %u\n", S.DCERemovedPhis);
+
+  TSAVerifier V(*P->TSA);
+  std::printf("\noptimized module verifies   : %s\n",
+              V.verify() ? "yes" : "NO");
+  return 0;
+}

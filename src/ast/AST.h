@@ -1,0 +1,569 @@
+//===- ast/AST.h - MJ abstract syntax trees -------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MJ, the Java-subset source language (DESIGN.md §2). Nodes carry
+/// a Kind tag for LLVM-style dispatch (no RTTI). Sema annotates expression
+/// nodes in place (resolved types, symbols, dispatch kinds), and the
+/// SafeTSA and bytecode generators both consume the annotated tree — the
+/// AST plays the role of the paper's "Unified Abstract Syntax Tree".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_AST_AST_H
+#define SAFETSA_AST_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+class Type;
+struct ClassSymbol;
+struct FieldSymbol;
+struct MethodSymbol;
+
+/// A local variable or parameter within one method body. Defined here (not
+/// in sema) because MethodDecl owns its locals.
+struct LocalSymbol {
+  std::string Name;
+  Type *Ty = nullptr;
+  SourceLoc Loc;
+  bool IsParam = false;
+  /// Dense index within the method (params first), used by the bytecode
+  /// backend as the JVM-style local slot and by SSA renaming as the
+  /// variable key.
+  unsigned Index = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Type references (syntactic, pre-sema)
+//===----------------------------------------------------------------------===//
+
+enum class PrimTypeKind : uint8_t { Int, Boolean, Double, Char };
+
+/// A syntactic mention of a type: a primitive or class name plus array
+/// dimensions. Sema resolves it to a canonical Type.
+struct TypeRef {
+  enum class Kind : uint8_t { Prim, Named, Void } K = Kind::Void;
+  PrimTypeKind Prim = PrimTypeKind::Int;
+  std::string Name;
+  unsigned ArrayDims = 0;
+  SourceLoc Loc;
+
+  static TypeRef makePrim(PrimTypeKind P, SourceLoc Loc) {
+    TypeRef T;
+    T.K = Kind::Prim;
+    T.Prim = P;
+    T.Loc = Loc;
+    return T;
+  }
+  static TypeRef makeNamed(std::string Name, SourceLoc Loc) {
+    TypeRef T;
+    T.K = Kind::Named;
+    T.Name = std::move(Name);
+    T.Loc = Loc;
+    return T;
+  }
+  static TypeRef makeVoid(SourceLoc Loc) {
+    TypeRef T;
+    T.K = Kind::Void;
+    T.Loc = Loc;
+    return T;
+  }
+  bool isVoid() const { return K == Kind::Void && ArrayDims == 0; }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLiteral,
+  DoubleLiteral,
+  BoolLiteral,
+  CharLiteral,
+  StringLiteral,
+  NullLiteral,
+  Name,
+  This,
+  FieldAccess,
+  Index,
+  Call,
+  NewObject,
+  NewArray,
+  Unary,
+  Binary,
+  Assign,
+  Cast,
+  Instanceof
+};
+
+/// Base of all expressions. Sema fills Ty with the canonical result type.
+class Expr {
+public:
+  const ExprKind Kind;
+  SourceLoc Loc;
+  Type *Ty = nullptr; // Set by sema; Error type on failed analysis.
+
+  virtual ~Expr();
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteralExpr : public Expr {
+public:
+  int64_t Value;
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLiteral, Loc), Value(Value) {}
+};
+
+class DoubleLiteralExpr : public Expr {
+public:
+  double Value;
+  DoubleLiteralExpr(double Value, SourceLoc Loc)
+      : Expr(ExprKind::DoubleLiteral, Loc), Value(Value) {}
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  bool Value;
+  BoolLiteralExpr(bool Value, SourceLoc Loc)
+      : Expr(ExprKind::BoolLiteral, Loc), Value(Value) {}
+};
+
+class CharLiteralExpr : public Expr {
+public:
+  char Value;
+  CharLiteralExpr(char Value, SourceLoc Loc)
+      : Expr(ExprKind::CharLiteral, Loc), Value(Value) {}
+};
+
+/// A string literal; its MJ type is char[] (a fresh array per evaluation
+/// would be wasteful, so both back ends materialize it as a constant-pool
+/// char array that programs must not mutate — documented MJ restriction).
+class StringLiteralExpr : public Expr {
+public:
+  std::string Value;
+  StringLiteralExpr(std::string Value, SourceLoc Loc)
+      : Expr(ExprKind::StringLiteral, Loc), Value(std::move(Value)) {}
+};
+
+class NullLiteralExpr : public Expr {
+public:
+  explicit NullLiteralExpr(SourceLoc Loc) : Expr(ExprKind::NullLiteral, Loc) {}
+};
+
+/// How sema resolved a bare identifier.
+enum class NameResolution : uint8_t {
+  Unresolved,
+  Local,       ///< A local variable or parameter (ResolvedLocal).
+  FieldOfThis, ///< An instance field of the enclosing class (ResolvedField).
+  StaticField, ///< A static field of the enclosing class (ResolvedField).
+  ClassName    ///< A class name, legal only as a member-access base.
+};
+
+class NameExpr : public Expr {
+public:
+  std::string Name;
+  NameResolution Resolution = NameResolution::Unresolved;
+  LocalSymbol *ResolvedLocal = nullptr;
+  FieldSymbol *ResolvedField = nullptr;
+  ClassSymbol *ResolvedClass = nullptr;
+
+  NameExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Name, Loc), Name(std::move(Name)) {}
+};
+
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLoc Loc) : Expr(ExprKind::This, Loc) {}
+};
+
+/// `base.name`. Sema resolves to an instance field, a static field (when
+/// the base is a class name), or the built-in array `length`.
+class FieldAccessExpr : public Expr {
+public:
+  ExprPtr Base;
+  std::string Name;
+  FieldSymbol *ResolvedField = nullptr;
+  bool IsArrayLength = false;
+
+  FieldAccessExpr(ExprPtr Base, std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::FieldAccess, Loc), Base(std::move(Base)),
+        Name(std::move(Name)) {}
+};
+
+class IndexExpr : public Expr {
+public:
+  ExprPtr Base;
+  ExprPtr Index;
+
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+};
+
+/// How a resolved call will be dispatched; mirrors the paper's xcall
+/// (static binding) vs. xdispatch (dynamic binding) split.
+enum class DispatchKind : uint8_t {
+  Static,  ///< Static method: no receiver (paper: xcall).
+  Direct,  ///< Instance method bound statically, e.g. constructors (xcall).
+  Virtual  ///< Instance method through the vtable (paper: xdispatch).
+};
+
+/// `base.name(args)` or `name(args)` (implicit this / static). Overloads
+/// are resolved by sema, which also inserts implicit argument conversions,
+/// matching the paper's requirement that "the code producer is required to
+/// resolve overloaded methods".
+class CallExpr : public Expr {
+public:
+  ExprPtr Base; // Null for unqualified calls.
+  std::string Name;
+  std::vector<ExprPtr> Args;
+  MethodSymbol *ResolvedMethod = nullptr;
+  DispatchKind Dispatch = DispatchKind::Virtual;
+  /// For unqualified instance-method calls, sema marks that the receiver is
+  /// the implicit `this`.
+  bool ImplicitThis = false;
+  /// When the base was a class name (static call), sema records it here.
+  ClassSymbol *BaseClass = nullptr;
+
+  CallExpr(ExprPtr Base, std::string Name, std::vector<ExprPtr> Args,
+           SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Base(std::move(Base)),
+        Name(std::move(Name)), Args(std::move(Args)) {}
+};
+
+class NewObjectExpr : public Expr {
+public:
+  std::string ClassName;
+  std::vector<ExprPtr> Args;
+  ClassSymbol *ResolvedClass = nullptr;
+  MethodSymbol *ResolvedCtor = nullptr; // Null when using the default ctor.
+
+  NewObjectExpr(std::string ClassName, std::vector<ExprPtr> Args,
+                SourceLoc Loc)
+      : Expr(ExprKind::NewObject, Loc), ClassName(std::move(ClassName)),
+        Args(std::move(Args)) {}
+};
+
+class NewArrayExpr : public Expr {
+public:
+  TypeRef ElemType;
+  ExprPtr Length;
+
+  NewArrayExpr(TypeRef ElemType, ExprPtr Length, SourceLoc Loc)
+      : Expr(ExprKind::NewArray, Loc), ElemType(std::move(ElemType)),
+        Length(std::move(Length)) {}
+};
+
+enum class UnaryOp : uint8_t {
+  Neg,
+  Not,
+  BitNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryOp Op;
+  ExprPtr Operand;
+
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  LAnd, ///< Short-circuit; lowered to if-else per paper footnote 3.
+  LOr   ///< Short-circuit; lowered to if-else per paper footnote 3.
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+};
+
+/// Assignment, including compound forms. For `a op= b` sema checks the
+/// expanded `a = a op b`; the generators expand it the same way.
+class AssignExpr : public Expr {
+public:
+  /// Compound operator, or none for plain '='.
+  enum class OpKind : uint8_t { None, Add, Sub, Mul, Div, Rem } Op;
+  ExprPtr Target;
+  ExprPtr Value;
+
+  AssignExpr(OpKind Op, ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Expr(ExprKind::Assign, Loc), Op(Op), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+};
+
+/// What a (T)expr cast means after sema; maps directly onto SafeTSA's
+/// cast machinery (§4 of the paper).
+enum class CastLowering : uint8_t {
+  Identity,      ///< Same type; no code.
+  IntToDouble,   ///< Numeric widening.
+  CharToInt,     ///< Numeric widening.
+  DoubleToInt,   ///< Numeric narrowing (truncation toward zero).
+  IntToChar,     ///< Numeric narrowing (low 16 bits semantics; we use 8).
+  DoubleToChar,  ///< Via int.
+  RefWiden,      ///< Upcast in Java terms; SafeTSA downcast (free).
+  RefNarrow      ///< Downcast in Java terms; SafeTSA upcast (checked).
+};
+
+class CastExpr : public Expr {
+public:
+  TypeRef TargetType;
+  ExprPtr Operand;
+  CastLowering Lowering = CastLowering::Identity;
+
+  CastExpr(TypeRef TargetType, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Cast, Loc), TargetType(std::move(TargetType)),
+        Operand(std::move(Operand)) {}
+};
+
+class InstanceofExpr : public Expr {
+public:
+  ExprPtr Operand;
+  TypeRef TargetType;
+  Type *ResolvedTarget = nullptr;
+
+  InstanceofExpr(ExprPtr Operand, TypeRef TargetType, SourceLoc Loc)
+      : Expr(ExprKind::Instanceof, Loc), Operand(std::move(Operand)),
+        TargetType(std::move(TargetType)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  Expr,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Try,
+  Empty
+};
+
+class Stmt {
+public:
+  const StmtKind Kind;
+  SourceLoc Loc;
+
+  virtual ~Stmt();
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  std::vector<StmtPtr> Stmts;
+
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+};
+
+class VarDeclStmt : public Stmt {
+public:
+  TypeRef DeclType;
+  std::string Name;
+  ExprPtr Init; // May be null.
+  LocalSymbol *Symbol = nullptr;
+
+  VarDeclStmt(TypeRef DeclType, std::string Name, ExprPtr Init, SourceLoc Loc)
+      : Stmt(StmtKind::VarDecl, Loc), DeclType(std::move(DeclType)),
+        Name(std::move(Name)), Init(std::move(Init)) {}
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprPtr E;
+
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(StmtKind::Expr, Loc),
+                                       E(std::move(E)) {}
+};
+
+class IfStmt : public Stmt {
+public:
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+};
+
+class WhileStmt : public Stmt {
+public:
+  ExprPtr Cond;
+  StmtPtr Body;
+
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  StmtPtr Body;
+  ExprPtr Cond;
+
+  DoWhileStmt(StmtPtr Body, ExprPtr Cond, SourceLoc Loc)
+      : Stmt(StmtKind::DoWhile, Loc), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+};
+
+class ForStmt : public Stmt {
+public:
+  StmtPtr Init;   // VarDeclStmt or ExprStmt; may be null.
+  ExprPtr Cond;   // May be null (infinite loop).
+  ExprPtr Update; // May be null.
+  StmtPtr Body;
+
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Update, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Update(std::move(Update)), Body(std::move(Body)) {}
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ExprPtr Value; // May be null for void returns.
+
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+};
+
+/// `try Block catch Block`. MJ's catch is an untyped catch-all for the
+/// runtime exceptions SafeTSA models (null, bounds, arithmetic, cast,
+/// negative array size), including those unwinding out of callees; there
+/// is no exception object, no user `throw`, and no `finally`.
+class TryStmt : public Stmt {
+public:
+  StmtPtr Body;
+  StmtPtr Handler;
+
+  TryStmt(StmtPtr Body, StmtPtr Handler, SourceLoc Loc)
+      : Stmt(StmtKind::Try, Loc), Body(std::move(Body)),
+        Handler(std::move(Handler)) {}
+};
+
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(StmtKind::Empty, Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeRef DeclType;
+  std::string Name;
+  SourceLoc Loc;
+  LocalSymbol *Symbol = nullptr;
+};
+
+struct FieldDecl {
+  bool IsStatic = false;
+  bool IsFinal = false;
+  TypeRef DeclType;
+  std::string Name;
+  ExprPtr Init; // May be null.
+  SourceLoc Loc;
+  FieldSymbol *Symbol = nullptr;
+};
+
+struct MethodDecl {
+  bool IsStatic = false;
+  bool IsConstructor = false;
+  TypeRef ReturnType; // Void TypeRef for constructors and void methods.
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+  MethodSymbol *Symbol = nullptr;
+  /// All locals of the body including parameters, in declaration order;
+  /// owned here, created by sema. LocalSymbol::Index indexes this vector.
+  std::vector<std::unique_ptr<LocalSymbol>> Locals;
+};
+
+struct ClassDecl {
+  std::string Name;
+  std::string SuperName; // Empty => implicit Object.
+  std::vector<FieldDecl> Fields;
+  std::vector<std::unique_ptr<MethodDecl>> Methods;
+  SourceLoc Loc;
+  ClassSymbol *Symbol = nullptr;
+};
+
+/// One MJ compilation unit (a set of classes).
+struct Program {
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+};
+
+/// Textual dump of an annotated or unannotated AST, for tests and the
+/// examples' --dump-ast mode.
+std::string dumpAST(const Program &P);
+std::string dumpExpr(const Expr &E);
+
+} // namespace safetsa
+
+#endif // SAFETSA_AST_AST_H

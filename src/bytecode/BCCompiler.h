@@ -1,0 +1,42 @@
+//===- bytecode/BCCompiler.h - AST to stack bytecode ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the type-checked MJ AST to the baseline stack bytecode, in the
+/// style of javac: conditions compile to conditional branches, comparisons
+/// used as values expand to branch/push patterns, `i++` on int locals uses
+/// iinc, and assignments-as-expressions use dup/dup_x patterns. This gives
+/// Figure 5 a realistic bytecode baseline rather than a strawman.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BYTECODE_BCCOMPILER_H
+#define SAFETSA_BYTECODE_BCCOMPILER_H
+
+#include "ast/AST.h"
+#include "bytecode/Bytecode.h"
+
+#include <memory>
+
+namespace safetsa {
+
+/// Compiles a sema-checked program to a BCModule (with resolution side
+/// tables filled for direct interpretation).
+class BCCompiler {
+public:
+  BCCompiler(TypeContext &Types, ClassTable &Table)
+      : Types(Types), Table(Table) {}
+
+  std::unique_ptr<BCModule> compile(const Program &P);
+
+private:
+  TypeContext &Types;
+  ClassTable &Table;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_BYTECODE_BCCOMPILER_H

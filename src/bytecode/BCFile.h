@@ -1,0 +1,50 @@
+//===- bytecode/BCFile.h - Class-file serialization -----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary container for bytecode modules — the "Java class file" axis of
+/// Figure 5. A module (one MJ compilation unit) serializes to a single
+/// byte vector: magic, constant pool, classes with fields and method code
+/// attributes. The reader performs full bounds/shape validation (hostile
+/// input returns an error, never UB), and link() re-resolves symbolic
+/// references against a ClassTable so that read-back modules can run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BYTECODE_BCFILE_H
+#define SAFETSA_BYTECODE_BCFILE_H
+
+#include "bytecode/Bytecode.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// Serializes \p M (resolution side tables are not written).
+std::vector<uint8_t> writeBCModule(const BCModule &M);
+
+/// Parses a serialized module. Returns nullptr and sets \p Err on
+/// malformed input.
+std::unique_ptr<BCModule> readBCModule(const std::vector<uint8_t> &Bytes,
+                                       std::string *Err);
+
+/// Resolves the symbolic references of a freshly read module against
+/// \p Table, filling the PoolMethods/PoolFields/PoolTypes side tables and
+/// the Symbol fields. Returns false (with \p Err) when a reference does
+/// not resolve — the bytecode analogue of link-time verification.
+bool linkBCModule(BCModule &M, ClassTable &Table, TypeContext &Types,
+                  std::string *Err);
+
+/// Parses a JVM-style type descriptor ("I", "[D", "LFoo;"...).
+Type *parseDescriptor(const std::string &Desc, TypeContext &Types,
+                      ClassTable &Table);
+
+} // namespace safetsa
+
+#endif // SAFETSA_BYTECODE_BCFILE_H

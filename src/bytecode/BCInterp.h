@@ -1,0 +1,55 @@
+//===- bytecode/BCInterp.h - Stack bytecode interpreter -------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter for the baseline bytecode, running on the same Runtime as
+/// the SafeTSA evaluator so differential tests compare identical heaps,
+/// natives, and IO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BYTECODE_BCINTERP_H
+#define SAFETSA_BYTECODE_BCINTERP_H
+
+#include "bytecode/Bytecode.h"
+#include "exec/Runtime.h"
+
+namespace safetsa {
+
+class BCInterpreter {
+public:
+  BCInterpreter(const BCModule &Module, Runtime &RT, TypeContext &Types)
+      : Module(Module), RT(RT), Types(Types) {}
+
+  /// Applies static-field initial values from the constant pool.
+  void initializeStatics();
+
+  ExecResult call(const MethodSymbol *Method, std::vector<Value> Args);
+
+  /// Convenience: statics + `static main()`.
+  ExecResult runMain();
+
+private:
+  Value execMethod(const BCMethod &M, std::vector<Value> Args, bool &Ok);
+  Value poolValue(uint16_t Idx);
+
+  bool fail(RuntimeError E) {
+    if (Err == RuntimeError::None)
+      Err = E;
+    return false;
+  }
+
+  const BCModule &Module;
+  Runtime &RT;
+  TypeContext &Types;
+  RuntimeError Err = RuntimeError::None;
+  unsigned Depth = 0;
+  static constexpr unsigned MaxDepth = 400;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_BYTECODE_BCINTERP_H

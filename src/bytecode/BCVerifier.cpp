@@ -1,0 +1,641 @@
+//===- bytecode/BCVerifier.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BCVerifier.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+using namespace safetsa;
+
+void BCVerifier::error(const BCMethod &M, size_t PC, const std::string &Msg) {
+  std::ostringstream OS;
+  const std::string &Name =
+      M.NameIndex < Module.Pool.size() ? Module.Pool[M.NameIndex].Str
+                                       : "<method>";
+  OS << Name << " @" << PC << ": " << Msg;
+  Errors.push_back(OS.str());
+}
+
+BCVerifier::AType BCVerifier::descKind(char C) {
+  switch (C) {
+  case 'I':
+  case 'Z':
+  case 'C':
+    return AType::Int;
+  case 'D':
+    return AType::Double;
+  default:
+    return AType::Ref;
+  }
+}
+
+bool BCVerifier::mergeInto(VState &Dst, const VState &Src) {
+  if (!Dst.Reached) {
+    Dst = Src;
+    Dst.Reached = true;
+    return true;
+  }
+  bool Changed = false;
+  if (Dst.Stack.size() != Src.Stack.size()) {
+    // Inconsistent stack depths are a hard error; poison the state by
+    // clearing it so the caller reports once.
+    return false;
+  }
+  for (size_t I = 0; I != Dst.Stack.size(); ++I)
+    if (Dst.Stack[I] != Src.Stack[I] && Dst.Stack[I] != AType::Top) {
+      Dst.Stack[I] = AType::Top;
+      Changed = true;
+    }
+  for (size_t I = 0; I != Dst.Locals.size(); ++I)
+    if (Dst.Locals[I] != Src.Locals[I] && Dst.Locals[I] != AType::Top) {
+      Dst.Locals[I] = AType::Top;
+      Changed = true;
+    }
+  return Changed;
+}
+
+bool BCVerifier::verify() {
+  bool Ok = true;
+  for (const BCClass &C : Module.Classes)
+    for (const BCMethod &M : C.Methods)
+      Ok &= verifyMethod(C, M);
+  return Ok;
+}
+
+bool BCVerifier::verifyMethod(const BCClass &Class, const BCMethod &M) {
+  size_t ErrorsBefore = Errors.size();
+  const std::vector<uint8_t> &Code = M.Code;
+
+  // Pass 1: instruction boundaries.
+  std::map<size_t, unsigned> Boundaries; // offset -> index
+  std::vector<size_t> Offsets;
+  for (size_t PC = 0; PC < Code.size();) {
+    uint8_t Raw = Code[PC];
+    if (Raw > static_cast<uint8_t>(BC::Return)) {
+      error(M, PC, "invalid opcode");
+      return false;
+    }
+    BC Op = static_cast<BC>(Raw);
+    unsigned Width = bcOperandWidth(Op);
+    if (PC + 1 + Width > Code.size()) {
+      error(M, PC, "truncated instruction");
+      return false;
+    }
+    Boundaries[PC] = static_cast<unsigned>(Offsets.size());
+    Offsets.push_back(PC);
+    PC += 1 + Width;
+  }
+  if (Offsets.empty()) {
+    error(M, 0, "empty code array");
+    return false;
+  }
+
+  // Method descriptor -> initial locals.
+  const std::string &Desc =
+      M.DescIndex < Module.Pool.size() ? Module.Pool[M.DescIndex].Str : "()V";
+  std::vector<AType> Params;
+  if (!M.isStatic())
+    Params.push_back(AType::Ref); // this
+  for (size_t I = 1; I < Desc.size() && Desc[I] != ')';) {
+    Params.push_back(descKind(Desc[I]));
+    if (Desc[I] == '[') {
+      while (I < Desc.size() && Desc[I] == '[')
+        ++I;
+      if (I < Desc.size() && Desc[I] == 'L')
+        while (I < Desc.size() && Desc[I] != ';')
+          ++I;
+      ++I;
+    } else if (Desc[I] == 'L') {
+      while (I < Desc.size() && Desc[I] != ';')
+        ++I;
+      ++I;
+    } else {
+      ++I;
+    }
+  }
+  char RetDesc = 'V';
+  if (auto P = Desc.find(')'); P != std::string::npos && P + 1 < Desc.size())
+    RetDesc = Desc[P + 1];
+
+  if (Params.size() > M.MaxLocals) {
+    error(M, 0, "parameters exceed max_locals");
+    return false;
+  }
+
+  std::vector<VState> States(Offsets.size());
+  VState Entry;
+  Entry.Reached = true;
+  Entry.Locals.assign(M.MaxLocals, AType::Top);
+  for (size_t I = 0; I != Params.size(); ++I)
+    Entry.Locals[I] = Params[I];
+  States[0] = Entry;
+
+  std::deque<unsigned> Worklist;
+  Worklist.push_back(0);
+  std::vector<bool> InList(Offsets.size(), false);
+  InList[0] = true;
+
+  auto PoolKind = [&](uint16_t Idx,
+                      PoolEntry::Kind K) -> const PoolEntry * {
+    if (Idx == 0 || Idx >= Module.Pool.size())
+      return nullptr;
+    const PoolEntry &E = Module.Pool[Idx];
+    return E.K == K ? &E : nullptr;
+  };
+
+  bool Failed = false;
+
+  while (!Worklist.empty() && !Failed) {
+    unsigned Idx = Worklist.front();
+    Worklist.pop_front();
+    InList[Idx] = false;
+    ++Iterations;
+
+    size_t PC = Offsets[Idx];
+    BC Op = static_cast<BC>(Code[PC]);
+    VState S = States[Idx];
+
+    auto Fail = [&](const std::string &Msg) {
+      error(M, PC, Msg);
+      Failed = true;
+    };
+    auto Push = [&](AType T) {
+      S.Stack.push_back(T);
+      if (S.Stack.size() > M.MaxStack)
+        Fail("operand stack exceeds max_stack");
+    };
+    auto PopAny = [&]() -> AType {
+      if (S.Stack.empty()) {
+        Fail("operand stack underflow");
+        return AType::Top;
+      }
+      AType T = S.Stack.back();
+      S.Stack.pop_back();
+      return T;
+    };
+    auto Pop = [&](AType Want) {
+      AType Got = PopAny();
+      if (!Failed && Got != Want)
+        Fail("operand type mismatch");
+    };
+    auto LocalIdx = [&](size_t At) -> unsigned {
+      unsigned Slot = Code[At];
+      if (Slot >= M.MaxLocals) {
+        Fail("local slot out of range");
+        return 0;
+      }
+      return Slot;
+    };
+    auto U16At = [&](size_t At) {
+      return static_cast<uint16_t>((Code[At] << 8) | Code[At + 1]);
+    };
+
+    bool FallThrough = true;
+    int BranchTarget = -1;
+
+    switch (Op) {
+    case BC::Nop:
+      break;
+    case BC::AConstNull:
+      Push(AType::Ref);
+      break;
+    case BC::IConst0:
+    case BC::IConst1:
+    case BC::BIPush:
+    case BC::SIPush:
+      Push(AType::Int);
+      break;
+    case BC::Ldc: {
+      const PoolEntry *E = nullptr;
+      uint16_t PIdx = U16At(PC + 1);
+      if (PIdx != 0 && PIdx < Module.Pool.size())
+        E = &Module.Pool[PIdx];
+      if (!E)
+        Fail("ldc references a bad pool entry");
+      else if (E->K == PoolEntry::Kind::Int)
+        Push(AType::Int);
+      else if (E->K == PoolEntry::Kind::Double)
+        Push(AType::Double);
+      else if (E->K == PoolEntry::Kind::StrChars)
+        Push(AType::Ref);
+      else
+        Fail("ldc of a non-constant entry");
+      break;
+    }
+    case BC::ILoad: {
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed && S.Locals[Slot] != AType::Int)
+        Fail("iload of a non-int local");
+      Push(AType::Int);
+      break;
+    }
+    case BC::DLoad: {
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed && S.Locals[Slot] != AType::Double)
+        Fail("dload of a non-double local");
+      Push(AType::Double);
+      break;
+    }
+    case BC::ALoad: {
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed && S.Locals[Slot] != AType::Ref)
+        Fail("aload of a non-reference local");
+      Push(AType::Ref);
+      break;
+    }
+    case BC::IStore: {
+      Pop(AType::Int);
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed)
+        S.Locals[Slot] = AType::Int;
+      break;
+    }
+    case BC::DStore: {
+      Pop(AType::Double);
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed)
+        S.Locals[Slot] = AType::Double;
+      break;
+    }
+    case BC::AStore: {
+      Pop(AType::Ref);
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed)
+        S.Locals[Slot] = AType::Ref;
+      break;
+    }
+    case BC::IInc: {
+      unsigned Slot = LocalIdx(PC + 1);
+      if (!Failed && S.Locals[Slot] != AType::Int)
+        Fail("iinc of a non-int local");
+      break;
+    }
+    case BC::Pop:
+      PopAny();
+      break;
+    case BC::Dup: {
+      AType A = PopAny();
+      Push(A);
+      Push(A);
+      break;
+    }
+    case BC::DupX1: {
+      AType A = PopAny(), B = PopAny();
+      Push(A);
+      Push(B);
+      Push(A);
+      break;
+    }
+    case BC::DupX2: {
+      AType A = PopAny(), B = PopAny(), C = PopAny();
+      Push(A);
+      Push(C);
+      Push(B);
+      Push(A);
+      break;
+    }
+    case BC::Dup2: {
+      AType A = PopAny(), B = PopAny();
+      Push(B);
+      Push(A);
+      Push(B);
+      Push(A);
+      break;
+    }
+    case BC::Swap: {
+      AType A = PopAny(), B = PopAny();
+      Push(A);
+      Push(B);
+      break;
+    }
+    case BC::IAdd:
+    case BC::ISub:
+    case BC::IMul:
+    case BC::IDiv:
+    case BC::IRem:
+    case BC::IAnd:
+    case BC::IOr:
+    case BC::IXor:
+    case BC::IShl:
+    case BC::IShr:
+      Pop(AType::Int);
+      Pop(AType::Int);
+      Push(AType::Int);
+      break;
+    case BC::INeg:
+      Pop(AType::Int);
+      Push(AType::Int);
+      break;
+    case BC::DAdd:
+    case BC::DSub:
+    case BC::DMul:
+    case BC::DDiv:
+      Pop(AType::Double);
+      Pop(AType::Double);
+      Push(AType::Double);
+      break;
+    case BC::DNeg:
+      Pop(AType::Double);
+      Push(AType::Double);
+      break;
+    case BC::DCmpL:
+    case BC::DCmpG:
+      Pop(AType::Double);
+      Pop(AType::Double);
+      Push(AType::Int);
+      break;
+    case BC::I2D:
+      Pop(AType::Int);
+      Push(AType::Double);
+      break;
+    case BC::D2I:
+      Pop(AType::Double);
+      Push(AType::Int);
+      break;
+    case BC::I2C:
+      Pop(AType::Int);
+      Push(AType::Int);
+      break;
+    case BC::Goto:
+      FallThrough = false;
+      BranchTarget = static_cast<int>(PC) +
+                     static_cast<int16_t>(U16At(PC + 1));
+      break;
+    case BC::IfEq:
+    case BC::IfNe:
+    case BC::IfLt:
+    case BC::IfGe:
+    case BC::IfGt:
+    case BC::IfLe:
+      Pop(AType::Int);
+      BranchTarget = static_cast<int>(PC) +
+                     static_cast<int16_t>(U16At(PC + 1));
+      break;
+    case BC::IfICmpEq:
+    case BC::IfICmpNe:
+    case BC::IfICmpLt:
+    case BC::IfICmpGe:
+    case BC::IfICmpGt:
+    case BC::IfICmpLe:
+      Pop(AType::Int);
+      Pop(AType::Int);
+      BranchTarget = static_cast<int>(PC) +
+                     static_cast<int16_t>(U16At(PC + 1));
+      break;
+    case BC::IfACmpEq:
+    case BC::IfACmpNe:
+      Pop(AType::Ref);
+      Pop(AType::Ref);
+      BranchTarget = static_cast<int>(PC) +
+                     static_cast<int16_t>(U16At(PC + 1));
+      break;
+    case BC::IfNull:
+    case BC::IfNonNull:
+      Pop(AType::Ref);
+      BranchTarget = static_cast<int>(PC) +
+                     static_cast<int16_t>(U16At(PC + 1));
+      break;
+    case BC::GetField: {
+      const PoolEntry *E = PoolKind(U16At(PC + 1), PoolEntry::Kind::FieldRef);
+      if (!E) {
+        Fail("getfield references a bad pool entry");
+        break;
+      }
+      Pop(AType::Ref);
+      Push(descKind(Module.Pool[E->DescIndex].Str[0]));
+      break;
+    }
+    case BC::PutField: {
+      const PoolEntry *E = PoolKind(U16At(PC + 1), PoolEntry::Kind::FieldRef);
+      if (!E) {
+        Fail("putfield references a bad pool entry");
+        break;
+      }
+      Pop(descKind(Module.Pool[E->DescIndex].Str[0]));
+      Pop(AType::Ref);
+      break;
+    }
+    case BC::GetStatic: {
+      const PoolEntry *E = PoolKind(U16At(PC + 1), PoolEntry::Kind::FieldRef);
+      if (!E) {
+        Fail("getstatic references a bad pool entry");
+        break;
+      }
+      Push(descKind(Module.Pool[E->DescIndex].Str[0]));
+      break;
+    }
+    case BC::PutStatic: {
+      const PoolEntry *E = PoolKind(U16At(PC + 1), PoolEntry::Kind::FieldRef);
+      if (!E) {
+        Fail("putstatic references a bad pool entry");
+        break;
+      }
+      Pop(descKind(Module.Pool[E->DescIndex].Str[0]));
+      break;
+    }
+    case BC::InvokeVirtual:
+    case BC::InvokeStatic:
+    case BC::InvokeSpecial: {
+      const PoolEntry *E =
+          PoolKind(U16At(PC + 1), PoolEntry::Kind::MethodRef);
+      if (!E) {
+        Fail("invoke references a bad pool entry");
+        break;
+      }
+      const std::string &MDesc = Module.Pool[E->DescIndex].Str;
+      std::vector<AType> ArgKinds;
+      for (size_t I = 1; I < MDesc.size() && MDesc[I] != ')';) {
+        ArgKinds.push_back(descKind(MDesc[I]));
+        if (MDesc[I] == '[') {
+          while (I < MDesc.size() && MDesc[I] == '[')
+            ++I;
+          if (I < MDesc.size() && MDesc[I] == 'L')
+            while (I < MDesc.size() && MDesc[I] != ';')
+              ++I;
+          ++I;
+        } else if (MDesc[I] == 'L') {
+          while (I < MDesc.size() && MDesc[I] != ';')
+            ++I;
+          ++I;
+        } else {
+          ++I;
+        }
+      }
+      for (size_t I = ArgKinds.size(); I-- > 0;)
+        Pop(ArgKinds[I]);
+      if (Op != BC::InvokeStatic)
+        Pop(AType::Ref);
+      char Ret = 'V';
+      if (auto P = MDesc.find(')');
+          P != std::string::npos && P + 1 < MDesc.size())
+        Ret = MDesc[P + 1];
+      if (Ret != 'V')
+        Push(descKind(Ret));
+      break;
+    }
+    case BC::New: {
+      if (!PoolKind(U16At(PC + 1), PoolEntry::Kind::Class)) {
+        Fail("new references a bad pool entry");
+        break;
+      }
+      Push(AType::Ref);
+      break;
+    }
+    case BC::NewArray: {
+      if (!PoolKind(U16At(PC + 1), PoolEntry::Kind::Class)) {
+        Fail("newarray references a bad pool entry");
+        break;
+      }
+      Pop(AType::Int);
+      Push(AType::Ref);
+      break;
+    }
+    case BC::ArrayLength:
+      Pop(AType::Ref);
+      Push(AType::Int);
+      break;
+    case BC::IALoad:
+    case BC::CALoad:
+    case BC::BALoad:
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      Push(AType::Int);
+      break;
+    case BC::DALoad:
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      Push(AType::Double);
+      break;
+    case BC::AALoad:
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      Push(AType::Ref);
+      break;
+    case BC::IAStore:
+    case BC::CAStore:
+    case BC::BAStore:
+      Pop(AType::Int);
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      break;
+    case BC::DAStore:
+      Pop(AType::Double);
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      break;
+    case BC::AAStore:
+      Pop(AType::Ref);
+      Pop(AType::Int);
+      Pop(AType::Ref);
+      break;
+    case BC::CheckCast:
+      if (!PoolKind(U16At(PC + 1), PoolEntry::Kind::Class)) {
+        Fail("checkcast references a bad pool entry");
+        break;
+      }
+      Pop(AType::Ref);
+      Push(AType::Ref);
+      break;
+    case BC::InstanceOf:
+      if (!PoolKind(U16At(PC + 1), PoolEntry::Kind::Class)) {
+        Fail("instanceof references a bad pool entry");
+        break;
+      }
+      Pop(AType::Ref);
+      Push(AType::Int);
+      break;
+    case BC::IReturn:
+      Pop(AType::Int);
+      if (descKind(RetDesc) != AType::Int || RetDesc == 'V')
+        Fail("ireturn from a non-int method");
+      FallThrough = false;
+      break;
+    case BC::DReturn:
+      Pop(AType::Double);
+      if (RetDesc != 'D')
+        Fail("dreturn from a non-double method");
+      FallThrough = false;
+      break;
+    case BC::AReturn:
+      Pop(AType::Ref);
+      if (RetDesc == 'V' || descKind(RetDesc) != AType::Ref)
+        Fail("areturn from a non-reference method");
+      FallThrough = false;
+      break;
+    case BC::Return:
+      if (RetDesc != 'V')
+        Fail("void return from a value-returning method");
+      FallThrough = false;
+      break;
+    }
+
+    if (Failed)
+      break;
+
+    auto Propagate = [&](size_t Target) {
+      auto It = Boundaries.find(Target);
+      if (It == Boundaries.end()) {
+        Fail("branch to a non-instruction boundary");
+        return;
+      }
+      unsigned TIdx = It->second;
+      VState Before = States[TIdx];
+      bool WasReached = Before.Reached;
+      if (WasReached && Before.Stack.size() != S.Stack.size()) {
+        Fail("inconsistent stack depth at merge point");
+        return;
+      }
+      if (mergeInto(States[TIdx], S) || !WasReached) {
+        if (!InList[TIdx]) {
+          Worklist.push_back(TIdx);
+          InList[TIdx] = true;
+        }
+      }
+    };
+
+    if (BranchTarget >= 0)
+      Propagate(static_cast<size_t>(BranchTarget));
+    if (FallThrough) {
+      size_t Next = PC + 1 + bcOperandWidth(Op);
+      if (Next >= Code.size()) {
+        Fail("control falls off the end of the code array");
+      } else {
+        Propagate(Next);
+      }
+    }
+
+    // Exception edges: a fault may transfer from any covered instruction
+    // to its handler with the operand stack cleared and the locals as
+    // they were BEFORE the instruction (its effects never happened).
+    for (const BCMethod::ExEntry &Entry : M.ExTable) {
+      if (PC < Entry.Start || PC >= Entry.End)
+        continue;
+      auto HIt = Boundaries.find(Entry.Handler);
+      if (HIt == Boundaries.end()) {
+        Fail("exception handler is not an instruction boundary");
+        break;
+      }
+      VState HandlerState = States[Idx]; // Pre-instruction state.
+      HandlerState.Stack.clear();
+      unsigned HIdx = HIt->second;
+      bool WasReached = States[HIdx].Reached;
+      if (WasReached && !States[HIdx].Stack.empty()) {
+        Fail("exception handler entered with a non-empty stack");
+        break;
+      }
+      if (mergeInto(States[HIdx], HandlerState) || !WasReached) {
+        if (!InList[HIdx]) {
+          Worklist.push_back(HIdx);
+          InList[HIdx] = true;
+        }
+      }
+    }
+  }
+
+  return Errors.size() == ErrorsBefore;
+}

@@ -1,0 +1,64 @@
+//===- bytecode/BCVerifier.h - Dataflow verification ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline's verifier: a worklist abstract interpretation over
+/// operand-stack and local types, in the style of the JVM's bytecode
+/// verifier. This is exactly the "expensive verification phase …
+/// requires a data flow analysis" that the paper contrasts with SafeTSA's
+/// counter checks (§9); bench_verify_time measures the two against each
+/// other on the same corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BYTECODE_BCVERIFIER_H
+#define SAFETSA_BYTECODE_BCVERIFIER_H
+
+#include "bytecode/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+class BCVerifier {
+public:
+  explicit BCVerifier(const BCModule &Module) : Module(Module) {}
+
+  /// Verifies every method; true when the module is type- and stack-safe.
+  bool verify();
+
+  bool verifyMethod(const BCClass &Class, const BCMethod &M);
+
+  const std::vector<std::string> &getErrors() const { return Errors; }
+
+  /// Number of dataflow iterations performed (for the cost benchmark).
+  uint64_t getIterationCount() const { return Iterations; }
+
+private:
+  /// Coarse verification types: enough to stop type confusion between
+  /// the integer, floating, and reference universes.
+  enum class AType : uint8_t { Top, Int, Double, Ref };
+
+  struct VState {
+    bool Reached = false;
+    std::vector<AType> Stack;
+    std::vector<AType> Locals;
+  };
+
+  void error(const BCMethod &M, size_t PC, const std::string &Msg);
+
+  static AType descKind(char C);
+  bool mergeInto(VState &Dst, const VState &Src);
+
+  const BCModule &Module;
+  std::vector<std::string> Errors;
+  uint64_t Iterations = 0;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_BYTECODE_BCVERIFIER_H

@@ -1,0 +1,241 @@
+//===- bytecode/Bytecode.h - Baseline stack bytecode ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline mobile-code substrate: a JVM-style stack bytecode with a
+/// constant pool and class-file container, built from scratch so Figure 5
+/// has both of its axes (instruction counts and file bytes) and so the
+/// verification-cost comparison (dataflow fixpoint vs. SafeTSA counters)
+/// can be measured on the same corpus. Opcode structure follows the JVM
+/// closely (typed loads/stores, fused array ops like iaload carrying the
+/// address computation + checks, conditional branches, invoke*), since
+/// those properties are exactly what the paper contrasts against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BYTECODE_BYTECODE_H
+#define SAFETSA_BYTECODE_BYTECODE_H
+
+#include "sema/ClassTable.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// Bytecode opcodes. Operand widths are fixed per opcode (see
+/// bcOperandWidth): pool indices are 2 bytes, local slots 1 byte, branch
+/// offsets 2 bytes (signed, relative to the opcode's own offset).
+enum class BC : uint8_t {
+  Nop,
+  // Constants.
+  AConstNull,
+  IConst0,
+  IConst1,
+  BIPush,    // 1-byte signed immediate.
+  SIPush,    // 2-byte signed immediate.
+  Ldc,       // 2-byte pool index (Int / Double / StrChars entries).
+  // Locals (1-byte slot).
+  ILoad,
+  DLoad,
+  ALoad,
+  IStore,
+  DStore,
+  AStore,
+  IInc,      // 1-byte slot + 1-byte signed delta.
+  // Operand stack.
+  Pop,
+  Dup,
+  DupX1,
+  DupX2,
+  Dup2,
+  Swap,
+  // Integer arithmetic (booleans and chars ride the int stack type).
+  IAdd,
+  ISub,
+  IMul,
+  IDiv,
+  IRem,
+  INeg,
+  IAnd,
+  IOr,
+  IXor,
+  IShl,
+  IShr,
+  // Double arithmetic.
+  DAdd,
+  DSub,
+  DMul,
+  DDiv,
+  DNeg,
+  DCmpL, // Pushes -1/0/1 (NaN -> -1), as the JVM's dcmpl.
+  DCmpG, // Pushes -1/0/1 (NaN -> +1); used for < and <= like javac.
+  // Conversions.
+  I2D,
+  D2I,
+  I2C,
+  // Branches (2-byte signed offset from the opcode).
+  Goto,
+  IfEq,
+  IfNe,
+  IfLt,
+  IfGe,
+  IfGt,
+  IfLe,
+  IfICmpEq,
+  IfICmpNe,
+  IfICmpLt,
+  IfICmpGe,
+  IfICmpGt,
+  IfICmpLe,
+  IfACmpEq,
+  IfACmpNe,
+  IfNull,
+  IfNonNull,
+  // Fields (2-byte pool index to FieldRef).
+  GetField,
+  PutField,
+  GetStatic,
+  PutStatic,
+  // Calls (2-byte pool index to MethodRef).
+  InvokeVirtual,
+  InvokeStatic,
+  InvokeSpecial, // Constructors.
+  // Objects and arrays.
+  New,         // 2-byte pool index to Class.
+  NewArray,    // 2-byte pool index to a type descriptor (element type).
+  ArrayLength, // Includes the implicit null check, like the JVM.
+  IALoad,      // Fused: address computation + null + bounds + load.
+  IAStore,
+  DALoad,
+  DAStore,
+  AALoad,
+  AAStore,
+  CALoad,
+  CAStore,
+  BALoad,
+  BAStore,
+  CheckCast,  // 2-byte pool index.
+  InstanceOf, // 2-byte pool index.
+  // Returns.
+  IReturn,
+  DReturn,
+  AReturn,
+  Return
+};
+
+const char *bcName(BC Op);
+/// Total width of the operand bytes following \p Op.
+unsigned bcOperandWidth(BC Op);
+
+/// Constant-pool entry.
+struct PoolEntry {
+  enum class Kind : uint8_t {
+    Utf8,
+    Int,
+    Double,
+    StrChars,  // char[] literal; Index names a Utf8 entry.
+    Class,     // Index names a Utf8 entry (class name).
+    FieldRef,  // ClassIndex + NameIndex + DescIndex.
+    MethodRef  // ClassIndex + NameIndex + DescIndex.
+  };
+  Kind K = Kind::Utf8;
+  std::string Str;
+  int32_t IntVal = 0;
+  double DblVal = 0.0;
+  uint16_t Index = 0;      // Utf8 index for StrChars/Class.
+  uint16_t ClassIndex = 0; // FieldRef/MethodRef.
+  uint16_t NameIndex = 0;
+  uint16_t DescIndex = 0;
+};
+
+/// One compiled method.
+struct BCMethod {
+  MethodSymbol *Symbol = nullptr; // Resolved (in-memory modules).
+  uint16_t NameIndex = 0;
+  uint16_t DescIndex = 0;
+  uint8_t Flags = 0; // Bit 0: static; bit 1: constructor.
+  uint16_t MaxStack = 0;
+  uint16_t MaxLocals = 0;
+  std::vector<uint8_t> Code;
+
+  /// JVM-style exception table entry: faults at pc in [Start, End) jump
+  /// to Handler with a cleared operand stack. Inner (nested) ranges come
+  /// first, so the first covering entry is the innermost handler.
+  struct ExEntry {
+    uint16_t Start = 0;
+    uint16_t End = 0;
+    uint16_t Handler = 0;
+  };
+  std::vector<ExEntry> ExTable;
+
+  bool isStatic() const { return Flags & 1; }
+
+  /// Number of instructions (opcodes) in the code array.
+  unsigned countInstructions() const;
+};
+
+/// One compiled class.
+struct BCClass {
+  ClassSymbol *Symbol = nullptr;
+  uint16_t NameIndex = 0;
+  uint16_t SuperIndex = 0; // Class pool entry; 0 for Object-rooted.
+  struct Field {
+    FieldSymbol *Symbol = nullptr; // Resolved (in-memory modules).
+    uint16_t NameIndex = 0;
+    uint16_t DescIndex = 0;
+    uint8_t Flags = 0; // Bit 0: static.
+    uint16_t InitPool = 0; // Constant-pool index of the static initializer
+                           // value; 0 when none.
+  };
+  std::vector<Field> Fields;
+  std::vector<BCMethod> Methods;
+};
+
+/// A compiled compilation unit (the bytecode analogue of TSAModule).
+struct BCModule {
+  ClassTable *Table = nullptr;
+  std::vector<PoolEntry> Pool; // Entry 0 is reserved/unused.
+  std::vector<BCClass> Classes;
+
+  /// In-memory resolution side tables, indexed like Pool; filled by the
+  /// compiler (and by the reader's linking step), consumed by the
+  /// interpreter. Not part of the serialized form.
+  std::vector<MethodSymbol *> PoolMethods;
+  std::vector<FieldSymbol *> PoolFields;
+  std::vector<Type *> PoolTypes;
+
+  const PoolEntry &pool(uint16_t Idx) const {
+    assert(Idx != 0 && Idx < Pool.size() && "bad constant-pool index");
+    return Pool[Idx];
+  }
+
+  unsigned countInstructions() const {
+    unsigned N = 0;
+    for (const BCClass &C : Classes)
+      for (const BCMethod &M : C.Methods)
+        N += M.countInstructions();
+    return N;
+  }
+
+  /// Looks up a compiled method body by symbol; null for natives.
+  const BCMethod *findMethod(const MethodSymbol *Symbol) const {
+    for (const BCClass &C : Classes)
+      for (const BCMethod &M : C.Methods)
+        if (M.Symbol == Symbol)
+          return &M;
+    return nullptr;
+  }
+};
+
+/// JVM-style type descriptor for \p Ty ("I", "D", "Z", "C", "[I",
+/// "LFoo;", "V" for void).
+std::string typeDescriptor(const Type *Ty);
+
+} // namespace safetsa
+
+#endif // SAFETSA_BYTECODE_BYTECODE_H

@@ -1,0 +1,71 @@
+//===- codec/Codec.h - SafeTSA externalization ----------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SafeTSA wire format (paper §7): a module externalizes as a symbol
+/// sequence where every symbol is drawn from a finite alphabet determined
+/// by the preceding context, packed with the equal-probability prefix code
+/// (support/BitStream's truncated-binary bounded symbols).
+///
+/// Three phases per method body:
+///   (1) the Control Structure Tree as grammar productions,
+///   (2) the basic blocks in dominator-tree pre-order — opcodes, types,
+///       and (l, r) operands, with only the *types* of phis,
+///   (3) the phi operands (they may reference blocks transmitted later)
+///       together with the CST condition/return value references.
+///
+/// Referential security is a property of this format: an (l, r) operand is
+/// decoded by walking l steps up the dominator tree and reading r bounded
+/// by the number of values the target block holds on the implied plane —
+/// an out-of-region or wrongly-typed reference is not expressible. The
+/// decoder additionally rebuilds its own type table: builtin/imported
+/// entries never come from the wire, so they cannot be corrupted (§4).
+///
+/// The Naive mode writes the same symbols byte-aligned (LEB128) instead of
+/// context-bounded; it exists for the encoding-size ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_CODEC_CODEC_H
+#define SAFETSA_CODEC_CODEC_H
+
+#include "sema/ClassTable.h"
+#include "tsa/Method.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+enum class CodecMode { Prefix, Naive };
+
+/// Serializes \p Module. The module must be verified; deriveCFG/finalize
+/// are re-run internally.
+std::vector<uint8_t> encodeModule(TSAModule &Module,
+                                  CodecMode Mode = CodecMode::Prefix);
+
+/// A decoded mobile-code unit. The consumer owns a fresh type context and
+/// class table (builtins generated implicitly, user classes declared from
+/// the wire), plus the decoded SafeTSA module.
+struct DecodedUnit {
+  std::unique_ptr<TypeContext> Types;
+  std::unique_ptr<ClassTable> Table;
+  std::unique_ptr<TSAModule> Module;
+};
+
+/// Decodes a mobile-code unit. Returns nullptr and sets \p Err on any
+/// malformed, truncated, or tampered input; never crashes on hostile
+/// bytes. Decoded modules still pass through TSAVerifier in the driver
+/// path as defense in depth, but decode success already implies
+/// referential integrity.
+std::unique_ptr<DecodedUnit> decodeModule(const std::vector<uint8_t> &Bytes,
+                                          std::string *Err,
+                                          CodecMode Mode = CodecMode::Prefix);
+
+} // namespace safetsa
+
+#endif // SAFETSA_CODEC_CODEC_H

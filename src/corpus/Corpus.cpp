@@ -1,0 +1,770 @@
+//===- corpus/Corpus.cpp - Benchmark programs (part 1) --------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace safetsa;
+
+// Declared in CorpusMore.cpp.
+namespace safetsa {
+void appendCorpusPart2(std::vector<CorpusProgram> &Out);
+}
+
+//===----------------------------------------------------------------------===//
+// sun.math analogues
+//===----------------------------------------------------------------------===//
+
+static const char *BigIntegerSrc = R"MJ(
+// Arbitrary-precision unsigned integers on int[] magnitudes (base 10000),
+// standing in for sun.math.BigInteger: array-heavy arithmetic with many
+// bounds checks and loop-carried values.
+class BigInt {
+  int[] mag;   // little-endian base-10000 digits
+  int len;
+
+  BigInt(int capacity) {
+    mag = new int[capacity];
+    len = 1;
+  }
+
+  static BigInt fromInt(int v) {
+    BigInt r = new BigInt(8);
+    r.len = 0;
+    if (v == 0) { r.mag[0] = 0; r.len = 1; return r; }
+    while (v > 0) {
+      r.mag[r.len] = v % 10000;
+      v = v / 10000;
+      r.len = r.len + 1;
+    }
+    return r;
+  }
+
+  BigInt copy(int extra) {
+    BigInt r = new BigInt(len + extra);
+    for (int i = 0; i < len; i++) r.mag[i] = mag[i];
+    r.len = len;
+    return r;
+  }
+
+  // this + other, non-destructive.
+  BigInt add(BigInt other) {
+    int n = len;
+    if (other.len > n) n = other.len;
+    BigInt r = new BigInt(n + 1);
+    int carry = 0;
+    int i = 0;
+    while (i < n) {
+      int a = 0;
+      int b = 0;
+      if (i < len) a = mag[i];
+      if (i < other.len) b = other.mag[i];
+      int s = a + b + carry;
+      r.mag[i] = s % 10000;
+      carry = s / 10000;
+      i++;
+    }
+    if (carry > 0) { r.mag[n] = carry; r.len = n + 1; }
+    else r.len = n;
+    r.trim();
+    return r;
+  }
+
+  // this * small (small < 10000).
+  BigInt mulSmall(int small) {
+    BigInt r = new BigInt(len + 2);
+    int carry = 0;
+    for (int i = 0; i < len; i++) {
+      int p = mag[i] * small + carry;
+      r.mag[i] = p % 10000;
+      carry = p / 10000;
+    }
+    int j = len;
+    while (carry > 0) {
+      r.mag[j] = carry % 10000;
+      carry = carry / 10000;
+      j++;
+    }
+    if (j > len) r.len = j; else r.len = len;
+    r.trim();
+    return r;
+  }
+
+  // Full product.
+  BigInt mul(BigInt other) {
+    BigInt r = new BigInt(len + other.len + 1);
+    for (int i = 0; i < len; i++) {
+      int carry = 0;
+      int d = mag[i];
+      for (int j = 0; j < other.len; j++) {
+        int p = r.mag[i + j] + d * other.mag[j] + carry;
+        r.mag[i + j] = p % 10000;
+        carry = p / 10000;
+      }
+      int k = i + other.len;
+      while (carry > 0) {
+        int p = r.mag[k] + carry;
+        r.mag[k] = p % 10000;
+        carry = p / 10000;
+        k++;
+      }
+    }
+    r.len = len + other.len + 1;
+    r.trim();
+    return r;
+  }
+
+  void trim() {
+    while (len > 1 && mag[len - 1] == 0) len = len - 1;
+  }
+
+  int compare(BigInt other) {
+    if (len != other.len) {
+      if (len > other.len) return 1;
+      return -1;
+    }
+    for (int i = len - 1; i >= 0; i--) {
+      if (mag[i] != other.mag[i]) {
+        if (mag[i] > other.mag[i]) return 1;
+        return -1;
+      }
+    }
+    return 0;
+  }
+
+  // Digit-sum mod 9999 as a cheap printable checksum.
+  int checksum() {
+    int s = 0;
+    for (int i = 0; i < len; i++) s = (s * 7 + mag[i]) % 99991;
+    return s;
+  }
+
+  void print() {
+    // Most significant group has no leading zeros; the rest are padded.
+    IO.printInt(mag[len - 1]);
+    for (int i = len - 2; i >= 0; i--) {
+      int g = mag[i];
+      if (g < 1000) IO.printInt(0);
+      if (g < 100) IO.printInt(0);
+      if (g < 10) IO.printInt(0);
+      IO.printInt(g);
+    }
+  }
+}
+
+class Main {
+  static void main() {
+    // 25! exactly.
+    BigInt f = BigInt.fromInt(1);
+    for (int i = 2; i <= 25; i++) f = f.mulSmall(i);
+    f.print();
+    IO.println();
+
+    // fib(120) via bigint addition.
+    BigInt a = BigInt.fromInt(0);
+    BigInt b = BigInt.fromInt(1);
+    for (int i = 0; i < 120; i++) {
+      BigInt t = a.add(b);
+      a = b;
+      b = t;
+    }
+    a.print();
+    IO.println();
+
+    // 2^256 by repeated squaring.
+    BigInt two = BigInt.fromInt(2);
+    BigInt p = two;
+    for (int i = 0; i < 8; i++) p = p.mul(p);
+    IO.printInt(p.checksum());
+    IO.println();
+    IO.printInt(a.compare(b));
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *MutableBigIntSrc = R"MJ(
+// In-place magnitude arithmetic, standing in for sun.math's
+// MutableBigInteger: destructive updates, shifting, and subtraction-based
+// gcd — heavy on array stores and redundant checks for CSE to remove.
+class MutableBig {
+  int[] d;      // base-10000 digits, little-endian
+  int used;
+
+  MutableBig(int cap) {
+    d = new int[cap];
+    used = 1;
+  }
+
+  void setInt(int v) {
+    for (int i = 0; i < d.length; i++) d[i] = 0;
+    used = 0;
+    if (v == 0) { used = 1; return; }
+    while (v > 0) {
+      d[used] = v % 10000;
+      v = v / 10000;
+      used++;
+    }
+  }
+
+  void copyFrom(MutableBig o) {
+    for (int i = 0; i < o.used; i++) d[i] = o.d[i];
+    for (int i = o.used; i < d.length; i++) d[i] = 0;
+    used = o.used;
+  }
+
+  void addInPlace(MutableBig o) {
+    int n = used;
+    if (o.used > n) n = o.used;
+    int carry = 0;
+    for (int i = 0; i < n; i++) {
+      int s = d[i] + o.d[i] + carry;
+      d[i] = s % 10000;
+      carry = s / 10000;
+    }
+    if (carry > 0) { d[n] = carry; n++; }
+    used = n;
+  }
+
+  // this -= o, requires this >= o.
+  void subInPlace(MutableBig o) {
+    int borrow = 0;
+    for (int i = 0; i < used; i++) {
+      int s = d[i] - o.d[i] - borrow;
+      if (s < 0) { s = s + 10000; borrow = 1; } else borrow = 0;
+      d[i] = s;
+    }
+    while (used > 1 && d[used - 1] == 0) used = used - 1;
+  }
+
+  void shiftDigitLeft() {
+    for (int i = used; i > 0; i--) d[i] = d[i - 1];
+    d[0] = 0;
+    used = used + 1;
+  }
+
+  void halve() {
+    int rem = 0;
+    for (int i = used - 1; i >= 0; i--) {
+      int cur = rem * 10000 + d[i];
+      d[i] = cur / 2;
+      rem = cur % 2;
+    }
+    while (used > 1 && d[used - 1] == 0) used = used - 1;
+  }
+
+  boolean isZero() {
+    return used == 1 && d[0] == 0;
+  }
+
+  boolean isEven() {
+    return d[0] % 2 == 0;
+  }
+
+  int compare(MutableBig o) {
+    if (used != o.used) {
+      if (used > o.used) return 1;
+      return -1;
+    }
+    for (int i = used - 1; i >= 0; i--) {
+      if (d[i] != o.d[i]) {
+        if (d[i] > o.d[i]) return 1;
+        return -1;
+      }
+    }
+    return 0;
+  }
+
+  int checksum() {
+    int s = 0;
+    for (int i = 0; i < used; i++) s = (s * 31 + d[i]) % 99991;
+    return s;
+  }
+}
+
+class Main {
+  // Binary gcd on mutable magnitudes.
+  static int gcdChecksum(int x, int y) {
+    MutableBig a = new MutableBig(16);
+    MutableBig b = new MutableBig(16);
+    a.setInt(x);
+    b.setInt(y);
+    int shift = 0;
+    while (!a.isZero() && !b.isZero() && a.isEven() && b.isEven()) {
+      a.halve();
+      b.halve();
+      shift++;
+    }
+    while (!b.isZero()) {
+      while (a.isEven() && !a.isZero()) a.halve();
+      while (b.isEven() && !b.isZero()) b.halve();
+      int c = a.compare(b);
+      if (c >= 0) {
+        a.subInPlace(b);
+      } else {
+        MutableBig t = new MutableBig(16);
+        t.copyFrom(b);
+        t.subInPlace(a);
+        b.copyFrom(a);
+        a.copyFrom(t);
+      }
+      if (a.isZero()) { a.copyFrom(b); b.setInt(0); }
+    }
+    for (int i = 0; i < shift; i++) a.addInPlace(a);
+    return a.checksum();
+  }
+
+  static void main() {
+    MutableBig acc = new MutableBig(64);
+    acc.setInt(1);
+    for (int i = 0; i < 30; i++) {
+      acc.addInPlace(acc);   // doubling
+      acc.shiftDigitLeft();  // *10000
+    }
+    IO.printInt(acc.checksum());
+    IO.println();
+    IO.printInt(gcdChecksum(123456, 987654));
+    IO.println();
+    IO.printInt(gcdChecksum(271828, 314159));
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *BigDecimalSrc = R"MJ(
+// Fixed-point decimal arithmetic (scale 4) over int pairs, standing in
+// for sun.math.BigDecimal: expression-heavy scalar code with rounding.
+class Dec {
+  int units;  // value = units + frac/10000, frac in [0, 10000)
+  int frac;
+
+  Dec(int u, int f) {
+    units = u;
+    frac = f;
+    normalize();
+  }
+
+  void normalize() {
+    if (frac >= 10000) {
+      units = units + frac / 10000;
+      frac = frac % 10000;
+    }
+    if (frac < 0) {
+      int borrow = (-frac + 9999) / 10000;
+      units = units - borrow;
+      frac = frac + borrow * 10000;
+    }
+  }
+
+  Dec plus(Dec o) {
+    return new Dec(units + o.units, frac + o.frac);
+  }
+
+  Dec minus(Dec o) {
+    return new Dec(units - o.units, frac - o.frac);
+  }
+
+  // Multiply by a small decimal given as scaled-10^4 integer.
+  Dec timesScaled(int scaled) {
+    // (units + frac/1e4) * scaled/1e4
+    int hi = units * scaled;              // scaled by 1e4
+    int lo = frac * scaled / 10000;       // scaled by 1e4
+    int total = hi + lo;                  // value scaled by 1e4
+    int u = total / 10000;
+    int f = total % 10000;
+    if (f < 0) { f = f + 10000; u = u - 1; }
+    return new Dec(u, f);
+  }
+
+  int cmp(Dec o) {
+    if (units != o.units) {
+      if (units > o.units) return 1;
+      return -1;
+    }
+    if (frac != o.frac) {
+      if (frac > o.frac) return 1;
+      return -1;
+    }
+    return 0;
+  }
+
+  void print() {
+    IO.printInt(units);
+    IO.printChar('.');
+    int g = frac;
+    if (g < 1000) IO.printInt(0);
+    if (g < 100) IO.printInt(0);
+    if (g < 10) IO.printInt(0);
+    IO.printInt(g);
+  }
+}
+
+class Main {
+  // Compound-interest table at 3.75% on an initial balance, 24 periods.
+  static void main() {
+    Dec balance = new Dec(1000, 0);
+    int rate = 10375; // 1.0375 scaled by 1e4
+    int crossed = 0;
+    Dec threshold = new Dec(1500, 0);
+    for (int period = 1; period <= 24; period++) {
+      balance = balance.timesScaled(rate);
+      if (crossed == 0 && balance.cmp(threshold) >= 0) crossed = period;
+    }
+    balance.print();
+    IO.println();
+    IO.printInt(crossed);
+    IO.println();
+
+    // Telescoping sum exercising plus/minus.
+    Dec acc = new Dec(0, 0);
+    for (int i = 1; i <= 200; i++) {
+      acc = acc.plus(new Dec(i, i * 7 % 10000));
+      if (i % 3 == 0) acc = acc.minus(new Dec(i / 3, 0));
+    }
+    acc.print();
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *BitSieveSrc = R"MJ(
+// Bit-packed sieve of Eratosthenes, standing in for sun.math.BitSieve:
+// shift/mask arithmetic and tight array loops.
+class BitSet {
+  int[] words;
+
+  BitSet(int bits) {
+    words = new int[(bits + 31) / 32];
+  }
+
+  void set(int i) {
+    words[i >> 5] = words[i >> 5] | (1 << (i & 31));
+  }
+
+  boolean get(int i) {
+    return (words[i >> 5] & (1 << (i & 31))) != 0;
+  }
+
+  int popcount() {
+    int total = 0;
+    for (int w = 0; w < words.length; w++) {
+      int v = words[w];
+      for (int b = 0; b < 32; b++) {
+        if ((v & 1) != 0) total++;
+        v = (v >> 1) & 0x7fffffff;
+      }
+    }
+    return total;
+  }
+}
+
+class Sieve {
+  BitSet composite;
+  int limit;
+
+  Sieve(int n) {
+    limit = n;
+    composite = new BitSet(n + 1);
+    composite.set(0);
+    composite.set(1);
+    for (int p = 2; p * p <= n; p++) {
+      if (!composite.get(p)) {
+        for (int m = p * p; m <= n; m = m + p) composite.set(m);
+      }
+    }
+  }
+
+  int countPrimes() {
+    int count = 0;
+    for (int i = 2; i <= limit; i++)
+      if (!composite.get(i)) count++;
+    return count;
+  }
+
+  int nthPrime(int n) {
+    int seen = 0;
+    for (int i = 2; i <= limit; i++) {
+      if (!composite.get(i)) {
+        seen++;
+        if (seen == n) return i;
+      }
+    }
+    return -1;
+  }
+}
+
+class Main {
+  static void main() {
+    Sieve s = new Sieve(50000);
+    IO.printInt(s.countPrimes());
+    IO.println();
+    IO.printInt(s.nthPrime(1000));
+    IO.println();
+    IO.printInt(s.composite.popcount());
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *LinpackSrc = R"MJ(
+// LU factorization with partial pivoting and back-substitution on a
+// generated system — the Linpack kernel the paper measures. Double
+// arithmetic, jagged double[][] matrices, daxpy inner loops.
+class Linpack {
+  static double absd(double x) {
+    if (x < 0.0) return -x;
+    return x;
+  }
+
+  // y[j..] += a * x[j..]
+  static void daxpy(int n, double a, double[] x, int xoff, double[] y,
+                    int yoff) {
+    if (a == 0.0) return;
+    for (int i = 0; i < n; i++) y[yoff + i] = y[yoff + i] + a * x[xoff + i];
+  }
+
+  static int idamax(int n, double[] x, int off) {
+    int best = 0;
+    double bestv = absd(x[off]);
+    for (int i = 1; i < n; i++) {
+      double v = absd(x[off + i]);
+      if (v > bestv) { bestv = v; best = i; }
+    }
+    return best;
+  }
+
+  // Factor a (column-major columns as rows of the jagged array).
+  static int dgefa(double[][] a, int n, int[] ipvt) {
+    int info = 0;
+    for (int k = 0; k < n - 1; k++) {
+      double[] colk = a[k];
+      int l = idamax(n - k, colk, k) + k;
+      ipvt[k] = l;
+      if (colk[l] == 0.0) { info = k + 1; continue; }
+      if (l != k) {
+        double t = colk[l];
+        colk[l] = colk[k];
+        colk[k] = t;
+      }
+      double inv = -1.0 / colk[k];
+      for (int i = k + 1; i < n; i++) colk[i] = colk[i] * inv;
+      for (int j = k + 1; j < n; j++) {
+        double[] colj = a[j];
+        double t = colj[l];
+        if (l != k) {
+          colj[l] = colj[k];
+          colj[k] = t;
+        }
+        daxpy(n - k - 1, t, colk, k + 1, colj, k + 1);
+      }
+    }
+    ipvt[n - 1] = n - 1;
+    if (a[n - 1][n - 1] == 0.0) info = n;
+    return info;
+  }
+
+  static void dgesl(double[][] a, int n, int[] ipvt, double[] b) {
+    // forward elimination
+    for (int k = 0; k < n - 1; k++) {
+      int l = ipvt[k];
+      double t = b[l];
+      if (l != k) { b[l] = b[k]; b[k] = t; }
+      daxpy(n - k - 1, t, a[k], k + 1, b, k + 1);
+    }
+    // back substitution
+    for (int kb = 0; kb < n; kb++) {
+      int k = n - kb - 1;
+      b[k] = b[k] / a[k][k];
+      double t = -b[k];
+      daxpy(k, t, a[k], 0, b, 0);
+    }
+  }
+
+  static int seed;
+
+  static double nextRandom() {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    return (double) (seed % 10000) / 10000.0 - 0.5;
+  }
+
+  static void matgen(double[][] a, int n, double[] b) {
+    seed = 1325;
+    for (int j = 0; j < n; j++) {
+      for (int i = 0; i < n; i++) a[j][i] = nextRandom();
+    }
+    for (int i = 0; i < n; i++) b[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      for (int i = 0; i < n; i++) b[i] = b[i] + a[j][i];
+    }
+  }
+
+  static void main() {
+    int n = 40;
+    double[][] a = new double[n][];
+    for (int j = 0; j < n; j++) a[j] = new double[n];
+    double[] b = new double[n];
+    int[] ipvt = new int[n];
+
+    matgen(a, n, b);
+    int info = dgefa(a, n, ipvt);
+    dgesl(a, n, ipvt, b);
+
+    // The exact solution is all ones; print the residual magnitude class.
+    double worst = 0.0;
+    for (int i = 0; i < n; i++) {
+      double e = absd(b[i] - 1.0);
+      if (e > worst) worst = e;
+    }
+    IO.printInt(info);
+    IO.println();
+    IO.printBool(worst < 0.0001);
+    IO.println();
+    // Scaled residual as an integer checksum.
+    IO.printInt((int) (worst * 100000000.0));
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *ScannerSrc = R"MJ(
+// Hand-written lexer over char[] input, standing in for
+// sun.tools.java.Scanner: char-class tests, state machines, many
+// redundant array accesses for the optimizer.
+class Token {
+  static int NUM = 1;
+  static int IDENT = 2;
+  static int OP = 3;
+  static int LPAREN = 4;
+  static int RPAREN = 5;
+  static int EOF = 6;
+}
+
+class Scanner {
+  char[] src;
+  int pos;
+  int kind;
+  int numValue;
+  int identHash;
+
+  Scanner(char[] input) {
+    src = input;
+    pos = 0;
+  }
+
+  static boolean isDigit(char c) {
+    return c >= '0' && c <= '9';
+  }
+
+  static boolean isAlpha(char c) {
+    if (c >= 'a' && c <= 'z') return true;
+    if (c >= 'A' && c <= 'Z') return true;
+    return c == '_';
+  }
+
+  static boolean isSpace(char c) {
+    if (c == ' ') return true;
+    if (c == '\t') return true;
+    return c == '\n';
+  }
+
+  void skipSpaceAndComments() {
+    boolean more = true;
+    while (more) {
+      more = false;
+      while (pos < src.length && isSpace(src[pos])) pos++;
+      if (pos + 1 < src.length && src[pos] == '/' && src[pos + 1] == '/') {
+        while (pos < src.length && src[pos] != '\n') pos++;
+        more = true;
+      }
+    }
+  }
+
+  // Advances to the next token; sets kind and payloads.
+  void next() {
+    skipSpaceAndComments();
+    if (pos >= src.length) { kind = Token.EOF; return; }
+    char c = src[pos];
+    if (isDigit(c)) {
+      int v = 0;
+      while (pos < src.length && isDigit(src[pos])) {
+        v = v * 10 + (src[pos] - '0');
+        pos++;
+      }
+      kind = Token.NUM;
+      numValue = v;
+      return;
+    }
+    if (isAlpha(c)) {
+      int h = 0;
+      while (pos < src.length && (isAlpha(src[pos]) || isDigit(src[pos]))) {
+        h = (h * 131 + src[pos]) % 1000003;
+        pos++;
+      }
+      kind = Token.IDENT;
+      identHash = h;
+      return;
+    }
+    pos++;
+    if (c == '(') { kind = Token.LPAREN; return; }
+    if (c == ')') { kind = Token.RPAREN; return; }
+    kind = Token.OP;
+    numValue = c;
+  }
+}
+
+class Main {
+  static void main() {
+    char[] program = "alpha = 12 + beta_3 * (gamma - 45) / 7 // tail\n  delta9 = alpha * alpha + 100";
+    Scanner s = new Scanner(program);
+    int nums = 0;
+    int idents = 0;
+    int ops = 0;
+    int parens = 0;
+    int checksum = 0;
+    s.next();
+    while (s.kind != Token.EOF) {
+      if (s.kind == Token.NUM) { nums++; checksum = (checksum * 13 + s.numValue) % 1000003; }
+      else if (s.kind == Token.IDENT) { idents++; checksum = (checksum * 17 + s.identHash) % 1000003; }
+      else if (s.kind == Token.LPAREN || s.kind == Token.RPAREN) parens++;
+      else { ops++; checksum = (checksum * 19 + s.numValue) % 1000003; }
+      s.next();
+    }
+    IO.printInt(nums);
+    IO.printChar(' ');
+    IO.printInt(idents);
+    IO.printChar(' ');
+    IO.printInt(ops);
+    IO.printChar(' ');
+    IO.printInt(parens);
+    IO.println();
+    IO.printInt(checksum);
+    IO.println();
+  }
+}
+)MJ";
+
+const std::vector<CorpusProgram> &safetsa::getCorpus() {
+  static std::vector<CorpusProgram> Corpus = [] {
+    std::vector<CorpusProgram> C = {
+        {"BigInteger", "sun.math.BigInteger", BigIntegerSrc},
+        {"MutableBigInteger", "sun.math.MutableBigInteger",
+         MutableBigIntSrc},
+        {"BigDecimal", "sun.math.BigDecimal", BigDecimalSrc},
+        {"BitSieve", "sun.math.BitSieve", BitSieveSrc},
+        {"Linpack", "Linpack.Linpack", LinpackSrc},
+        {"Scanner", "sun.tools.java.Scanner", ScannerSrc},
+    };
+    appendCorpusPart2(C);
+    return C;
+  }();
+  return Corpus;
+}
+
+const CorpusProgram *safetsa::findCorpusProgram(const std::string &Name) {
+  for (const CorpusProgram &P : getCorpus())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

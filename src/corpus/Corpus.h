@@ -1,0 +1,40 @@
+//===- corpus/Corpus.h - MJ benchmark programs ----------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus: MJ programs playing the roles of the paper's
+/// measurement classes (sun.tools.javac / sun.tools.java / sun.math /
+/// Linpack — see DESIGN.md §2 for the substitution argument). Each entry
+/// is a self-contained compilation unit with a deterministic `main` that
+/// prints a checksum, so the same corpus drives the size/instruction
+/// tables (Figures 5 and 6), the optimization ablations, and the
+/// differential semantics tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_CORPUS_CORPUS_H
+#define SAFETSA_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+struct CorpusProgram {
+  const char *Name;   ///< Row label (paper-analogous class name).
+  const char *Role;   ///< Which paper benchmark the program stands in for.
+  const char *Source; ///< MJ source text.
+};
+
+/// All corpus programs, in table order.
+const std::vector<CorpusProgram> &getCorpus();
+
+/// Looks up one program by name; null when absent.
+const CorpusProgram *findCorpusProgram(const std::string &Name);
+
+} // namespace safetsa
+
+#endif // SAFETSA_CORPUS_CORPUS_H

@@ -1,0 +1,757 @@
+//===- corpus/CorpusMore.cpp - Benchmark programs (part 2) ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace safetsa;
+
+namespace safetsa {
+void appendCorpusPart2(std::vector<CorpusProgram> &Out);
+} // namespace safetsa
+
+static const char *ParserSrc = R"MJ(
+// Recursive-descent expression parser and evaluator, standing in for
+// sun.tools.java.Parser: deep call trees, many conditionals, token
+// buffer built by a small scanner front end.
+class Lexer {
+  char[] src;
+  int pos;
+
+  Lexer(char[] input) {
+    src = input;
+    pos = 0;
+  }
+
+  static boolean isDigit(char c) {
+    return c >= '0' && c <= '9';
+  }
+
+  // Returns the next token: digits fold into a value token encoded as
+  // 1000 + value, operators return their char code, 0 means end.
+  int next() {
+    while (pos < src.length && src[pos] == ' ') pos++;
+    if (pos >= src.length) return 0;
+    char c = src[pos];
+    if (isDigit(c)) {
+      int v = 0;
+      while (pos < src.length && isDigit(src[pos])) {
+        v = v * 10 + (src[pos] - '0');
+        pos++;
+      }
+      return 1000 + v;
+    }
+    pos++;
+    return c;
+  }
+}
+
+class Parser {
+  int[] tokens;
+  int cursor;
+  int errors;
+
+  Parser(char[] input) {
+    Lexer lx = new Lexer(input);
+    tokens = new int[256];
+    int n = 0;
+    int t = lx.next();
+    while (t != 0) {
+      tokens[n] = t;
+      n++;
+      t = lx.next();
+    }
+    tokens[n] = 0;
+    cursor = 0;
+    errors = 0;
+  }
+
+  int peek() {
+    return tokens[cursor];
+  }
+
+  int take() {
+    int t = tokens[cursor];
+    if (t != 0) cursor++;
+    return t;
+  }
+
+  // expr := term (('+'|'-') term)*
+  int expr() {
+    int v = term();
+    while (peek() == '+' || peek() == '-') {
+      int op = take();
+      int r = term();
+      if (op == '+') v = v + r; else v = v - r;
+    }
+    return v;
+  }
+
+  // term := factor (('*'|'/'|'%') factor)*
+  int term() {
+    int v = factor();
+    while (peek() == '*' || peek() == '/' || peek() == '%') {
+      int op = take();
+      int r = factor();
+      if (op == '*') v = v * r;
+      else if (op == '/') { if (r == 0) { errors++; } else v = v / r; }
+      else { if (r == 0) { errors++; } else v = v % r; }
+    }
+    return v;
+  }
+
+  // factor := NUM | '(' expr ')' | '-' factor
+  int factor() {
+    int t = peek();
+    if (t >= 1000) { take(); return t - 1000; }
+    if (t == '(') {
+      take();
+      int v = expr();
+      if (peek() == ')') take(); else errors++;
+      return v;
+    }
+    if (t == '-') {
+      take();
+      return -factor();
+    }
+    errors++;
+    take();
+    return 0;
+  }
+}
+
+class Main {
+  static int run(char[] text) {
+    Parser p = new Parser(text);
+    int v = p.expr();
+    if (p.errors > 0) return -999999;
+    return v;
+  }
+
+  static void main() {
+    IO.printInt(run("1 + 2 * 3"));
+    IO.println();
+    IO.printInt(run("(1 + 2) * (3 + 4) - 5"));
+    IO.println();
+    IO.printInt(run("100 / 7 % 5 + -3"));
+    IO.println();
+    IO.printInt(run("((2 + 3) * (4 + 6)) / (1 + 1)"));
+    IO.println();
+    IO.printInt(run("8 * (((1 + 2) * (3 + 4)) - (5 * (6 - 7)))"));
+    IO.println();
+    IO.printInt(run("4 + * 5"));
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *SortSrc = R"MJ(
+// Sorting workloads (quicksort, mergesort, insertion sort) over
+// LCG-generated data, standing in for the container-heavy classes of
+// sun.tools.javac: array shuffling, recursion, comparisons.
+class Rng {
+  int state;
+
+  Rng(int seed) {
+    state = seed;
+  }
+
+  int next() {
+    state = (state * 1103515245 + 12345) & 0x7fffffff;
+    return state;
+  }
+
+  int nextBounded(int bound) {
+    return next() % bound;
+  }
+}
+
+class Sorter {
+  static void insertion(int[] a, int lo, int hi) {
+    for (int i = lo + 1; i <= hi; i++) {
+      int key = a[i];
+      int j = i - 1;
+      while (j >= lo && a[j] > key) {
+        a[j + 1] = a[j];
+        j--;
+      }
+      a[j + 1] = key;
+    }
+  }
+
+  static void quick(int[] a, int lo, int hi) {
+    if (hi - lo < 12) {
+      insertion(a, lo, hi);
+      return;
+    }
+    int mid = lo + (hi - lo) / 2;
+    // Median-of-three pivot.
+    if (a[mid] < a[lo]) { int t = a[mid]; a[mid] = a[lo]; a[lo] = t; }
+    if (a[hi] < a[lo]) { int t = a[hi]; a[hi] = a[lo]; a[lo] = t; }
+    if (a[hi] < a[mid]) { int t = a[hi]; a[hi] = a[mid]; a[mid] = t; }
+    int pivot = a[mid];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+      while (a[i] < pivot) i++;
+      while (a[j] > pivot) j--;
+      if (i <= j) {
+        int t = a[i];
+        a[i] = a[j];
+        a[j] = t;
+        i++;
+        j--;
+      }
+    }
+    quick(a, lo, j);
+    quick(a, i, hi);
+  }
+
+  static void mergeSort(double[] a, double[] tmp, int lo, int hi) {
+    if (hi - lo < 1) return;
+    int mid = lo + (hi - lo) / 2;
+    mergeSort(a, tmp, lo, mid);
+    mergeSort(a, tmp, mid + 1, hi);
+    int i = lo;
+    int j = mid + 1;
+    int k = lo;
+    while (i <= mid && j <= hi) {
+      if (a[i] <= a[j]) { tmp[k] = a[i]; i++; } else { tmp[k] = a[j]; j++; }
+      k++;
+    }
+    while (i <= mid) { tmp[k] = a[i]; i++; k++; }
+    while (j <= hi) { tmp[k] = a[j]; j++; k++; }
+    for (int m = lo; m <= hi; m++) a[m] = tmp[m];
+  }
+
+  static boolean isSorted(int[] a) {
+    for (int i = 1; i < a.length; i++)
+      if (a[i - 1] > a[i]) return false;
+    return true;
+  }
+}
+
+class Main {
+  static void main() {
+    Rng rng = new Rng(20010617);
+    int n = 2000;
+    int[] data = new int[n];
+    for (int i = 0; i < n; i++) data[i] = rng.nextBounded(100000);
+    Sorter.quick(data, 0, n - 1);
+    IO.printBool(Sorter.isSorted(data));
+    IO.println();
+    int checksum = 0;
+    for (int i = 0; i < n; i++) checksum = (checksum * 31 + data[i]) % 1000003;
+    IO.printInt(checksum);
+    IO.println();
+
+    double[] dd = new double[500];
+    double[] tmp = new double[500];
+    for (int i = 0; i < dd.length; i++)
+      dd[i] = (double) rng.nextBounded(1000000) / 997.0;
+    Sorter.mergeSort(dd, tmp, 0, dd.length - 1);
+    boolean ok = true;
+    for (int i = 1; i < dd.length; i++)
+      if (dd[i - 1] > dd[i]) ok = false;
+    IO.printBool(ok);
+    IO.println();
+    IO.printInt((int) (dd[250] * 1000.0));
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *HashMapSrc = R"MJ(
+// Open-addressing int->int hash table with tombstones and rehashing,
+// standing in for javac's symbol-table machinery (BatchEnvironment):
+// probe loops, modular arithmetic, state-dependent control flow.
+class IntMap {
+  int[] keys;
+  int[] vals;
+  int[] state; // 0 empty, 1 used, 2 tombstone
+  int size;
+  int cap;
+
+  IntMap(int capacity) {
+    cap = capacity;
+    keys = new int[cap];
+    vals = new int[cap];
+    state = new int[cap];
+    size = 0;
+  }
+
+  static int hash(int k) {
+    return (k * 0x9e3779b) & 0x7fffffff;
+  }
+
+  void put(int k, int v) {
+    if ((size + 1) * 4 >= cap * 3) rehash();
+    int i = hash(k) % cap;
+    int firstTomb = -1;
+    while (state[i] != 0) {
+      if (state[i] == 1 && keys[i] == k) { vals[i] = v; return; }
+      if (state[i] == 2 && firstTomb < 0) firstTomb = i;
+      i = (i + 1) % cap;
+    }
+    if (firstTomb >= 0) i = firstTomb;
+    keys[i] = k;
+    vals[i] = v;
+    state[i] = 1;
+    size++;
+  }
+
+  int get(int k, int dflt) {
+    int i = hash(k) % cap;
+    while (state[i] != 0) {
+      if (state[i] == 1 && keys[i] == k) return vals[i];
+      i = (i + 1) % cap;
+    }
+    return dflt;
+  }
+
+  boolean remove(int k) {
+    int i = hash(k) % cap;
+    while (state[i] != 0) {
+      if (state[i] == 1 && keys[i] == k) {
+        state[i] = 2;
+        size--;
+        return true;
+      }
+      i = (i + 1) % cap;
+    }
+    return false;
+  }
+
+  void rehash() {
+    int[] ok = keys;
+    int[] ov = vals;
+    int[] os = state;
+    int oldCap = cap;
+    cap = cap * 2 + 1;
+    keys = new int[cap];
+    vals = new int[cap];
+    state = new int[cap];
+    size = 0;
+    for (int i = 0; i < oldCap; i++)
+      if (os[i] == 1) put(ok[i], ov[i]);
+  }
+}
+
+class Main {
+  static void main() {
+    IntMap m = new IntMap(17);
+    // Insert, overwrite, remove in interleaved patterns.
+    for (int i = 0; i < 3000; i++) m.put(i * 7 % 1999, i);
+    for (int i = 0; i < 1999; i = i + 3) m.remove(i);
+    for (int i = 0; i < 500; i++) m.put(i * 13 % 1999, i * i);
+    int sum = 0;
+    for (int i = 0; i < 1999; i++) sum = (sum + m.get(i, 1)) % 1000003;
+    IO.printInt(m.size);
+    IO.println();
+    IO.printInt(sum);
+    IO.println();
+    IO.printBool(m.get(123456, -1) == -1);
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *ShapesSrc = R"MJ(
+// Class hierarchy with virtual dispatch, overriding, instanceof, and
+// checked downcasts — the OO-typing features behind the paper's
+// xdispatch/upcast machinery (sun.tools.javac SourceClass analogue).
+class Shape {
+  int id;
+
+  int area() { return 0; }
+  int perimeter() { return 0; }
+  boolean isRound() { return false; }
+}
+
+class Rect extends Shape {
+  int w;
+  int h;
+
+  Rect(int width, int height) {
+    w = width;
+    h = height;
+  }
+
+  int area() { return w * h; }
+  int perimeter() { return 2 * (w + h); }
+}
+
+class Square extends Rect {
+  Square(int side) {
+    w = side;
+    h = side;
+  }
+
+  // Inherits area/perimeter; adds one override to force a deeper vtable.
+  int perimeter() { return 4 * w; }
+}
+
+class Circle extends Shape {
+  int r;
+
+  Circle(int radius) {
+    r = radius;
+  }
+
+  // Integer-scaled pi = 355/113.
+  int area() { return 355 * r * r / 113; }
+  int perimeter() { return 2 * 355 * r / 113; }
+  boolean isRound() { return true; }
+}
+
+class Main {
+  static void main() {
+    Shape[] shapes = new Shape[12];
+    for (int i = 0; i < shapes.length; i++) {
+      int k = i % 3;
+      if (k == 0) shapes[i] = new Rect(i + 1, i + 2);
+      else if (k == 1) shapes[i] = new Square(i + 1);
+      else shapes[i] = new Circle(i + 1);
+    }
+
+    int totalArea = 0;
+    int totalPerim = 0;
+    int roundCount = 0;
+    int squareSides = 0;
+    for (int i = 0; i < shapes.length; i++) {
+      Shape s = shapes[i];
+      totalArea = totalArea + s.area();
+      totalPerim = totalPerim + s.perimeter();
+      if (s.isRound()) roundCount++;
+      if (s instanceof Square) {
+        Square q = (Square) s;
+        squareSides = squareSides + q.w;
+      } else if (s instanceof Rect) {
+        Rect r = (Rect) s;
+        squareSides = squareSides + r.w - r.h;
+      }
+    }
+    IO.printInt(totalArea);
+    IO.println();
+    IO.printInt(totalPerim);
+    IO.println();
+    IO.printInt(roundCount);
+    IO.println();
+    IO.printInt(squareSides);
+    IO.println();
+
+    // Upcast (free) and checked downcast round trip.
+    Shape s = new Square(9);
+    Rect r = (Rect) s;
+    IO.printInt(r.area());
+    IO.println();
+    IO.printBool(r instanceof Square);
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *QueueGraphSrc = R"MJ(
+// Linked structures: a FIFO queue of nodes and a breadth-first search
+// over an adjacency-array graph — null-check-heavy pointer chasing
+// (sun.tools.javac BatchParser analogue).
+class Node {
+  int value;
+  Node next;
+
+  Node(int v) {
+    value = v;
+  }
+}
+
+class Queue {
+  Node head;
+  Node tail;
+  int count;
+
+  void push(int v) {
+    Node n = new Node(v);
+    if (tail == null) {
+      head = n;
+      tail = n;
+    } else {
+      tail.next = n;
+      tail = n;
+    }
+    count++;
+  }
+
+  int pop() {
+    Node n = head;
+    head = n.next;
+    if (head == null) tail = null;
+    count--;
+    return n.value;
+  }
+
+  boolean isEmpty() {
+    return head == null;
+  }
+}
+
+class Graph {
+  int[] edgeTo;   // flattened adjacency
+  int[] offsets;  // node i owns edgeTo[offsets[i] .. offsets[i+1])
+  int nodes;
+
+  Graph(int n, int[] degrees) {
+    nodes = n;
+    offsets = new int[n + 1];
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+      offsets[i] = total;
+      total = total + degrees[i];
+    }
+    offsets[n] = total;
+    edgeTo = new int[total];
+  }
+
+  int bfsDistanceSum(int start) {
+    int[] dist = new int[nodes];
+    for (int i = 0; i < nodes; i++) dist[i] = -1;
+    Queue q = new Queue();
+    dist[start] = 0;
+    q.push(start);
+    int sum = 0;
+    while (!q.isEmpty()) {
+      int u = q.pop();
+      sum = sum + dist[u];
+      for (int e = offsets[u]; e < offsets[u + 1]; e++) {
+        int v = edgeTo[e];
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+    return sum;
+  }
+}
+
+class Main {
+  static void main() {
+    // Ring of 64 nodes plus chords at stride 9.
+    int n = 64;
+    int[] deg = new int[n];
+    for (int i = 0; i < n; i++) deg[i] = 3;
+    Graph g = new Graph(n, deg);
+    for (int i = 0; i < n; i++) {
+      int base = g.offsets[i];
+      g.edgeTo[base] = (i + 1) % n;
+      g.edgeTo[base + 1] = (i + n - 1) % n;
+      g.edgeTo[base + 2] = (i + 9) % n;
+    }
+    IO.printInt(g.bfsDistanceSum(0));
+    IO.println();
+    IO.printInt(g.bfsDistanceSum(17));
+    IO.println();
+
+    // Queue stress: interleaved push/pop.
+    Queue q = new Queue();
+    int check = 0;
+    for (int i = 0; i < 500; i++) {
+      q.push(i * i % 101);
+      if (i % 3 == 0) check = (check * 7 + q.pop()) % 1000003;
+    }
+    while (!q.isEmpty()) check = (check * 7 + q.pop()) % 1000003;
+    IO.printInt(check);
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *MatrixSrc = R"MJ(
+// Integer matrix kernels: multiply, transpose, power — straight-line
+// loop nests with index expressions CSE can attack (Main analogue of
+// sun.tools.javac.Main's table-driven loops).
+class IntMatrix {
+  int[] a; // row-major n*n
+  int n;
+
+  IntMatrix(int size) {
+    n = size;
+    a = new int[n * n];
+  }
+
+  int get(int r, int c) {
+    return a[r * n + c];
+  }
+
+  void set(int r, int c, int v) {
+    a[r * n + c] = v;
+  }
+
+  IntMatrix times(IntMatrix o) {
+    IntMatrix r = new IntMatrix(n);
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) {
+        int acc = 0;
+        for (int k = 0; k < n; k++)
+          acc = acc + get(i, k) * o.get(k, j);
+        r.set(i, j, acc % 1000003);
+      }
+    }
+    return r;
+  }
+
+  IntMatrix transpose() {
+    IntMatrix r = new IntMatrix(n);
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++)
+        r.set(j, i, get(i, j));
+    return r;
+  }
+
+  int trace() {
+    int t = 0;
+    for (int i = 0; i < n; i++) t = (t + get(i, i)) % 1000003;
+    return t;
+  }
+
+  int checksum() {
+    int s = 0;
+    for (int i = 0; i < a.length; i++) s = (s * 31 + a[i]) % 1000003;
+    return s;
+  }
+}
+
+class Main {
+  static void main() {
+    int n = 12;
+    IntMatrix m = new IntMatrix(n);
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++)
+        m.set(i, j, (i * 17 + j * 3 + 1) % 97);
+
+    IntMatrix p = m;
+    for (int e = 0; e < 4; e++) p = p.times(m);
+    IO.printInt(p.trace());
+    IO.println();
+    IO.printInt(p.checksum());
+    IO.println();
+
+    IntMatrix t = m.transpose().times(m);
+    IO.printInt(t.trace());
+    IO.println();
+    IO.printBool(t.transpose().checksum() == t.checksum());
+    IO.println();
+  }
+}
+)MJ";
+
+static const char *BinaryCodeSrc = R"MJ(
+// Exception-driven control flow over packed binary records, standing in
+// for sun.tools.java.BinaryCode: a decoder that relies on try/catch for
+// malformed-input handling (the paper's §7 exception translation).
+class Cursor {
+  int[] data;
+  int pos;
+
+  Cursor(int[] d) {
+    data = d;
+    pos = 0;
+  }
+
+  // Raises IndexOutOfBounds past the end; callers catch to detect EOF.
+  int next() {
+    int v = data[pos];
+    pos++;
+    return v;
+  }
+}
+
+class Decoder {
+  int records;
+  int checksum;
+  int errors;
+
+  // Record format: tag, then tag-many payload words; tag 9 divides the
+  // next two words (division by zero is a recoverable data error).
+  void decodeAll(int[] stream) {
+    Cursor c = new Cursor(stream);
+    boolean eof = false;
+    while (!eof) {
+      try {
+        int tag = c.next();
+        if (tag == 9) {
+          int a = c.next();
+          int b = c.next();
+          try {
+            checksum = (checksum + a / b) % 1000003;
+          } catch {
+            errors++;
+          }
+        } else {
+          int acc = 0;
+          for (int i = 0; i < tag; i++) acc = acc * 31 + c.next();
+          checksum = (checksum + acc) % 1000003;
+        }
+        records++;
+      } catch {
+        eof = true;
+      }
+    }
+  }
+}
+
+class Main {
+  static void main() {
+    // A stream with valid records, one division record with b == 0, and
+    // a truncated trailer.
+    int[] stream = new int[20];
+    stream[0] = 2; stream[1] = 11; stream[2] = 22;       // record 1
+    stream[3] = 9; stream[4] = 100; stream[5] = 7;       // record 2: 14
+    stream[6] = 1; stream[7] = 5;                        // record 3
+    stream[8] = 9; stream[9] = 50; stream[10] = 0;       // record 4: err
+    stream[11] = 3; stream[12] = 1; stream[13] = 2; stream[14] = 3;
+    stream[15] = 0;                                      // record 6: empty
+    stream[16] = 9; stream[17] = 81; stream[18] = 9;     // record 7: 9
+    stream[19] = 5; // truncated: tag 5 with no payload -> EOF via catch
+
+    Decoder d = new Decoder();
+    d.decodeAll(stream);
+    IO.printInt(d.records);
+    IO.println();
+    IO.printInt(d.checksum);
+    IO.println();
+    IO.printInt(d.errors);
+    IO.println();
+
+    // Checked accessor pattern: probe indices, counting failures.
+    int ok = 0;
+    int bad = 0;
+    for (int i = -3; i < 23; i++) {
+      try {
+        int v = stream[i];
+        ok++;
+      } catch {
+        bad++;
+      }
+    }
+    IO.printInt(ok);
+    IO.printChar(' ');
+    IO.printInt(bad);
+    IO.println();
+  }
+}
+)MJ";
+
+void safetsa::appendCorpusPart2(std::vector<CorpusProgram> &Out) {
+  Out.push_back({"BinaryCode", "sun.tools.java.BinaryCode",
+                 BinaryCodeSrc});
+  Out.push_back({"Parser", "sun.tools.java.Parser", ParserSrc});
+  Out.push_back({"Sorter", "sun.tools.javac.SourceMember", SortSrc});
+  Out.push_back({"BatchEnvironment", "sun.tools.javac.BatchEnvironment",
+                 HashMapSrc});
+  Out.push_back({"SourceClass", "sun.tools.javac.SourceClass", ShapesSrc});
+  Out.push_back({"BatchParser", "sun.tools.javac.BatchParser",
+                 QueueGraphSrc});
+  Out.push_back({"Main", "sun.tools.javac.Main", MatrixSrc});
+}

@@ -1,0 +1,52 @@
+//===- driver/Compiler.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+#include "sema/Sema.h"
+#include "ssagen/TSAGen.h"
+
+using namespace safetsa;
+
+MethodSymbol *CompiledProgram::findMain() const {
+  if (!Table)
+    return nullptr;
+  for (const auto &Class : Table->getClasses())
+    for (const auto &M : Class->Methods)
+      if (M->IsStatic && M->Name == "main" && M->ParamTys.empty() &&
+          !M->isNative())
+        return M.get();
+  return nullptr;
+}
+
+std::unique_ptr<CompiledProgram> safetsa::compileMJ(
+    const std::string &BufferName, const std::string &Source, bool EmitTSA) {
+  auto P = std::make_unique<CompiledProgram>();
+  P->SM = SourceManager(BufferName, Source);
+
+  Lexer Lex(P->SM.getText(), P->Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (P->Diags.hasErrors())
+    return P;
+
+  Parser Parse(std::move(Tokens), P->Diags);
+  P->AST = Parse.parseProgram();
+  if (P->Diags.hasErrors())
+    return P;
+
+  P->Table = std::make_unique<ClassTable>(P->Types);
+  Sema S(P->Types, *P->Table, P->Diags);
+  if (!S.run(P->AST))
+    return P;
+
+  if (EmitTSA) {
+    TSAGenerator Gen(P->Types, *P->Table);
+    P->TSA = Gen.generate(P->AST);
+  }
+  return P;
+}

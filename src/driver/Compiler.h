@@ -1,0 +1,54 @@
+//===- driver/Compiler.h - Pipeline facade --------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call front door for the whole producer pipeline: MJ source ->
+/// tokens -> AST -> sema -> SafeTSA. Owns every phase artifact so tests,
+/// benchmarks, and examples keep a single object alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_DRIVER_COMPILER_H
+#define SAFETSA_DRIVER_COMPILER_H
+
+#include "ast/AST.h"
+#include "sema/ClassTable.h"
+#include "support/Diagnostics.h"
+#include "tsa/Method.h"
+
+#include <memory>
+#include <string>
+
+namespace safetsa {
+
+/// All artifacts of compiling one MJ compilation unit.
+class CompiledProgram {
+public:
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  TypeContext Types;
+  std::unique_ptr<ClassTable> Table;
+  Program AST;
+  std::unique_ptr<TSAModule> TSA;
+
+  bool ok() const { return !Diags.hasErrors(); }
+
+  /// Renders collected diagnostics with source excerpts.
+  std::string renderDiagnostics() const { return Diags.render(&SM); }
+
+  /// Finds `static main()` (no parameters); null when absent.
+  MethodSymbol *findMain() const;
+};
+
+/// Runs the front end and, when \p EmitTSA is set and sema succeeded, the
+/// SafeTSA generator. Never throws; check result->ok().
+std::unique_ptr<CompiledProgram> compileMJ(const std::string &BufferName,
+                                           const std::string &Source,
+                                           bool EmitTSA = true);
+
+} // namespace safetsa
+
+#endif // SAFETSA_DRIVER_COMPILER_H

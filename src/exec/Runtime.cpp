@@ -1,0 +1,162 @@
+//===- exec/Runtime.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Runtime.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace safetsa;
+
+std::string Value::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Int:
+    OS << I;
+    break;
+  case Kind::Double: {
+    // Deterministic, round-trippable rendering shared by both back ends.
+    OS.precision(15);
+    OS << D;
+    break;
+  }
+  case Kind::Bool:
+    OS << (I ? "true" : "false");
+    break;
+  case Kind::Char:
+    OS << static_cast<char>(I);
+    break;
+  case Kind::Ref:
+    if (R == 0)
+      OS << "null";
+    else
+      OS << "ref#" << R;
+    break;
+  }
+  return OS.str();
+}
+
+const char *safetsa::runtimeErrorName(RuntimeError E) {
+  switch (E) {
+  case RuntimeError::None:
+    return "none";
+  case RuntimeError::NullPointer:
+    return "NullPointerException";
+  case RuntimeError::IndexOutOfBounds:
+    return "ArrayIndexOutOfBoundsException";
+  case RuntimeError::DivisionByZero:
+    return "ArithmeticException";
+  case RuntimeError::ClassCast:
+    return "ClassCastException";
+  case RuntimeError::NegativeArraySize:
+    return "NegativeArraySizeException";
+  case RuntimeError::StackOverflow:
+    return "StackOverflowError";
+  case RuntimeError::OutOfFuel:
+    return "OutOfFuel";
+  case RuntimeError::Internal:
+    return "InternalError";
+  }
+  return "error";
+}
+
+Value Runtime::zeroValue(const Type *Ty) {
+  if (!Ty)
+    return Value::makeNull();
+  if (Ty->isInt())
+    return Value::makeInt(0);
+  if (Ty->isDouble())
+    return Value::makeDouble(0.0);
+  if (Ty->isBoolean())
+    return Value::makeBool(false);
+  if (Ty->isChar())
+    return Value::makeChar('\0');
+  return Value::makeNull();
+}
+
+uint32_t Runtime::allocObject(const ClassSymbol *Class) {
+  HeapCell Cell;
+  Cell.Class = Class;
+  Cell.Slots.reserve(Class->InstanceLayout.size());
+  for (const FieldSymbol *F : Class->InstanceLayout)
+    Cell.Slots.push_back(zeroValue(F->Ty));
+  Heap.push_back(std::move(Cell));
+  return static_cast<uint32_t>(Heap.size() - 1);
+}
+
+uint32_t Runtime::allocArray(Type *ElemTy, int32_t Length) {
+  assert(Length >= 0 && "caller checks for negative sizes");
+  HeapCell Cell;
+  Cell.ArrayElemTy = ElemTy;
+  Cell.Slots.assign(static_cast<size_t>(Length), zeroValue(ElemTy));
+  Heap.push_back(std::move(Cell));
+  return static_cast<uint32_t>(Heap.size() - 1);
+}
+
+uint32_t Runtime::internString(const std::string &S, Type *CharTy) {
+  for (const auto &[Str, Ref] : StringPool)
+    if (Str == S)
+      return Ref;
+  HeapCell Cell;
+  Cell.ArrayElemTy = CharTy;
+  for (char C : S)
+    Cell.Slots.push_back(Value::makeChar(C));
+  Heap.push_back(std::move(Cell));
+  uint32_t Ref = static_cast<uint32_t>(Heap.size() - 1);
+  StringPool.push_back({S, Ref});
+  return Ref;
+}
+
+Value Runtime::callNative(NativeMethod M, const std::vector<Value> &Args) {
+  switch (M) {
+  case NativeMethod::PrintInt:
+    Output += Args[0].str();
+    return Value();
+  case NativeMethod::PrintDouble:
+    Output += Args[0].str();
+    return Value();
+  case NativeMethod::PrintChar:
+    Output.push_back(static_cast<char>(Args[0].I));
+    return Value();
+  case NativeMethod::PrintBool:
+    Output += Args[0].I ? "true" : "false";
+    return Value();
+  case NativeMethod::PrintStr: {
+    if (Args[0].R == 0) {
+      Output += "null";
+      return Value();
+    }
+    for (const Value &C : cell(Args[0].R).Slots)
+      Output.push_back(static_cast<char>(C.I));
+    return Value();
+  }
+  case NativeMethod::Println:
+    Output.push_back('\n');
+    return Value();
+  case NativeMethod::Sqrt:
+    return Value::makeDouble(std::sqrt(Args[0].D));
+  case NativeMethod::AbsDouble:
+    return Value::makeDouble(std::fabs(Args[0].D));
+  case NativeMethod::AbsInt:
+    return Value::makeInt(Args[0].I < 0 ? -Args[0].I : Args[0].I);
+  case NativeMethod::MinInt:
+    return Value::makeInt(Args[0].I < Args[1].I ? Args[0].I : Args[1].I);
+  case NativeMethod::MaxInt:
+    return Value::makeInt(Args[0].I > Args[1].I ? Args[0].I : Args[1].I);
+  case NativeMethod::MinDouble:
+    return Value::makeDouble(Args[0].D < Args[1].D ? Args[0].D : Args[1].D);
+  case NativeMethod::MaxDouble:
+    return Value::makeDouble(Args[0].D > Args[1].D ? Args[0].D : Args[1].D);
+  case NativeMethod::Pow:
+    return Value::makeDouble(std::pow(Args[0].D, Args[1].D));
+  case NativeMethod::Floor:
+    return Value::makeDouble(std::floor(Args[0].D));
+  case NativeMethod::None:
+    break;
+  }
+  assert(false && "unknown native method");
+  return Value();
+}

@@ -1,0 +1,156 @@
+//===- exec/Runtime.h - Shared MJ runtime ---------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime substrate shared by the SafeTSA evaluator and the baseline
+/// bytecode interpreter: tagged values, a heap of objects and arrays,
+/// static-field storage, native (imported) methods, runtime exceptions,
+/// and an execution-fuel budget so differential/property tests can bound
+/// runaway programs deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_EXEC_RUNTIME_H
+#define SAFETSA_EXEC_RUNTIME_H
+
+#include "sema/ClassTable.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// A tagged runtime value. Ref 0 is the null reference.
+struct Value {
+  enum class Kind : uint8_t { Int, Double, Bool, Char, Ref } K = Kind::Int;
+  int32_t I = 0;
+  double D = 0.0;
+  uint32_t R = 0;
+
+  static Value makeInt(int32_t V) {
+    Value X;
+    X.K = Kind::Int;
+    X.I = V;
+    return X;
+  }
+  static Value makeDouble(double V) {
+    Value X;
+    X.K = Kind::Double;
+    X.D = V;
+    return X;
+  }
+  static Value makeBool(bool V) {
+    Value X;
+    X.K = Kind::Bool;
+    X.I = V;
+    return X;
+  }
+  static Value makeChar(char V) {
+    Value X;
+    X.K = Kind::Char;
+    X.I = static_cast<unsigned char>(V);
+    return X;
+  }
+  static Value makeRef(uint32_t R) {
+    Value X;
+    X.K = Kind::Ref;
+    X.R = R;
+    return X;
+  }
+  static Value makeNull() { return makeRef(0); }
+
+  bool isNull() const { return K == Kind::Ref && R == 0; }
+
+  /// Rendering used by both interpreters for differential comparison.
+  std::string str() const;
+};
+
+/// Why execution stopped abnormally. These model Java's runtime
+/// exceptions; with no try/catch in MJ they unwind to the top.
+enum class RuntimeError : uint8_t {
+  None,
+  NullPointer,
+  IndexOutOfBounds,
+  DivisionByZero,
+  ClassCast,
+  NegativeArraySize,
+  StackOverflow,
+  OutOfFuel,
+  Internal
+};
+
+const char *runtimeErrorName(RuntimeError E);
+
+/// One heap cell: either an object (Class != null) or an array.
+struct HeapCell {
+  const ClassSymbol *Class = nullptr; // Null for arrays.
+  Type *ArrayElemTy = nullptr;        // Arrays only.
+  std::vector<Value> Slots;           // Fields or elements.
+
+  bool isArray() const { return Class == nullptr; }
+};
+
+/// Execution state shared across method activations.
+class Runtime {
+public:
+  explicit Runtime(ClassTable &Table, uint64_t Fuel = 200'000'000)
+      : Table(Table), FuelLeft(Fuel) {
+    Heap.emplace_back(); // Cell 0 is the never-used null slot.
+    Statics.resize(Table.getNumStaticSlots());
+  }
+
+  ClassTable &getTable() { return Table; }
+
+  /// Allocates a zero-initialized instance of \p Class.
+  uint32_t allocObject(const ClassSymbol *Class);
+  /// Allocates an array of \p Length elements of \p ElemTy, zeroed.
+  uint32_t allocArray(Type *ElemTy, int32_t Length);
+  /// Interns a char[] for a string constant (one cell per distinct
+  /// constant per runtime; MJ string literals are immutable by contract).
+  /// \p CharTy is the canonical char type, recorded as the element type so
+  /// dynamic casts treat the cell as a char[].
+  uint32_t internString(const std::string &S, Type *CharTy);
+
+  HeapCell &cell(uint32_t Ref) {
+    assert(Ref != 0 && Ref < Heap.size() && "bad heap reference");
+    return Heap[Ref];
+  }
+
+  Value getStatic(unsigned Slot) const { return Statics[Slot]; }
+  void setStatic(unsigned Slot, Value V) { Statics[Slot] = V; }
+
+  /// Default (zero) value for a type.
+  static Value zeroValue(const Type *Ty);
+
+  /// Executes an imported method; prints go to the captured output.
+  Value callNative(NativeMethod M, const std::vector<Value> &Args);
+
+  /// Burns one unit of fuel; returns false when exhausted.
+  bool burnFuel() { return FuelLeft == 0 ? false : (--FuelLeft, true); }
+
+  const std::string &getOutput() const { return Output; }
+  void clearOutput() { Output.clear(); }
+
+private:
+  ClassTable &Table;
+  std::vector<HeapCell> Heap;
+  std::vector<Value> Statics;
+  std::vector<std::pair<std::string, uint32_t>> StringPool;
+  std::string Output;
+  uint64_t FuelLeft;
+};
+
+/// Result of running a method to completion.
+struct ExecResult {
+  RuntimeError Err = RuntimeError::None;
+  Value Ret;
+  bool ok() const { return Err == RuntimeError::None; }
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_EXEC_RUNTIME_H

@@ -1,0 +1,87 @@
+//===- exec/TSAInterp.h - SafeTSA evaluator -------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A definitional interpreter for SafeTSA modules. It executes the Control
+/// Structure Tree directly, resolving phis by remembering the dynamically
+/// taken predecessor edge. Its purpose is semantic: differential testing
+/// against the bytecode interpreter proves that SafeTSA generation,
+/// optimization, and the encode/decode round trip all preserve program
+/// behaviour. (The paper's JITs were unreleased work-in-progress; all of
+/// its reported results are static, see DESIGN.md §2.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_EXEC_TSAINTERP_H
+#define SAFETSA_EXEC_TSAINTERP_H
+
+#include "exec/Runtime.h"
+#include "tsa/Method.h"
+
+#include <unordered_map>
+
+namespace safetsa {
+
+class TSAInterpreter {
+public:
+  TSAInterpreter(const TSAModule &Module, Runtime &RT)
+      : Module(Module), RT(RT) {}
+
+  /// Applies the module's static-field initializers.
+  void initializeStatics();
+
+  /// Runs \p Method with \p Args (instance methods expect the receiver
+  /// first). Returns the result or the runtime exception that unwound.
+  ExecResult call(const MethodSymbol *Method, std::vector<Value> Args);
+
+  /// Convenience: locates `static main()` and runs it after statics.
+  ExecResult runMain();
+
+private:
+  struct Frame {
+    std::unordered_map<const Instruction *, Value> Vals;
+    const BasicBlock *PrevBlock = nullptr;
+    /// Block whose instruction raised the pending exception (for catch
+    /// phi resolution: the exception edge's source).
+    const BasicBlock *RaiseBlock = nullptr;
+    Value RetVal;
+    bool HasRet = false;
+  };
+
+  enum class Signal : uint8_t { Normal, Return, Break, Continue, Error };
+
+  Signal execSeq(const CSTSeq &Seq, Frame &F);
+  Signal execBlock(const BasicBlock &BB, Frame &F);
+  bool execInst(const Instruction &I, const BasicBlock &BB, Frame &F);
+
+  Value callMethodValue(const MethodSymbol *Callee, std::vector<Value> Args,
+                        bool &Ok);
+
+  Value val(const Instruction *I, Frame &F) const {
+    auto It = F.Vals.find(I);
+    assert(It != F.Vals.end() && "use of unevaluated value");
+    return It->second;
+  }
+
+  bool fail(RuntimeError E) {
+    if (Err == RuntimeError::None)
+      Err = E;
+    return false;
+  }
+
+  const TSAModule &Module;
+  Runtime &RT;
+  RuntimeError Err = RuntimeError::None;
+  unsigned Depth = 0;
+  /// Argument vectors of the active call chain; Param preloads read the
+  /// innermost entry.
+  std::vector<std::vector<Value>> CurArgs;
+  static constexpr unsigned MaxDepth = 400;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_EXEC_TSAINTERP_H

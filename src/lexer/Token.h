@@ -1,0 +1,125 @@
+//===- lexer/Token.h - MJ tokens ------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token record produced by the MJ lexer. MJ is the
+/// Java-subset source language of this reproduction (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_LEXER_TOKEN_H
+#define SAFETSA_LEXER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace safetsa {
+
+enum class TokenKind : uint8_t {
+  // Sentinels.
+  Eof,
+  Unknown,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwStatic,
+  KwFinal,
+  KwVoid,
+  KwInt,
+  KwBoolean,
+  KwDouble,
+  KwChar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwThis,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwInstanceof,
+  KwTry,
+  KwCatch,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+
+  // Operators.
+  Assign,       // =
+  Plus,         // +
+  Minus,        // -
+  Star,         // *
+  Slash,        // /
+  Percent,      // %
+  Not,          // !
+  Tilde,        // ~
+  Less,         // <
+  Greater,      // >
+  LessEqual,    // <=
+  GreaterEqual, // >=
+  EqualEqual,   // ==
+  NotEqual,     // !=
+  AmpAmp,       // &&
+  PipePipe,     // ||
+  Amp,          // &
+  Pipe,         // |
+  Caret,        // ^
+  Shl,          // <<
+  Shr,          // >>
+  PlusPlus,     // ++
+  MinusMinus,   // --
+  PlusAssign,   // +=
+  MinusAssign,  // -=
+  StarAssign,   // *=
+  SlashAssign,  // /=
+  PercentAssign // %=
+};
+
+/// Returns a human-readable spelling for diagnostics ("'{'", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token.
+///
+/// Text holds the raw source spelling (for identifiers and literals);
+/// IntValue/DoubleValue hold the decoded payload of numeric and char
+/// literals, and StringValue the unescaped body of string literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double DoubleValue = 0.0;
+  std::string StringValue;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_LEXER_TOKEN_H

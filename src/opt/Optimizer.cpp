@@ -1,0 +1,738 @@
+//===- opt/Optimizer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace safetsa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Constant materialization
+//===----------------------------------------------------------------------===//
+
+Instruction *findOrCreateConst(TSAMethod &M, const ConstantValue &C,
+                               Type *Ty) {
+  BasicBlock *Entry = M.getEntry();
+  for (auto &I : Entry->Insts)
+    if (I->Op == Opcode::Const && I->OpType == Ty && I->C == C)
+      return I.get();
+  auto I = std::make_unique<Instruction>();
+  I->Op = Opcode::Const;
+  I->C = C;
+  I->OpType = Ty;
+  return Entry->append(std::move(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Constant propagation / folding
+//===----------------------------------------------------------------------===//
+
+bool foldPrim(PrimOp Op, const ConstantValue &A, const ConstantValue *B,
+              ConstantValue &Out) {
+  auto I32 = [](const ConstantValue &V) {
+    return static_cast<int32_t>(V.IntVal);
+  };
+  switch (Op) {
+  case PrimOp::AddI:
+    Out = ConstantValue::makeInt(
+        static_cast<int32_t>(int64_t(I32(A)) + I32(*B)));
+    return true;
+  case PrimOp::SubI:
+    Out = ConstantValue::makeInt(
+        static_cast<int32_t>(int64_t(I32(A)) - I32(*B)));
+    return true;
+  case PrimOp::MulI:
+    Out = ConstantValue::makeInt(
+        static_cast<int32_t>(int64_t(I32(A)) * I32(*B)));
+    return true;
+  case PrimOp::DivI:
+    if (I32(*B) == 0)
+      return false; // Preserve the runtime exception.
+    if (I32(A) == INT32_MIN && I32(*B) == -1) {
+      Out = ConstantValue::makeInt(I32(A));
+      return true;
+    }
+    Out = ConstantValue::makeInt(I32(A) / I32(*B));
+    return true;
+  case PrimOp::RemI:
+    if (I32(*B) == 0)
+      return false;
+    if (I32(A) == INT32_MIN && I32(*B) == -1) {
+      Out = ConstantValue::makeInt(0);
+      return true;
+    }
+    Out = ConstantValue::makeInt(I32(A) % I32(*B));
+    return true;
+  case PrimOp::NegI:
+    Out = ConstantValue::makeInt(static_cast<int32_t>(-int64_t(I32(A))));
+    return true;
+  case PrimOp::AndI:
+    Out = ConstantValue::makeInt(I32(A) & I32(*B));
+    return true;
+  case PrimOp::OrI:
+    Out = ConstantValue::makeInt(I32(A) | I32(*B));
+    return true;
+  case PrimOp::XorI:
+    Out = ConstantValue::makeInt(I32(A) ^ I32(*B));
+    return true;
+  case PrimOp::ShlI:
+    Out = ConstantValue::makeInt(
+        static_cast<int32_t>(int64_t(I32(A)) << (I32(*B) & 31)));
+    return true;
+  case PrimOp::ShrI:
+    Out = ConstantValue::makeInt(I32(A) >> (I32(*B) & 31));
+    return true;
+  case PrimOp::NotI:
+    Out = ConstantValue::makeInt(~I32(A));
+    return true;
+  case PrimOp::CmpLtI:
+    Out = ConstantValue::makeBool(I32(A) < I32(*B));
+    return true;
+  case PrimOp::CmpLeI:
+    Out = ConstantValue::makeBool(I32(A) <= I32(*B));
+    return true;
+  case PrimOp::CmpGtI:
+    Out = ConstantValue::makeBool(I32(A) > I32(*B));
+    return true;
+  case PrimOp::CmpGeI:
+    Out = ConstantValue::makeBool(I32(A) >= I32(*B));
+    return true;
+  case PrimOp::CmpEqI:
+    Out = ConstantValue::makeBool(I32(A) == I32(*B));
+    return true;
+  case PrimOp::CmpNeI:
+    Out = ConstantValue::makeBool(I32(A) != I32(*B));
+    return true;
+  case PrimOp::IntToDouble:
+    Out = ConstantValue::makeDouble(static_cast<double>(I32(A)));
+    return true;
+  case PrimOp::IntToChar:
+    Out = ConstantValue::makeChar(static_cast<char>(I32(A) & 0xff));
+    return true;
+  case PrimOp::AddD:
+    Out = ConstantValue::makeDouble(A.DblVal + B->DblVal);
+    return true;
+  case PrimOp::SubD:
+    Out = ConstantValue::makeDouble(A.DblVal - B->DblVal);
+    return true;
+  case PrimOp::MulD:
+    Out = ConstantValue::makeDouble(A.DblVal * B->DblVal);
+    return true;
+  case PrimOp::DivD:
+    Out = ConstantValue::makeDouble(A.DblVal / B->DblVal);
+    return true;
+  case PrimOp::NegD:
+    Out = ConstantValue::makeDouble(-A.DblVal);
+    return true;
+  case PrimOp::CmpLtD:
+    Out = ConstantValue::makeBool(A.DblVal < B->DblVal);
+    return true;
+  case PrimOp::CmpLeD:
+    Out = ConstantValue::makeBool(A.DblVal <= B->DblVal);
+    return true;
+  case PrimOp::CmpGtD:
+    Out = ConstantValue::makeBool(A.DblVal > B->DblVal);
+    return true;
+  case PrimOp::CmpGeD:
+    Out = ConstantValue::makeBool(A.DblVal >= B->DblVal);
+    return true;
+  case PrimOp::CmpEqD:
+    Out = ConstantValue::makeBool(A.DblVal == B->DblVal);
+    return true;
+  case PrimOp::CmpNeD:
+    Out = ConstantValue::makeBool(A.DblVal != B->DblVal);
+    return true;
+  case PrimOp::DoubleToInt: {
+    double D = A.DblVal;
+    int32_t R;
+    if (D != D)
+      R = 0;
+    else if (D >= 2147483647.0)
+      R = INT32_MAX;
+    else if (D <= -2147483648.0)
+      R = INT32_MIN;
+    else
+      R = static_cast<int32_t>(D);
+    Out = ConstantValue::makeInt(R);
+    return true;
+  }
+  case PrimOp::CharToInt:
+    Out = ConstantValue::makeInt(I32(A));
+    return true;
+  case PrimOp::NotB:
+    Out = ConstantValue::makeBool(A.IntVal == 0);
+    return true;
+  case PrimOp::CmpEqB:
+    Out = ConstantValue::makeBool((A.IntVal != 0) == (B->IntVal != 0));
+    return true;
+  case PrimOp::CmpNeB:
+    Out = ConstantValue::makeBool((A.IntVal != 0) != (B->IntVal != 0));
+    return true;
+  default:
+    return false; // Reference operations are not folded.
+  }
+}
+
+/// Blocks inside a try body: removing a raising instruction there would
+/// delete its exception edge and desynchronize the handler's phis, so the
+/// passes leave such instructions in place (their *uses* may still be
+/// replaced). Handlers and code outside try regions are unrestricted.
+std::unordered_set<const BasicBlock *> collectTryBodyBlocks(
+    const TSAMethod &M) {
+  std::unordered_set<const BasicBlock *> Out;
+  std::function<void(const CSTSeq &, bool)> Walk = [&](const CSTSeq &Seq,
+                                                       bool InTry) {
+    for (const auto &Node : Seq) {
+      switch (Node->K) {
+      case CSTNode::Kind::Basic:
+        if (InTry)
+          Out.insert(Node->BB);
+        break;
+      case CSTNode::Kind::Try:
+        Walk(Node->Then, true);
+        Walk(Node->Else, InTry);
+        break;
+      default:
+        Walk(Node->Then, InTry);
+        Walk(Node->Else, InTry);
+        Walk(Node->Header, InTry);
+        Walk(Node->Body, InTry);
+        break;
+      }
+    }
+  };
+  Walk(M.Root, false);
+  return Out;
+}
+
+unsigned runConstantPropagation(TSAMethod &M, PlaneContext &Ctx) {
+  unsigned Folded = 0;
+  bool Changed = true;
+  std::unordered_set<Instruction *> Dead;
+  std::unordered_set<const BasicBlock *> TryBlocks =
+      collectTryBodyBlocks(M);
+  while (Changed) {
+    Changed = false;
+    for (auto &BB : M.Blocks) {
+      for (auto &IPtr : BB->Insts) {
+        Instruction *I = IPtr.get();
+        if (Dead.count(I))
+          continue;
+        if (I->Op != Opcode::Primitive && I->Op != Opcode::XPrimitive)
+          continue;
+        if (I->mayRaise() && TryBlocks.count(BB.get()))
+          continue; // Keep the exception edge intact.
+        bool AllConst = true;
+        for (Instruction *Op : I->Operands)
+          if (Op->Op != Opcode::Const)
+            AllConst = false;
+        if (!AllConst || I->Operands.empty())
+          continue;
+        ConstantValue Out;
+        const ConstantValue *B =
+            I->Operands.size() > 1 ? &I->Operands[1]->C : nullptr;
+        if (!foldPrim(I->Prim, I->Operands[0]->C, B, Out))
+          continue;
+        Type *ResTy = primOpResultType(I->Prim, Ctx);
+        Instruction *C = findOrCreateConst(M, Out, ResTy);
+        M.replaceAllUsesWith(I, C);
+        Dead.insert(I);
+        ++Folded;
+        Changed = true;
+      }
+    }
+  }
+  if (!Dead.empty())
+    M.eraseIf([&](const Instruction &I) { return Dead.count(
+        const_cast<Instruction *>(&I)) != 0; });
+  return Folded;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-state analysis (the paper's Mem variable)
+//===----------------------------------------------------------------------===//
+
+/// Assigns each load a memory-state id such that two loads with equal
+/// (key, id) observe the same memory. Joins and unprocessed predecessors
+/// (loop back edges) conservatively start a fresh state, mirroring the
+/// paper's "if the current value of Mem is different on two incoming
+/// edges … a phi node must be inserted" without materializing Mem phis.
+class MemAnalysis {
+public:
+  MemAnalysis(const TSAMethod &M, bool FieldSensitive) {
+    run(M, FieldSensitive);
+  }
+
+  /// State id a load instruction executes under.
+  uint64_t loadState(const Instruction *I) const {
+    auto It = LoadStates.find(I);
+    assert(It != LoadStates.end() && "not a load");
+    return It->second;
+  }
+
+private:
+  // Keys partitioning memory when field-sensitive: a FieldSymbol, or this
+  // marker for "all array elements".
+  static const void *arraysKey() {
+    static const char Marker = 0;
+    return &Marker;
+  }
+
+  struct State {
+    uint64_t Epoch = 0;
+    std::map<const void *, uint64_t> Versions;
+
+    bool operator==(const State &O) const {
+      return Epoch == O.Epoch && Versions == O.Versions;
+    }
+    uint64_t idFor(const void *Key) const {
+      auto It = Versions.find(Key);
+      uint64_t V = It == Versions.end() ? 0 : It->second;
+      return (Epoch << 20) | V;
+    }
+  };
+
+  void run(const TSAMethod &M, bool FieldSensitive) {
+    uint64_t NextEpoch = 1;
+    std::unordered_map<const BasicBlock *, State> Out;
+    std::unordered_set<const BasicBlock *> Done;
+
+    for (const auto &BB : M.Blocks) {
+      State S;
+      bool AllSame = !BB->Preds.empty();
+      for (size_t K = 0; K < BB->Preds.size(); ++K) {
+        if (!Done.count(BB->Preds[K])) {
+          AllSame = false;
+          break;
+        }
+        if (K == 0)
+          S = Out[BB->Preds[K]];
+        else if (!(Out[BB->Preds[K]] == S))
+          AllSame = false;
+      }
+      if (!AllSame) {
+        S = State();
+        S.Epoch = NextEpoch++;
+      }
+
+      for (const auto &I : BB->Insts) {
+        switch (I->Op) {
+        case Opcode::GetField:
+        case Opcode::GetStatic:
+          LoadStates[I.get()] =
+              S.idFor(FieldSensitive ? static_cast<const void *>(I->Field)
+                                     : nullptr);
+          break;
+        case Opcode::GetElt:
+          LoadStates[I.get()] =
+              S.idFor(FieldSensitive ? arraysKey() : nullptr);
+          break;
+        case Opcode::SetField:
+        case Opcode::SetStatic:
+          if (FieldSensitive)
+            ++S.Versions[I->Field];
+          else
+            ++S.Versions[nullptr];
+          break;
+        case Opcode::SetElt:
+          if (FieldSensitive)
+            ++S.Versions[arraysKey()];
+          else
+            ++S.Versions[nullptr];
+          break;
+        case Opcode::Call:
+        case Opcode::Dispatch:
+          // No interprocedural information: calls clobber all memory
+          // ("each function call return[s] an updated value of Mem").
+          S.Epoch = NextEpoch++;
+          S.Versions.clear();
+          break;
+        default:
+          break;
+        }
+      }
+      Out[BB.get()] = S;
+      Done.insert(BB.get());
+    }
+  }
+
+  std::unordered_map<const Instruction *, uint64_t> LoadStates;
+};
+
+//===----------------------------------------------------------------------===//
+// Dominator-scoped CSE
+//===----------------------------------------------------------------------===//
+
+struct CSEKey {
+  uint8_t Op = 0;
+  uint8_t Prim = 0;
+  uint8_t Flags = 0;
+  const void *Sym = nullptr; // Type / field / nothing.
+  const Instruction *A = nullptr;
+  const Instruction *B = nullptr;
+  uint64_t Mem = 0;
+
+  auto tie() const { return std::tie(Op, Prim, Flags, Sym, A, B, Mem); }
+  friend bool operator<(const CSEKey &X, const CSEKey &Y) {
+    return X.tie() < Y.tie();
+  }
+};
+
+class CSEPass {
+public:
+  CSEPass(TSAMethod &M, PlaneContext &Ctx, bool FieldSensitive,
+          OptStats &Stats)
+      : M(M), Ctx(Ctx), Mem(M, FieldSensitive), Stats(Stats) {}
+
+  void run() {
+    if (M.Blocks.empty())
+      return;
+    TryBlocks = collectTryBodyBlocks(M);
+    // Dominator-tree children.
+    Children.assign(M.Blocks.size(), {});
+    for (const auto &BB : M.Blocks)
+      if (BB->IDom)
+        Children[BB->IDom->Id].push_back(BB.get());
+    dfs(M.getEntry());
+    if (!Dead.empty())
+      M.eraseIf([&](const Instruction &I) {
+        return Dead.count(&I) != 0;
+      });
+  }
+
+private:
+  /// Builds the value-number key for \p I; returns false for instructions
+  /// that must not be unified (stores, calls, allocations, phis, preloads
+  /// — the constant pool already unifies Consts).
+  bool keyFor(const Instruction &I, CSEKey &Key) {
+    Key.Op = static_cast<uint8_t>(I.Op);
+    switch (I.Op) {
+    case Opcode::Primitive:
+    case Opcode::XPrimitive:
+      // Integer divide / remainder raise on identical operands
+      // identically, so unifying them is sound.
+      Key.Prim = static_cast<uint8_t>(I.Prim);
+      Key.Sym = I.AuxType; // InstanceOf target.
+      Key.A = I.Operands[0];
+      Key.B = I.Operands.size() > 1 ? I.Operands[1] : nullptr;
+      return true;
+    case Opcode::NullCheck:
+      // Null-ness of an SSA value never changes: a dominating check
+      // certifies all later uses (Figure 6's null-check column).
+      Key.Sym = I.OpType;
+      Key.A = I.Operands[0];
+      return true;
+    case Opcode::IndexCheck:
+      // Arrays cannot be resized, so (array value, index value) is enough
+      // (Appendix A; Figure 6's array-check column).
+      Key.Sym = I.OpType;
+      Key.A = I.Operands[0];
+      Key.B = I.Operands[1];
+      return true;
+    case Opcode::Upcast:
+    case Opcode::Downcast:
+      Key.Sym = I.OpType;
+      Key.Flags = static_cast<uint8_t>((I.SrcSafe ? 1 : 0) |
+                                       (I.DstSafe ? 2 : 0));
+      Key.A = I.Operands[0];
+      Key.B = reinterpret_cast<const Instruction *>(I.AuxType);
+      return true;
+    case Opcode::ArrayLength:
+      // Array lengths are immutable; no Mem component needed.
+      Key.A = I.Operands[0];
+      return true;
+    case Opcode::GetField:
+      Key.Sym = I.Field;
+      Key.A = I.Operands[0];
+      Key.Mem = Mem.loadState(&I);
+      return true;
+    case Opcode::GetStatic:
+      Key.Sym = I.Field;
+      Key.Mem = Mem.loadState(&I);
+      return true;
+    case Opcode::GetElt:
+      Key.A = I.Operands[0];
+      Key.B = I.Operands[1];
+      Key.Mem = Mem.loadState(&I);
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  void dfs(BasicBlock *BB) {
+    std::vector<CSEKey> Inserted;
+    for (auto &IPtr : BB->Insts) {
+      Instruction *I = IPtr.get();
+      if (Dead.count(I))
+        continue;
+      // Raising instructions inside try bodies anchor exception edges and
+      // stay; they may still *provide* a value for later instructions.
+      bool PinnedRaiser = I->mayRaise() && TryBlocks.count(BB);
+      CSEKey Key;
+      if (!keyFor(*I, Key))
+        continue;
+      auto It = Available.find(Key);
+      if (PinnedRaiser) {
+        if (It == Available.end()) {
+          Available.emplace(Key, I);
+          Inserted.push_back(Key);
+        }
+        continue;
+      }
+      if (It != Available.end()) {
+        M.replaceAllUsesWith(I, It->second);
+        Dead.insert(I);
+        ++Stats.CSERemoved;
+        if (I->Op == Opcode::NullCheck)
+          ++Stats.CSERemovedNullChecks;
+        if (I->Op == Opcode::IndexCheck)
+          ++Stats.CSERemovedIndexChecks;
+        continue;
+      }
+      Available.emplace(Key, I);
+      Inserted.push_back(Key);
+    }
+    for (BasicBlock *Child : Children[BB->Id])
+      dfs(Child);
+    for (const CSEKey &Key : Inserted)
+      Available.erase(Key);
+  }
+
+  TSAMethod &M;
+  PlaneContext &Ctx;
+  MemAnalysis Mem;
+  OptStats &Stats;
+  std::vector<std::vector<BasicBlock *>> Children;
+  std::map<CSEKey, Instruction *> Available;
+  std::unordered_set<const Instruction *> Dead;
+  std::unordered_set<const BasicBlock *> TryBlocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Check transport across phi-joins (paper §4)
+//===----------------------------------------------------------------------===//
+
+/// For a reference phi whose every incoming value carries an available
+/// nullcheck certificate, materializes a phi ON THE SAFE-REF PLANE of the
+/// certificates and replaces dominated rechecks of the merged value. This
+/// is the mechanism the paper §4 highlights: "it enables the transport of
+/// null-checked and index-checked values across phi-joins" — check
+/// removal that plain dominance-scoped CSE cannot see. Loop-carried
+/// certificates work too: when a phi operand is the phi itself, the safe
+/// phi references itself along the back edge.
+unsigned runCheckTransport(TSAMethod &M, PlaneContext &Ctx,
+                           OptStats &Stats) {
+  std::unordered_set<const BasicBlock *> TryBlocks =
+      collectTryBodyBlocks(M);
+
+  // All nullchecks, by checked value.
+  std::unordered_map<const Instruction *, std::vector<Instruction *>>
+      ChecksOf;
+  M.forEachInstruction([&](const Instruction &I) {
+    if (I.Op == Opcode::NullCheck)
+      ChecksOf[I.Operands[0]].push_back(const_cast<Instruction *>(&I));
+  });
+
+  unsigned Removed = 0;
+  for (auto &BB : M.Blocks) {
+    for (size_t PI = 0; PI != BB->Insts.size(); ++PI) {
+      Instruction *P = BB->Insts[PI].get();
+      if (!P->isPhi() || P->DstSafe || !P->OpType ||
+          !(P->OpType->isClass() || P->OpType->isArray()))
+        continue;
+
+      // Rechecks of the merged value that the safe phi would replace
+      // (skipping pinned in-try checks, whose edges must stay).
+      std::vector<Instruction *> Rechecks;
+      for (Instruction *D : ChecksOf[P])
+        if (D->OpType == P->OpType &&
+            BasicBlock::dominates(BB.get(), D->Parent) &&
+            !TryBlocks.count(D->Parent))
+          Rechecks.push_back(D);
+      if (Rechecks.empty())
+        continue;
+
+      // A certificate for each incoming value, available at the end of
+      // the corresponding predecessor.
+      std::vector<Instruction *> Certs(P->Operands.size(), nullptr);
+      bool AllCovered = true;
+      for (size_t K = 0; K != P->Operands.size() && AllCovered; ++K) {
+        Instruction *V = P->Operands[K];
+        if (V == P)
+          continue; // Back edge: the safe phi certifies itself.
+        BasicBlock *Pred = BB->Preds[K];
+        for (Instruction *C : ChecksOf[V])
+          if (C->OpType == P->OpType &&
+              BasicBlock::dominates(C->Parent, Pred)) {
+            Certs[K] = C;
+            break;
+          }
+        if (!Certs[K])
+          AllCovered = false;
+      }
+      if (!AllCovered)
+        continue;
+
+      auto Safe = std::make_unique<Instruction>();
+      Safe->Op = Opcode::Phi;
+      Safe->OpType = P->OpType;
+      Safe->DstSafe = true;
+      Instruction *SafeRaw = Safe.get();
+      for (size_t K = 0; K != P->Operands.size(); ++K)
+        Safe->Operands.push_back(P->Operands[K] == P ? SafeRaw : Certs[K]);
+      Safe->Parent = BB.get();
+      // Insert right after P so the phi prefix stays contiguous.
+      BB->Insts.insert(BB->Insts.begin() + PI + 1, std::move(Safe));
+
+      for (Instruction *D : Rechecks) {
+        M.replaceAllUsesWith(D, SafeRaw);
+        ++Removed;
+      }
+      std::unordered_set<const Instruction *> DeadSet(Rechecks.begin(),
+                                                      Rechecks.end());
+      M.eraseIf(
+          [&](const Instruction &I) { return DeadSet.count(&I) != 0; });
+      // Retired checks must also disappear from the certificate index.
+      for (auto &[Val, List] : ChecksOf)
+        std::erase_if(List, [&](Instruction *I) {
+          return DeadSet.count(I) != 0;
+        });
+    }
+  }
+  Stats.TransportedChecks += Removed;
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// DCE (liveness-based, Briggs-style phi pruning)
+//===----------------------------------------------------------------------===//
+
+void runDCE(TSAMethod &M, OptStats &Stats) {
+  // Phase 1: collapse trivial phis (all operands the same value, possibly
+  // including the phi itself) to fixpoint.
+  bool Changed = true;
+  std::unordered_set<const Instruction *> Dead;
+  while (Changed) {
+    Changed = false;
+    for (auto &BB : M.Blocks) {
+      for (auto &IPtr : BB->Insts) {
+        Instruction *I = IPtr.get();
+        if (!I->isPhi() || Dead.count(I))
+          continue;
+        Instruction *Unique = nullptr;
+        bool Trivial = true;
+        for (Instruction *Op : I->Operands) {
+          if (Op == I)
+            continue;
+          if (Unique && Op != Unique) {
+            Trivial = false;
+            break;
+          }
+          Unique = Op;
+        }
+        if (!Trivial || !Unique)
+          continue;
+        M.replaceAllUsesWith(I, Unique);
+        Dead.insert(I);
+        ++Stats.DCERemoved;
+        ++Stats.DCERemovedPhis;
+        Changed = true;
+      }
+    }
+  }
+
+  // Phase 2: mark from roots (side effects, potential exceptions, CST
+  // references), then sweep everything unmarked — this removes the
+  // superfluous phis the single-pass construction inserts (paper §7:
+  // "dead code elimination … leading to a reduction of 31% on average in
+  // the number of phi instructions") plus unused pure values.
+  std::unordered_set<const Instruction *> Live;
+  std::vector<const Instruction *> Worklist;
+  auto MarkRoot = [&](const Instruction *I) {
+    if (I && !Dead.count(I) && Live.insert(I).second)
+      Worklist.push_back(I);
+  };
+
+  M.forEachInstruction([&](const Instruction &I) {
+    if (Dead.count(&I))
+      return;
+    if (I.hasSideEffects() || I.mayRaise())
+      MarkRoot(&I);
+  });
+  std::function<void(const CSTSeq &)> MarkCST = [&](const CSTSeq &Seq) {
+    for (const auto &Node : Seq) {
+      MarkRoot(Node->Cond);
+      MarkRoot(Node->RetVal);
+      MarkCST(Node->Then);
+      MarkCST(Node->Else);
+      MarkCST(Node->Header);
+      MarkCST(Node->Body);
+    }
+  };
+  MarkCST(M.Root);
+
+  while (!Worklist.empty()) {
+    const Instruction *I = Worklist.back();
+    Worklist.pop_back();
+    for (const Instruction *Op : I->Operands)
+      MarkRoot(Op);
+  }
+
+  M.forEachInstruction([&](const Instruction &I) {
+    if (Dead.count(&I) || Live.count(&I))
+      return;
+    ++Stats.DCERemoved;
+    if (I.isPhi())
+      ++Stats.DCERemovedPhis;
+    Dead.insert(&I);
+  });
+
+  if (!Dead.empty())
+    M.eraseIf([&](const Instruction &I) { return Dead.count(&I) != 0; });
+}
+
+} // namespace
+
+OptStats safetsa::optimizeMethod(TSAMethod &M, PlaneContext &Ctx,
+                                 const OptOptions &Options) {
+  OptStats Stats;
+  // CSE and the fold/DCE bookkeeping rely on fresh dominator info.
+  M.deriveCFG();
+  if (Options.ConstantPropagation)
+    Stats.FoldedConstants += runConstantPropagation(M, Ctx);
+  if (Options.DCE) {
+    // Collapse the construction's superfluous phis first: values hidden
+    // behind trivial phis would otherwise defeat CSE's value matching.
+    runDCE(M, Stats);
+  }
+  if (Options.CSE) {
+    CSEPass Pass(M, Ctx, Options.FieldSensitiveMem, Stats);
+    Pass.run();
+  }
+  if (Options.CheckTransport)
+    runCheckTransport(M, Ctx, Stats);
+  if (Options.DCE)
+    runDCE(M, Stats);
+  M.deriveCFG();
+  M.finalize(Ctx);
+  return Stats;
+}
+
+OptStats safetsa::optimizeModule(TSAModule &Module,
+                                 const OptOptions &Options) {
+  OptStats Stats;
+  PlaneContext Ctx{*Module.Types, *Module.Table};
+  for (auto &M : Module.Methods)
+    Stats += optimizeMethod(*M, Ctx, Options);
+  return Stats;
+}

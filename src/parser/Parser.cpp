@@ -1,0 +1,774 @@
+//===- parser/Parser.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include <sstream>
+
+using namespace safetsa;
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  std::ostringstream OS;
+  OS << "expected " << tokenKindName(K) << ' ' << Context << ", found "
+     << tokenKindName(current().Kind);
+  Diags.error(current().Loc, OS.str());
+  return false;
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::LBrace))
+      return;
+    consume();
+  }
+}
+
+void Parser::syncToMemberBoundary() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::LBrace)) {
+      ++Depth;
+      consume();
+      continue;
+    }
+    if (check(TokenKind::RBrace)) {
+      if (Depth == 0)
+        return;
+      --Depth;
+      consume();
+      continue;
+    }
+    if (Depth == 0 && accept(TokenKind::Semi))
+      return;
+    consume();
+  }
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwClass)) {
+      if (auto C = parseClass())
+        P.Classes.push_back(std::move(C));
+      continue;
+    }
+    Diags.error(current().Loc, "expected 'class' at top level");
+    consume();
+  }
+  return P;
+}
+
+std::unique_ptr<ClassDecl> Parser::parseClass() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KwClass, "to begin class declaration");
+  auto Class = std::make_unique<ClassDecl>();
+  Class->Loc = Loc;
+  if (check(TokenKind::Identifier))
+    Class->Name = consume().Text;
+  else
+    expect(TokenKind::Identifier, "as class name");
+  if (accept(TokenKind::KwExtends)) {
+    if (check(TokenKind::Identifier))
+      Class->SuperName = consume().Text;
+    else
+      expect(TokenKind::Identifier, "as superclass name");
+  }
+  expect(TokenKind::LBrace, "to begin class body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof))
+    parseMember(*Class);
+  expect(TokenKind::RBrace, "to end class body");
+  return Class;
+}
+
+TypeRef Parser::parseType() {
+  SourceLoc Loc = current().Loc;
+  TypeRef T;
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+    consume();
+    T = TypeRef::makePrim(PrimTypeKind::Int, Loc);
+    break;
+  case TokenKind::KwBoolean:
+    consume();
+    T = TypeRef::makePrim(PrimTypeKind::Boolean, Loc);
+    break;
+  case TokenKind::KwDouble:
+    consume();
+    T = TypeRef::makePrim(PrimTypeKind::Double, Loc);
+    break;
+  case TokenKind::KwChar:
+    consume();
+    T = TypeRef::makePrim(PrimTypeKind::Char, Loc);
+    break;
+  case TokenKind::KwVoid:
+    consume();
+    T = TypeRef::makeVoid(Loc);
+    break;
+  case TokenKind::Identifier:
+    T = TypeRef::makeNamed(consume().Text, Loc);
+    break;
+  default:
+    Diags.error(Loc, std::string("expected type, found ") +
+                         tokenKindName(current().Kind));
+    T = TypeRef::makePrim(PrimTypeKind::Int, Loc);
+    break;
+  }
+  while (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+    consume();
+    consume();
+    ++T.ArrayDims;
+  }
+  return T;
+}
+
+std::vector<ParamDecl> Parser::parseParams() {
+  std::vector<ParamDecl> Params;
+  expect(TokenKind::LParen, "to begin parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.Loc = current().Loc;
+      P.DeclType = parseType();
+      if (check(TokenKind::Identifier))
+        P.Name = consume().Text;
+      else
+        expect(TokenKind::Identifier, "as parameter name");
+      Params.push_back(std::move(P));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to end parameter list");
+  return Params;
+}
+
+void Parser::parseMember(ClassDecl &Class) {
+  SourceLoc Loc = current().Loc;
+  bool IsStatic = false, IsFinal = false;
+  while (true) {
+    if (accept(TokenKind::KwStatic)) {
+      IsStatic = true;
+      continue;
+    }
+    if (accept(TokenKind::KwFinal)) {
+      IsFinal = true;
+      continue;
+    }
+    break;
+  }
+
+  // Constructor: ClassName '(' ... (no declared type).
+  if (check(TokenKind::Identifier) && current().Text == Class.Name &&
+      peek(1).is(TokenKind::LParen)) {
+    auto M = std::make_unique<MethodDecl>();
+    M->Loc = Loc;
+    M->IsConstructor = true;
+    M->IsStatic = false;
+    M->Name = consume().Text;
+    M->ReturnType = TypeRef::makeVoid(Loc);
+    M->Params = parseParams();
+    if (check(TokenKind::LBrace))
+      M->Body = parseBlock();
+    else {
+      expect(TokenKind::LBrace, "to begin constructor body");
+      syncToMemberBoundary();
+      M->Body = std::make_unique<BlockStmt>(std::vector<StmtPtr>(), Loc);
+    }
+    if (IsStatic)
+      Diags.error(Loc, "constructor cannot be static");
+    Class.Methods.push_back(std::move(M));
+    return;
+  }
+
+  TypeRef DeclType = parseType();
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier, "as member name");
+    syncToMemberBoundary();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  if (check(TokenKind::LParen)) {
+    auto M = std::make_unique<MethodDecl>();
+    M->Loc = Loc;
+    M->IsStatic = IsStatic;
+    M->ReturnType = std::move(DeclType);
+    M->Name = std::move(Name);
+    M->Params = parseParams();
+    if (check(TokenKind::LBrace))
+      M->Body = parseBlock();
+    else {
+      expect(TokenKind::LBrace, "to begin method body");
+      syncToMemberBoundary();
+      M->Body = std::make_unique<BlockStmt>(std::vector<StmtPtr>(), Loc);
+    }
+    Class.Methods.push_back(std::move(M));
+    return;
+  }
+
+  // Field declaration (single declarator).
+  FieldDecl F;
+  F.Loc = Loc;
+  F.IsStatic = IsStatic;
+  F.IsFinal = IsFinal;
+  F.DeclType = std::move(DeclType);
+  F.Name = std::move(Name);
+  if (F.DeclType.isVoid())
+    Diags.error(Loc, "field cannot have type 'void'");
+  if (accept(TokenKind::Assign))
+    F.Init = parseExpr();
+  expect(TokenKind::Semi, "after field declaration");
+  Class.Fields.push_back(std::move(F));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof))
+    Stmts.push_back(parseStmt());
+  expect(TokenKind::RBrace, "to end block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseVarDeclRest(TypeRef DeclType, SourceLoc Loc) {
+  std::string Name;
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else
+    expect(TokenKind::Identifier, "as variable name");
+  ExprPtr Init;
+  if (accept(TokenKind::Assign))
+    Init = parseExpr();
+  expect(TokenKind::Semi, "after variable declaration");
+  return std::make_unique<VarDeclStmt>(std::move(DeclType), std::move(Name),
+                                       std::move(Init), Loc);
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::Semi:
+    consume();
+    return std::make_unique<EmptyStmt>(Loc);
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn: {
+    consume();
+    ExprPtr Value;
+    if (!check(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return statement");
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwTry: {
+    consume();
+    StmtPtr Body;
+    if (check(TokenKind::LBrace))
+      Body = parseBlock();
+    else {
+      expect(TokenKind::LBrace, "after 'try'");
+      Body = std::make_unique<EmptyStmt>(Loc);
+    }
+    expect(TokenKind::KwCatch, "after try block");
+    StmtPtr Handler;
+    if (check(TokenKind::LBrace))
+      Handler = parseBlock();
+    else {
+      expect(TokenKind::LBrace, "after 'catch'");
+      Handler = std::make_unique<EmptyStmt>(Loc);
+    }
+    return std::make_unique<TryStmt>(std::move(Body), std::move(Handler),
+                                     Loc);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  case TokenKind::KwInt:
+  case TokenKind::KwBoolean:
+  case TokenKind::KwDouble:
+  case TokenKind::KwChar:
+    return parseVarDeclRest(parseType(), Loc);
+  case TokenKind::Identifier:
+    // `Foo x` / `Foo[] x` are declarations; anything else is an expression.
+    if (peek(1).is(TokenKind::Identifier) ||
+        (peek(1).is(TokenKind::LBracket) && peek(2).is(TokenKind::RBracket)))
+      return parseVarDeclRest(parseType(), Loc);
+    break;
+  default:
+    break;
+  }
+
+  ExprPtr E = parseExpr();
+  if (!expect(TokenKind::Semi, "after expression statement"))
+    syncToStmtBoundary();
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseDoWhile() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'do'
+  StmtPtr Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while statement");
+  return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = current().Loc;
+  consume(); // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  StmtPtr Init;
+  if (!accept(TokenKind::Semi)) {
+    SourceLoc InitLoc = current().Loc;
+    bool IsDecl = false;
+    switch (current().Kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwBoolean:
+    case TokenKind::KwDouble:
+    case TokenKind::KwChar:
+      IsDecl = true;
+      break;
+    case TokenKind::Identifier:
+      IsDecl = peek(1).is(TokenKind::Identifier) ||
+               (peek(1).is(TokenKind::LBracket) &&
+                peek(2).is(TokenKind::RBracket));
+      break;
+    default:
+      break;
+    }
+    if (IsDecl) {
+      Init = parseVarDeclRest(parseType(), InitLoc); // Consumes the ';'.
+    } else {
+      ExprPtr E = parseExpr();
+      expect(TokenKind::Semi, "after for-loop initializer");
+      Init = std::make_unique<ExprStmt>(std::move(E), InitLoc);
+    }
+  }
+
+  ExprPtr Cond;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after for-loop condition");
+
+  ExprPtr Update;
+  if (!check(TokenKind::RParen))
+    Update = parseExpr();
+  expect(TokenKind::RParen, "after for-loop update");
+
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Update), std::move(Body), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+static bool isAssignTarget(const Expr &E) {
+  return E.Kind == ExprKind::Name || E.Kind == ExprKind::FieldAccess ||
+         E.Kind == ExprKind::Index;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseBinary(0);
+  AssignExpr::OpKind Op;
+  switch (current().Kind) {
+  case TokenKind::Assign:
+    Op = AssignExpr::OpKind::None;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignExpr::OpKind::Add;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignExpr::OpKind::Sub;
+    break;
+  case TokenKind::StarAssign:
+    Op = AssignExpr::OpKind::Mul;
+    break;
+  case TokenKind::SlashAssign:
+    Op = AssignExpr::OpKind::Div;
+    break;
+  case TokenKind::PercentAssign:
+    Op = AssignExpr::OpKind::Rem;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = consume().Loc;
+  if (!isAssignTarget(*Lhs))
+    Diags.error(Loc, "left-hand side of assignment is not assignable");
+  ExprPtr Rhs = parseAssignment(); // Right-associative.
+  return std::make_unique<AssignExpr>(Op, std::move(Lhs), std::move(Rhs), Loc);
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+/// Returns the binary operator for \p Kind, or precedence -1 when the token
+/// is not a binary operator. instanceof is handled separately.
+static BinOpInfo binOpInfo(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    return {BinaryOp::LOr, 1};
+  case TokenKind::AmpAmp:
+    return {BinaryOp::LAnd, 2};
+  case TokenKind::Pipe:
+    return {BinaryOp::BitOr, 3};
+  case TokenKind::Caret:
+    return {BinaryOp::BitXor, 4};
+  case TokenKind::Amp:
+    return {BinaryOp::BitAnd, 5};
+  case TokenKind::EqualEqual:
+    return {BinaryOp::Eq, 6};
+  case TokenKind::NotEqual:
+    return {BinaryOp::Ne, 6};
+  case TokenKind::Less:
+    return {BinaryOp::Lt, 7};
+  case TokenKind::Greater:
+    return {BinaryOp::Gt, 7};
+  case TokenKind::LessEqual:
+    return {BinaryOp::Le, 7};
+  case TokenKind::GreaterEqual:
+    return {BinaryOp::Ge, 7};
+  case TokenKind::Shl:
+    return {BinaryOp::Shl, 8};
+  case TokenKind::Shr:
+    return {BinaryOp::Shr, 8};
+  case TokenKind::Plus:
+    return {BinaryOp::Add, 9};
+  case TokenKind::Minus:
+    return {BinaryOp::Sub, 9};
+  case TokenKind::Star:
+    return {BinaryOp::Mul, 10};
+  case TokenKind::Slash:
+    return {BinaryOp::Div, 10};
+  case TokenKind::Percent:
+    return {BinaryOp::Rem, 10};
+  default:
+    return {BinaryOp::Add, -1};
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  while (true) {
+    // instanceof sits at relational precedence, like Java.
+    if (check(TokenKind::KwInstanceof) && 7 >= MinPrec) {
+      SourceLoc Loc = consume().Loc;
+      TypeRef Target = parseType();
+      Lhs = std::make_unique<InstanceofExpr>(std::move(Lhs),
+                                             std::move(Target), Loc);
+      continue;
+    }
+    BinOpInfo Info = binOpInfo(current().Kind);
+    if (Info.Prec < 0 || Info.Prec < MinPrec)
+      return Lhs;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseBinary(Info.Prec + 1); // Left-associative.
+    Lhs = std::make_unique<BinaryExpr>(Info.Op, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+}
+
+bool Parser::startsUnaryExpr(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+  case TokenKind::IntLiteral:
+  case TokenKind::DoubleLiteral:
+  case TokenKind::CharLiteral:
+  case TokenKind::StringLiteral:
+  case TokenKind::LParen:
+  case TokenKind::Not:
+  case TokenKind::Tilde:
+  case TokenKind::KwNew:
+  case TokenKind::KwThis:
+  case TokenKind::KwNull:
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::startsCast() const {
+  assert(check(TokenKind::LParen) && "caller ensures '('");
+  unsigned I = 1;
+  switch (peek(I).Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwBoolean:
+  case TokenKind::KwDouble:
+  case TokenKind::KwChar:
+    break; // Primitive type: definitely a cast.
+  case TokenKind::Identifier:
+    // `(Name)` is a cast only when followed by something that begins a
+    // unary expression but is not an operator; `(Name[])` always is.
+    break;
+  default:
+    return false;
+  }
+  ++I;
+  bool SawBrackets = false;
+  while (peek(I).is(TokenKind::LBracket) &&
+         peek(I + 1).is(TokenKind::RBracket)) {
+    I += 2;
+    SawBrackets = true;
+  }
+  if (!peek(I).is(TokenKind::RParen))
+    return false;
+  if (!peek(1).is(TokenKind::Identifier) || SawBrackets)
+    return true; // Primitive or array cast is unambiguous.
+  // `(expr)` vs `(ClassName) unary`: `-`/`+` after `)` means arithmetic.
+  return startsUnaryExpr(peek(I + 1).Kind);
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::Minus:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  case TokenKind::Not:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  case TokenKind::Tilde:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::BitNot, parseUnary(), Loc);
+  case TokenKind::PlusPlus:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::PreInc, parseUnary(), Loc);
+  case TokenKind::MinusMinus:
+    consume();
+    return std::make_unique<UnaryExpr>(UnaryOp::PreDec, parseUnary(), Loc);
+  case TokenKind::LParen:
+    if (startsCast()) {
+      consume(); // '('
+      TypeRef Target = parseType();
+      expect(TokenKind::RParen, "after cast type");
+      ExprPtr Operand = parseUnary();
+      return std::make_unique<CastExpr>(std::move(Target), std::move(Operand),
+                                        Loc);
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix();
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "to begin argument list");
+  if (!check(TokenKind::RParen)) {
+    do
+      Args.push_back(parseExpr());
+    while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to end argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (true) {
+    SourceLoc Loc = current().Loc;
+    if (accept(TokenKind::Dot)) {
+      std::string Name;
+      if (check(TokenKind::Identifier))
+        Name = consume().Text;
+      else
+        expect(TokenKind::Identifier, "after '.'");
+      if (check(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args = parseArgs();
+        E = std::make_unique<CallExpr>(std::move(E), std::move(Name),
+                                       std::move(Args), Loc);
+      } else {
+        E = std::make_unique<FieldAccessExpr>(std::move(E), std::move(Name),
+                                              Loc);
+      }
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    if (check(TokenKind::PlusPlus)) {
+      consume();
+      E = std::make_unique<UnaryExpr>(UnaryOp::PostInc, std::move(E), Loc);
+      continue;
+    }
+    if (check(TokenKind::MinusMinus)) {
+      consume();
+      E = std::make_unique<UnaryExpr>(UnaryOp::PostDec, std::move(E), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token Tok = consume();
+    return std::make_unique<IntLiteralExpr>(Tok.IntValue, Loc);
+  }
+  case TokenKind::DoubleLiteral: {
+    Token Tok = consume();
+    return std::make_unique<DoubleLiteralExpr>(Tok.DoubleValue, Loc);
+  }
+  case TokenKind::CharLiteral: {
+    Token Tok = consume();
+    return std::make_unique<CharLiteralExpr>(static_cast<char>(Tok.IntValue),
+                                             Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Token Tok = consume();
+    return std::make_unique<StringLiteralExpr>(std::move(Tok.StringValue),
+                                               Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return std::make_unique<BoolLiteralExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return std::make_unique<BoolLiteralExpr>(false, Loc);
+  case TokenKind::KwNull:
+    consume();
+    return std::make_unique<NullLiteralExpr>(Loc);
+  case TokenKind::KwThis:
+    consume();
+    return std::make_unique<ThisExpr>(Loc);
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::KwNew: {
+    consume();
+    TypeRef BaseType;
+    switch (current().Kind) {
+    case TokenKind::KwInt:
+      consume();
+      BaseType = TypeRef::makePrim(PrimTypeKind::Int, Loc);
+      break;
+    case TokenKind::KwBoolean:
+      consume();
+      BaseType = TypeRef::makePrim(PrimTypeKind::Boolean, Loc);
+      break;
+    case TokenKind::KwDouble:
+      consume();
+      BaseType = TypeRef::makePrim(PrimTypeKind::Double, Loc);
+      break;
+    case TokenKind::KwChar:
+      consume();
+      BaseType = TypeRef::makePrim(PrimTypeKind::Char, Loc);
+      break;
+    case TokenKind::Identifier:
+      BaseType = TypeRef::makeNamed(consume().Text, Loc);
+      break;
+    default:
+      Diags.error(Loc, "expected type after 'new'");
+      return std::make_unique<NullLiteralExpr>(Loc);
+    }
+    if (check(TokenKind::LParen)) {
+      if (BaseType.K != TypeRef::Kind::Named) {
+        Diags.error(Loc, "cannot construct a primitive type with 'new'");
+        return std::make_unique<NullLiteralExpr>(Loc);
+      }
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<NewObjectExpr>(BaseType.Name, std::move(Args),
+                                             Loc);
+    }
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Length = parseExpr();
+      expect(TokenKind::RBracket, "after array length");
+      // Trailing `[]` pairs make the *element* type an array type.
+      while (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+        consume();
+        consume();
+        ++BaseType.ArrayDims;
+      }
+      return std::make_unique<NewArrayExpr>(std::move(BaseType),
+                                            std::move(Length), Loc);
+    }
+    Diags.error(current().Loc, "expected '(' or '[' after 'new' type");
+    return std::make_unique<NullLiteralExpr>(Loc);
+  }
+  case TokenKind::Identifier: {
+    Token Tok = consume();
+    if (check(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<CallExpr>(nullptr, std::move(Tok.Text),
+                                        std::move(Args), Loc);
+    }
+    return std::make_unique<NameExpr>(std::move(Tok.Text), Loc);
+  }
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("expected expression, found ") +
+                       tokenKindName(current().Kind));
+  consume();
+  return std::make_unique<NullLiteralExpr>(Loc);
+}

@@ -1,0 +1,91 @@
+//===- parser/Parser.h - MJ parser ----------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MJ with panic-mode recovery, producing the
+/// AST consumed by sema and both code generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_PARSER_PARSER_H
+#define SAFETSA_PARSER_PARSER_H
+
+#include "ast/AST.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace safetsa {
+
+/// Parses a token stream into a Program. On syntax errors it reports a
+/// diagnostic and recovers at the next statement/member boundary; callers
+/// must check DiagnosticEngine::hasErrors() before using the tree.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Program parseProgram();
+
+private:
+  // Declarations.
+  std::unique_ptr<ClassDecl> parseClass();
+  void parseMember(ClassDecl &Class);
+  TypeRef parseType();
+  std::vector<ParamDecl> parseParams();
+
+  // Statements.
+  StmtPtr parseStmt();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseVarDeclRest(TypeRef DeclType, SourceLoc Loc);
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+
+  // Expressions, in decreasing binding order.
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  /// True when the '(' at the current position begins a cast expression;
+  /// uses bounded lookahead (the classic Java (Name) ambiguity).
+  bool startsCast() const;
+  /// True if \p Kind may begin a unary expression (used by startsCast).
+  static bool startsUnaryExpr(TokenKind Kind);
+
+  // Token plumbing.
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &current() const { return peek(); }
+  Token consume() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool check(TokenKind K) const { return current().is(K); }
+  bool accept(TokenKind K) {
+    if (!check(K))
+      return false;
+    consume();
+    return true;
+  }
+  /// Consumes a token of kind \p K or reports "expected X".
+  bool expect(TokenKind K, const char *Context);
+  void syncToStmtBoundary();
+  void syncToMemberBoundary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_PARSER_PARSER_H

@@ -1,0 +1,133 @@
+//===- sema/Symbols.h - Declared entities ---------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbols for classes, fields, methods, and locals. The class table plays
+/// the role of the paper's linking/type table: builtin entries ("imported
+/// types" in the paper) are generated implicitly and are therefore
+/// tamper-proof; user classes are declared by the mobile program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SEMA_SYMBOLS_H
+#define SAFETSA_SEMA_SYMBOLS_H
+
+#include "sema/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+struct ClassSymbol;
+struct MethodDecl;
+struct FieldDecl;
+
+/// A field declared by some class (static or instance).
+struct FieldSymbol {
+  std::string Name;
+  Type *Ty = nullptr;
+  ClassSymbol *Owner = nullptr;
+  bool IsStatic = false;
+  bool IsFinal = false;
+  /// For instance fields: slot in the full object layout (superclass
+  /// fields first). For static fields: global static-storage slot.
+  unsigned Slot = 0;
+  FieldDecl *Decl = nullptr;
+};
+
+/// Identifies a runtime-provided (imported) method; the evaluators
+/// implement these natively, mirroring the paper's "types imported from
+/// the host environment's libraries".
+enum class NativeMethod : uint8_t {
+  None,
+  PrintInt,
+  PrintDouble,
+  PrintChar,
+  PrintBool,
+  PrintStr,
+  Println,
+  Sqrt,
+  AbsDouble,
+  AbsInt,
+  MinInt,
+  MaxInt,
+  MinDouble,
+  MaxDouble,
+  Pow,
+  Floor
+};
+
+/// A method or constructor.
+struct MethodSymbol {
+  std::string Name;
+  ClassSymbol *Owner = nullptr;
+  Type *RetTy = nullptr;
+  std::vector<Type *> ParamTys;
+  bool IsStatic = false;
+  bool IsConstructor = false;
+  NativeMethod Native = NativeMethod::None;
+  /// Slot in the owner's vtable; -1 for statics, constructors, natives.
+  int VTableSlot = -1;
+  /// The overridden superclass method, when this is an override.
+  MethodSymbol *Overrides = nullptr;
+  MethodDecl *Decl = nullptr;
+  /// Dense id across the whole program (assigned by ClassTable), used for
+  /// cross-references in encoded modules and by the evaluators.
+  unsigned GlobalId = 0;
+
+  bool isNative() const { return Native != NativeMethod::None; }
+
+  /// "Owner.name(paramtypes)" for diagnostics.
+  std::string signature() const;
+};
+
+/// A class: user-declared or builtin (Object, IO, Math).
+struct ClassSymbol {
+  std::string Name;
+  ClassSymbol *Super = nullptr; // Null only for Object.
+  ClassDecl *Decl = nullptr;    // Null for builtins.
+  bool IsBuiltin = false;
+  /// Dense id across the program; Object is 0.
+  unsigned Id = 0;
+
+  std::vector<std::unique_ptr<FieldSymbol>> Fields;   // Own declarations.
+  std::vector<std::unique_ptr<MethodSymbol>> Methods; // Own declarations.
+
+  /// Full instance layout, superclass fields first (computed).
+  std::vector<FieldSymbol *> InstanceLayout;
+  /// Virtual dispatch table: inherited slots first, overrides substituted.
+  std::vector<MethodSymbol *> VTable;
+
+  /// Walks the superclass chain, including this class.
+  bool isSubclassOf(const ClassSymbol *Other) const {
+    for (const ClassSymbol *C = this; C; C = C->Super)
+      if (C == Other)
+        return true;
+    return false;
+  }
+
+  /// Finds a field by name in this class or a superclass; null if absent.
+  FieldSymbol *findField(const std::string &Name) const {
+    for (const ClassSymbol *C = this; C; C = C->Super)
+      for (const auto &F : C->Fields)
+        if (F->Name == Name)
+          return F.get();
+    return nullptr;
+  }
+
+  /// Collects all methods named \p Name along the superclass chain
+  /// (nearest first); overloads included, constructors excluded.
+  std::vector<MethodSymbol *> findMethods(const std::string &Name) const;
+
+  /// Collects this class's constructors.
+  std::vector<MethodSymbol *> findConstructors() const;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SEMA_SYMBOLS_H

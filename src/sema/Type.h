@@ -1,0 +1,103 @@
+//===- sema/Type.h - Canonical MJ types -----------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical source-level types, interned by TypeContext so Type* equality
+/// is type equality. These source types later map 1:1 onto entries of the
+/// SafeTSA type table (which adds the derived safe-ref planes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SEMA_TYPE_H
+#define SAFETSA_SEMA_TYPE_H
+
+#include "ast/AST.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace safetsa {
+
+struct ClassSymbol;
+
+enum class TypeKind : uint8_t { Prim, Class, Array, Null, Void, Error };
+
+/// A canonical type. Instances are owned and uniqued by TypeContext.
+class Type {
+public:
+  const TypeKind Kind;
+
+  bool isPrim() const { return Kind == TypeKind::Prim; }
+  bool isPrim(PrimTypeKind K) const {
+    return Kind == TypeKind::Prim && PrimK == K;
+  }
+  bool isInt() const { return isPrim(PrimTypeKind::Int); }
+  bool isBoolean() const { return isPrim(PrimTypeKind::Boolean); }
+  bool isDouble() const { return isPrim(PrimTypeKind::Double); }
+  bool isChar() const { return isPrim(PrimTypeKind::Char); }
+  bool isClass() const { return Kind == TypeKind::Class; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isNull() const { return Kind == TypeKind::Null; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isError() const { return Kind == TypeKind::Error; }
+  /// Reference types: classes, arrays, and the null type.
+  bool isRef() const { return isClass() || isArray() || isNull(); }
+  /// int, double, or char (the arithmetic types).
+  bool isNumeric() const { return isInt() || isDouble() || isChar(); }
+
+  PrimTypeKind getPrimKind() const {
+    assert(isPrim() && "not a primitive type");
+    return PrimK;
+  }
+  ClassSymbol *getClassSymbol() const {
+    assert(isClass() && "not a class type");
+    return Class;
+  }
+  Type *getElemType() const {
+    assert(isArray() && "not an array type");
+    return Elem;
+  }
+
+  /// Human-readable spelling ("int", "Foo", "double[]").
+  std::string getName() const;
+
+private:
+  friend class TypeContext;
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  PrimTypeKind PrimK = PrimTypeKind::Int;
+  ClassSymbol *Class = nullptr;
+  Type *Elem = nullptr;
+};
+
+/// Owns and uniques all Types for one compilation.
+class TypeContext {
+public:
+  TypeContext();
+
+  Type *getInt() { return &IntTy; }
+  Type *getBoolean() { return &BoolTy; }
+  Type *getDouble() { return &DoubleTy; }
+  Type *getChar() { return &CharTy; }
+  Type *getNull() { return &NullTy; }
+  Type *getVoid() { return &VoidTy; }
+  Type *getError() { return &ErrorTy; }
+  Type *getPrim(PrimTypeKind K);
+
+  Type *getClass(ClassSymbol *Class);
+  Type *getArray(Type *Elem);
+
+private:
+  Type IntTy, BoolTy, DoubleTy, CharTy, NullTy, VoidTy, ErrorTy;
+  std::unordered_map<ClassSymbol *, std::unique_ptr<Type>> ClassTypes;
+  std::map<Type *, std::unique_ptr<Type>> ArrayTypes;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SEMA_TYPE_H

@@ -1,0 +1,121 @@
+//===- support/BitStream.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitStream.h"
+
+using namespace safetsa;
+
+unsigned safetsa::floorLog2(uint64_t X) {
+  assert(X >= 1 && "floorLog2 of zero");
+  unsigned Result = 0;
+  while (X >>= 1)
+    ++Result;
+  return Result;
+}
+
+void BitWriter::writeFixed(uint64_t Value, unsigned NumBits) {
+  assert(NumBits <= 64 && "too many bits");
+  for (unsigned I = 0; I != NumBits; ++I)
+    writeBit((Value >> I) & 1);
+}
+
+void BitWriter::writeBounded(uint64_t Value, uint64_t Bound) {
+  assert(Bound >= 1 && "empty alphabet");
+  assert(Value < Bound && "symbol outside alphabet");
+  if (Bound == 1)
+    return;
+  unsigned K = floorLog2(Bound);
+  uint64_t Short = (uint64_t(1) << (K + 1)) - Bound; // Symbols using K bits.
+  // The symbol's own bits go MSB-first so that the code is prefix-free: a
+  // short symbol's K-bit code never collides with the first K bits of a
+  // long symbol's (K+1)-bit code, because long codes are >= Short*2.
+  uint64_t Code = Value < Short ? Value : Value + Short;
+  unsigned Len = Value < Short ? K : K + 1;
+  for (unsigned I = Len; I != 0; --I)
+    writeBit((Code >> (I - 1)) & 1);
+}
+
+void BitWriter::writeVarUint(uint64_t Value) {
+  do {
+    uint64_t Group = Value & 0x7f;
+    Value >>= 7;
+    writeBit(Value != 0);
+    writeFixed(Group, 7);
+  } while (Value != 0);
+}
+
+void BitWriter::writeString(const std::string &Str) {
+  writeVarUint(Str.size());
+  for (char C : Str)
+    writeFixed(static_cast<uint8_t>(C), 8);
+}
+
+std::vector<uint8_t> BitWriter::take() {
+  if (BitCount != 0)
+    flushByte();
+  return std::move(Bytes);
+}
+
+bool BitReader::readBit() {
+  if (BitPos >= Bytes.size() * 8) {
+    Overrun = true;
+    return false;
+  }
+  bool Bit = (Bytes[BitPos / 8] >> (BitPos % 8)) & 1;
+  ++BitPos;
+  return Bit;
+}
+
+uint64_t BitReader::readFixed(unsigned NumBits) {
+  assert(NumBits <= 64 && "too many bits");
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != NumBits; ++I)
+    Value |= static_cast<uint64_t>(readBit()) << I;
+  return Value;
+}
+
+uint64_t BitReader::readBounded(uint64_t Bound) {
+  assert(Bound >= 1 && "empty alphabet");
+  if (Bound == 1)
+    return 0;
+  unsigned K = floorLog2(Bound);
+  uint64_t Short = (uint64_t(1) << (K + 1)) - Bound;
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != K; ++I)
+    Value = (Value << 1) | readBit();
+  if (Value < Short)
+    return Value;
+  // One more bit disambiguates the long codes; see writeBounded.
+  Value = (Value << 1) | readBit();
+  return Value - Short;
+}
+
+uint64_t BitReader::readVarUint() {
+  uint64_t Value = 0;
+  unsigned Shift = 0;
+  bool More = true;
+  while (More && Shift < 64) {
+    More = readBit();
+    Value |= readFixed(7) << Shift;
+    Shift += 7;
+  }
+  return Value;
+}
+
+std::string BitReader::readString() {
+  uint64_t Size = readVarUint();
+  // Clamp against hostile length fields; the overrun flag will fire anyway
+  // on truncated input, but avoid attempting a huge allocation first.
+  if (Size > Bytes.size() * 8) {
+    Overrun = true;
+    return std::string();
+  }
+  std::string Str;
+  Str.reserve(Size);
+  for (uint64_t I = 0; I != Size; ++I)
+    Str.push_back(static_cast<char>(readFixed(8)));
+  return Str;
+}

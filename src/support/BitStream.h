@@ -1,0 +1,109 @@
+//===- support/BitStream.h - Bit-granular IO ------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-level writer/reader used by the SafeTSA externalization.
+///
+/// The paper externalizes a program as "a sequence of symbols, where each
+/// symbol is chosen from a finite set determined only by the preceding
+/// context", packed with "a simple prefix encoding, which is similar to
+/// what would result from using Huffman encoding with fixed equal
+/// probabilities for all symbols". A Huffman code over N equiprobable
+/// symbols is exactly the truncated-binary code, which writeBounded /
+/// readBounded implement: floor(log2 N) bits for the first few symbols and
+/// one more for the rest, zero bits when N == 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_BITSTREAM_H
+#define SAFETSA_SUPPORT_BITSTREAM_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// Accumulates bits LSB-first into a byte vector.
+class BitWriter {
+public:
+  void writeBit(bool Bit) {
+    BitBuf |= static_cast<uint64_t>(Bit) << BitCount;
+    if (++BitCount == 8)
+      flushByte();
+  }
+
+  /// Writes the low \p NumBits bits of \p Value, LSB first. NumBits <= 64.
+  void writeFixed(uint64_t Value, unsigned NumBits);
+
+  /// Writes \p Value from the alphabet {0, ..., Bound-1} with the
+  /// truncated-binary (equal-probability Huffman) code. Bound >= 1; when
+  /// Bound == 1 nothing is emitted because the symbol carries no
+  /// information.
+  void writeBounded(uint64_t Value, uint64_t Bound);
+
+  /// Writes an arbitrary unsigned value as bit-granular LEB128 (7 value
+  /// bits + 1 continuation bit per group).
+  void writeVarUint(uint64_t Value);
+
+  /// Writes a length-prefixed byte string (for symbolic linking info).
+  void writeString(const std::string &Str);
+
+  /// Pads to a byte boundary with zero bits and returns the buffer.
+  std::vector<uint8_t> take();
+
+  /// Number of bits written so far.
+  size_t getBitCount() const { return Bytes.size() * 8 + BitCount; }
+
+private:
+  void flushByte() {
+    Bytes.push_back(static_cast<uint8_t>(BitBuf & 0xff));
+    BitBuf = 0;
+    BitCount = 0;
+  }
+
+  std::vector<uint8_t> Bytes;
+  uint64_t BitBuf = 0;
+  unsigned BitCount = 0;
+};
+
+/// Decodes a bit stream produced by BitWriter.
+///
+/// Reads past the end of the buffer set a sticky overrun flag and yield
+/// zeros; decoders check hasOverrun() instead of aborting, since truncated
+/// input is an expected failure mode for mobile code.
+class BitReader {
+public:
+  explicit BitReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readBit();
+  uint64_t readFixed(unsigned NumBits);
+
+  /// Reads a symbol from the alphabet {0, ..., Bound-1}; inverse of
+  /// BitWriter::writeBounded. Returns 0 immediately when Bound == 1.
+  uint64_t readBounded(uint64_t Bound);
+
+  uint64_t readVarUint();
+  std::string readString();
+
+  bool hasOverrun() const { return Overrun; }
+
+  /// Bits consumed so far.
+  size_t getBitPos() const { return BitPos; }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t BitPos = 0;
+  bool Overrun = false;
+};
+
+/// Returns floor(log2(X)) for X >= 1.
+unsigned floorLog2(uint64_t X);
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_BITSTREAM_H

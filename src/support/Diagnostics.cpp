@@ -1,0 +1,50 @@
+//===- support/Diagnostics.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace safetsa;
+
+static const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render(const SourceManager *SM) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (SM && D.Loc.isValid()) {
+      unsigned Line = SM->getLine(D.Loc);
+      unsigned Col = SM->getColumn(D.Loc);
+      OS << SM->getBufferName() << ':' << Line << ':' << Col << ": "
+         << severityName(D.Level) << ": " << D.Message << '\n';
+      std::string Text = SM->getLineText(Line);
+      OS << "  " << Text << "\n  ";
+      for (unsigned I = 1; I < Col; ++I)
+        OS << (I - 1 < Text.size() && Text[I - 1] == '\t' ? '\t' : ' ');
+      OS << "^\n";
+    } else {
+      OS << severityName(D.Level) << ": " << D.Message << '\n';
+    }
+  }
+  return OS.str();
+}
+
+bool DiagnosticEngine::containsMessage(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

@@ -1,0 +1,75 @@
+//===- support/Diagnostics.h - Error reporting ----------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small collecting diagnostic engine. Library code never throws; phases
+/// report problems here and callers test hasErrors() between phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_DIAGNOSTICS_H
+#define SAFETSA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem: severity, position, message.
+struct Diagnostic {
+  Severity Level = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics across compiler phases.
+///
+/// Messages follow the LLVM style: lowercase first letter, no trailing
+/// period. Rendering (with line/column and source excerpt) is separate from
+/// collection so tests can assert on raw messages.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Severity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "name:line:col: severity: message" lines,
+  /// with a source excerpt and caret when \p SM is provided.
+  std::string render(const SourceManager *SM) const;
+
+  /// True if some diagnostic's message contains \p Needle (test helper).
+  bool containsMessage(const std::string &Needle) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_DIAGNOSTICS_H

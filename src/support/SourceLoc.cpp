@@ -1,0 +1,39 @@
+//===- support/SourceLoc.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+#include <algorithm>
+
+using namespace safetsa;
+
+void SourceManager::computeLineStarts() {
+  LineStarts.clear();
+  LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Text.size()); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+unsigned SourceManager::getLine(SourceLoc Loc) const {
+  assert(Loc.isValid() && "querying line of invalid location");
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Loc.Offset);
+  return static_cast<unsigned>(It - LineStarts.begin());
+}
+
+unsigned SourceManager::getColumn(SourceLoc Loc) const {
+  unsigned Line = getLine(Loc);
+  return Loc.Offset - LineStarts[Line - 1] + 1;
+}
+
+std::string SourceManager::getLineText(unsigned Line) const {
+  assert(Line >= 1 && Line <= LineStarts.size() && "line out of range");
+  uint32_t Begin = LineStarts[Line - 1];
+  uint32_t End = Line < LineStarts.size()
+                     ? LineStarts[Line] - 1
+                     : static_cast<uint32_t>(Text.size());
+  return Text.substr(Begin, End - Begin);
+}

@@ -1,0 +1,83 @@
+//===- support/SourceLoc.h - Source positions -----------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-offset source locations and the SourceManager that maps them back to
+/// human-readable line/column pairs for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_SOURCELOC_H
+#define SAFETSA_SUPPORT_SOURCELOC_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// A position in a source buffer, as a byte offset.
+///
+/// Offset 0 is the first byte; an invalid location is represented by
+/// SourceLoc() (offset == ~0u), which diagnostics print without position.
+struct SourceLoc {
+  uint32_t Offset = ~0u;
+
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  bool isValid() const { return Offset != ~0u; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+};
+
+/// A half-open range [Begin, End) of source bytes.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+};
+
+/// Owns a single source buffer and resolves SourceLocs to line/column.
+///
+/// The reproduction compiles one translation unit (a set of MJ classes in
+/// one buffer) at a time, so a single-buffer manager suffices.
+class SourceManager {
+public:
+  SourceManager() = default;
+  SourceManager(std::string Name, std::string Text)
+      : BufferName(std::move(Name)), Text(std::move(Text)) {
+    computeLineStarts();
+  }
+
+  const std::string &getBufferName() const { return BufferName; }
+  const std::string &getText() const { return Text; }
+
+  /// Returns the 1-based line number containing \p Loc.
+  unsigned getLine(SourceLoc Loc) const;
+
+  /// Returns the 1-based column number of \p Loc within its line.
+  unsigned getColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the 1-based line \p Line (without newline).
+  std::string getLineText(unsigned Line) const;
+
+private:
+  void computeLineStarts();
+
+  std::string BufferName;
+  std::string Text;
+  std::vector<uint32_t> LineStarts; // Byte offset of each line's first char.
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_SOURCELOC_H

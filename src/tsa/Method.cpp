@@ -1,0 +1,288 @@
+//===- tsa/Method.cpp - CFG derivation and numbering ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives the control-flow graph and dominator tree from the Control
+/// Structure Tree. Both the producer and the consumer run the same
+/// derivation, so the dominator relation — the foundation of the (l, r)
+/// reference scheme — can never disagree between the two sides.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tsa/Method.h"
+#include "tsa/Signature.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace safetsa;
+
+namespace {
+
+/// CST -> CFG walker. Collects the block visit order and the edge list in
+/// a deterministic order (the same order the generator created them in).
+class CFGDeriver {
+public:
+  std::vector<BasicBlock *> Order;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Edges;
+
+  /// Innermost active exception handler entry (null outside any try).
+  BasicBlock *CatchTarget = nullptr;
+
+  /// Processes \p Seq with control arriving from \p Incoming; returns the
+  /// set of blocks whose control falls out of the sequence.
+  std::vector<BasicBlock *> processSeq(const CSTSeq &Seq,
+                                       std::vector<BasicBlock *> Incoming,
+                                       BasicBlock *LoopHeader,
+                                       std::vector<BasicBlock *> *LoopBreaks) {
+    for (const auto &Node : Seq) {
+      switch (Node->K) {
+      case CSTNode::Kind::Basic:
+        for (BasicBlock *P : Incoming)
+          addEdge(P, Node->BB);
+        visit(Node->BB);
+        if (Node->RaisesToCatch) {
+          assert(CatchTarget && "exception edge outside of a try region");
+          addEdge(Node->BB, CatchTarget);
+        }
+        Incoming.assign(1, Node->BB);
+        break;
+
+      case CSTNode::Kind::Try: {
+        // Then = protected body, Else = handler. Exception edges are
+        // emitted while walking the body (RaisesToCatch flags); the
+        // handler is entered only through them.
+        assert(!Node->Else.empty() &&
+               Node->Else.front()->K == CSTNode::Kind::Basic &&
+               "try handler must start with a basic block");
+        BasicBlock *SavedCatch = CatchTarget;
+        CatchTarget = Node->Else.front()->BB;
+        std::vector<BasicBlock *> BodyOut =
+            processSeq(Node->Then, Incoming, LoopHeader, LoopBreaks);
+        CatchTarget = SavedCatch;
+        std::vector<BasicBlock *> HandlerOut =
+            processSeq(Node->Else, {}, LoopHeader, LoopBreaks);
+        Incoming = std::move(BodyOut);
+        Incoming.insert(Incoming.end(), HandlerOut.begin(),
+                        HandlerOut.end());
+        break;
+      }
+
+      case CSTNode::Kind::If: {
+        // The decision block is the current block; both arms start from it.
+        std::vector<BasicBlock *> ThenOut =
+            processSeq(Node->Then, Incoming, LoopHeader, LoopBreaks);
+        std::vector<BasicBlock *> ElseOut =
+            Node->Else.empty()
+                ? Incoming
+                : processSeq(Node->Else, Incoming, LoopHeader, LoopBreaks);
+        Incoming = std::move(ThenOut);
+        Incoming.insert(Incoming.end(), ElseOut.begin(), ElseOut.end());
+        break;
+      }
+
+      case CSTNode::Kind::Loop: {
+        // Back edges target the header's first block (where the phis
+        // live); the condition is available in the header sequence's
+        // fall-out block, whose true edge enters the body and whose false
+        // edge leaves the loop.
+        assert(!Node->Header.empty() &&
+               Node->Header.front()->K == CSTNode::Kind::Basic &&
+               "loop header must start with a basic block");
+        BasicBlock *HeaderEntry = Node->Header.front()->BB;
+        std::vector<BasicBlock *> Decision =
+            processSeq(Node->Header, Incoming, nullptr, nullptr);
+        std::vector<BasicBlock *> Breaks;
+        std::vector<BasicBlock *> BodyOut =
+            processSeq(Node->Body, Decision, HeaderEntry, &Breaks);
+        for (BasicBlock *Latch : BodyOut)
+          addEdge(Latch, HeaderEntry); // Back edges.
+        // Control leaves via the decision block's false branch and breaks.
+        Incoming = Decision;
+        Incoming.insert(Incoming.end(), Breaks.begin(), Breaks.end());
+        break;
+      }
+
+      case CSTNode::Kind::Return:
+        Incoming.clear();
+        break;
+
+      case CSTNode::Kind::Break:
+        assert(LoopBreaks && "break outside of a loop");
+        LoopBreaks->insert(LoopBreaks->end(), Incoming.begin(),
+                           Incoming.end());
+        Incoming.clear();
+        break;
+
+      case CSTNode::Kind::Continue:
+        assert(LoopHeader && "continue outside of a loop");
+        for (BasicBlock *P : Incoming)
+          addEdge(P, LoopHeader);
+        Incoming.clear();
+        break;
+      }
+    }
+    return Incoming;
+  }
+
+private:
+  void visit(BasicBlock *BB) { Order.push_back(BB); }
+  void addEdge(BasicBlock *From, BasicBlock *To) { Edges.push_back({From, To}); }
+};
+
+} // namespace
+
+void TSAMethod::deriveCFG() {
+  CFGDeriver Deriver;
+  Deriver.processSeq(Root, {}, nullptr, nullptr);
+
+  assert(Deriver.Order.size() == Blocks.size() &&
+         "CST does not cover every block exactly once");
+
+  // Renumber blocks into CST walk order (== dominator-tree pre-order).
+  std::unordered_map<BasicBlock *, std::unique_ptr<BasicBlock>> Owned;
+  for (auto &BB : Blocks)
+    Owned.emplace(BB.get(), std::move(BB));
+  Blocks.clear();
+  for (BasicBlock *BB : Deriver.Order) {
+    auto It = Owned.find(BB);
+    assert(It != Owned.end() && "CST references an unowned block");
+    BB->Id = static_cast<unsigned>(Blocks.size());
+    BB->Preds.clear();
+    BB->Succs.clear();
+    BB->IDom = nullptr;
+    BB->DomDepth = 0;
+    Blocks.push_back(std::move(It->second));
+  }
+
+  for (auto [From, To] : Deriver.Edges) {
+    From->Succs.push_back(To);
+    To->Preds.push_back(From);
+  }
+
+  // Iterative dominator computation (Cooper–Harvey–Kennedy). Blocks are in
+  // a reverse-postorder-compatible order for structured CFGs.
+  if (Blocks.empty())
+    return;
+  BasicBlock *Entry = Blocks.front().get();
+  Entry->IDom = nullptr;
+
+  auto Intersect = [](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (A->Id > B->Id)
+        A = A->IDom;
+      while (B->Id > A->Id)
+        B = B->IDom;
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Blocks.size(); ++I) {
+      BasicBlock *BB = Blocks[I].get();
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : BB->Preds) {
+        if (P != Entry && !P->IDom)
+          continue; // Not yet processed this round.
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      assert(NewIDom && "unreachable block in CST-derived CFG");
+      if (BB->IDom != NewIDom) {
+        BB->IDom = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (auto &BB : Blocks)
+    BB->DomDepth = BB->IDom ? BB->IDom->DomDepth + 1 : 0;
+}
+
+void TSAMethod::finalize(PlaneContext &Ctx) {
+  for (auto &BB : Blocks) {
+    BB->PlaneCounts.clear();
+    for (auto &I : BB->Insts) {
+      std::optional<PlaneKey> Plane = resultPlane(*I, Ctx);
+      if (!Plane)
+        continue;
+      I->PlaneIndex = BB->PlaneCounts[*Plane]++;
+    }
+  }
+}
+
+void TSAMethod::replaceAllUsesWith(Instruction *Old, Instruction *New) {
+  assert(Old != New && "self replacement");
+  forEachInstruction([&](const Instruction &CI) {
+    auto &I = const_cast<Instruction &>(CI);
+    for (Instruction *&Op : I.Operands)
+      if (Op == Old)
+        Op = New;
+  });
+  // CST value references (conditions, return values).
+  std::function<void(const CSTSeq &)> Walk = [&](const CSTSeq &Seq) {
+    for (const auto &Node : Seq) {
+      if (Node->Cond == Old)
+        Node->Cond = New;
+      if (Node->RetVal == Old)
+        Node->RetVal = New;
+      Walk(Node->Then);
+      Walk(Node->Else);
+      Walk(Node->Header);
+      Walk(Node->Body);
+    }
+  };
+  Walk(Root);
+}
+
+bool TSAMethod::hasUses(const Instruction *I) const {
+  bool Found = false;
+  forEachInstruction([&](const Instruction &Other) {
+    for (const Instruction *Op : Other.Operands)
+      if (Op == I)
+        Found = true;
+  });
+  if (Found)
+    return true;
+  std::function<bool(const CSTSeq &)> Walk = [&](const CSTSeq &Seq) {
+    for (const auto &Node : Seq) {
+      if (Node->Cond == I || Node->RetVal == I)
+        return true;
+      if (Walk(Node->Then) || Walk(Node->Else) || Walk(Node->Header) ||
+          Walk(Node->Body))
+        return true;
+    }
+    return false;
+  };
+  return Walk(Root);
+}
+
+void TSAMethod::eraseIf(const std::function<bool(const Instruction &)> &Pred) {
+  for (auto &BB : Blocks)
+    std::erase_if(BB->Insts,
+                  [&](const std::unique_ptr<Instruction> &I) {
+                    return Pred(*I);
+                  });
+}
+
+unsigned TSAMethod::countInstructions() const {
+  unsigned N = 0;
+  forEachInstruction([&](const Instruction &I) {
+    if (!I.isPreload())
+      ++N;
+  });
+  return N;
+}
+
+unsigned TSAMethod::countOpcode(Opcode Op) const {
+  unsigned N = 0;
+  forEachInstruction([&](const Instruction &I) {
+    if (I.Op == Op)
+      ++N;
+  });
+  return N;
+}

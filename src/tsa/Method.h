@@ -1,0 +1,231 @@
+//===- tsa/Method.h - SafeTSA methods, blocks, and the CST ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks, the Control Structure Tree, and method/module containers.
+///
+/// Per paper §7, a SafeTSA method body is partitioned into a Control
+/// Structure Tree — "the structural part of the UAST" — and per-block
+/// instruction lists. The CST deterministically induces the control-flow
+/// graph and the dominator tree ("integrate the dominator and control flow
+/// information in the same structure"), which is what makes the three-
+/// phase externalization and the (l, r) reference scheme possible.
+///
+/// CST well-formedness invariants (enforced by the generator, rechecked by
+/// the verifier):
+///  - Every sequence starts with a Basic node.
+///  - Every If and Loop node is immediately followed by a Basic node (the
+///    join / loop-exit block).
+///  - Return / Break / Continue are the last node of their sequence.
+///  - An If's condition value is referenced from the end of the Basic
+///    block preceding it; a Loop's condition from the end of its header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_TSA_METHOD_H
+#define SAFETSA_TSA_METHOD_H
+
+#include "sema/ClassTable.h"
+#include "tsa/Instruction.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace safetsa {
+
+class TSAMethod;
+
+/// A basic block: a straight-line instruction list plus derived CFG and
+/// dominator links. Phi instructions, when present, precede all others.
+class BasicBlock {
+public:
+  unsigned Id = 0; ///< Position in TSAMethod::Blocks (dominator pre-order).
+  std::vector<std::unique_ptr<Instruction>> Insts;
+
+  // Derived by deriveCFG():
+  std::vector<BasicBlock *> Preds; ///< Order defines phi operand order.
+  std::vector<BasicBlock *> Succs;
+  BasicBlock *IDom = nullptr;
+  unsigned DomDepth = 0;
+
+  // Derived by finalize(): number of values per plane in this block.
+  std::map<PlaneKey, unsigned> PlaneCounts;
+
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->Parent = this;
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// True when \p A dominates \p B (reflexive).
+  static bool dominates(const BasicBlock *A, const BasicBlock *B) {
+    while (B) {
+      if (A == B)
+        return true;
+      B = B->IDom;
+    }
+    return false;
+  }
+};
+
+/// Control Structure Tree node.
+///
+/// Loop nodes carry a Header sequence rather than a single header block:
+/// the loop's phis live in the first block of the Header, but evaluating
+/// the condition may itself require structured control flow (short-circuit
+/// operators lower to if-else "in all expression contexts", paper footnote
+/// 3). Back edges (latch and continue) target the Header's first block;
+/// the condition value must be available in the Header's final block,
+/// whose true edge enters the Body and false edge exits the loop.
+///
+/// Try nodes implement the paper's exception translation (§7): inside a
+/// try region, "we split basic blocks into linked subblocks" so that each
+/// subblock ends with at most one potentially-raising instruction, and
+/// "an implicit control-flow edge is created from each potential point of
+/// exception to a special exception-handling phi-node" — the first block
+/// of the handler sequence. Basic nodes whose block ends with such an
+/// instruction carry RaisesToCatch; this is part of the CST (and of the
+/// wire format) so producer and consumer derive identical edges. Try
+/// reuses Then for the protected body and Else for the handler.
+class CSTNode {
+public:
+  enum class Kind : uint8_t { Basic, If, Loop, Return, Break, Continue,
+                              Try };
+
+  Kind K = Kind::Basic;
+  BasicBlock *BB = nullptr;      ///< Basic only: the block.
+  Instruction *Cond = nullptr;   ///< If / Loop condition (boolean value).
+  Instruction *RetVal = nullptr; ///< Return value; null for void returns.
+  /// Basic only: this block ends with a potentially-raising instruction
+  /// and has an exception edge to the innermost enclosing handler.
+  bool RaisesToCatch = false;
+
+  std::vector<std::unique_ptr<CSTNode>> Then;   ///< If / Try body.
+  std::vector<std::unique_ptr<CSTNode>> Else;   ///< If else / Try handler.
+  std::vector<std::unique_ptr<CSTNode>> Header; ///< Loop only.
+  std::vector<std::unique_ptr<CSTNode>> Body;   ///< Loop only.
+
+  static std::unique_ptr<CSTNode> makeBasic(BasicBlock *BB) {
+    auto N = std::make_unique<CSTNode>();
+    N->K = Kind::Basic;
+    N->BB = BB;
+    return N;
+  }
+};
+
+using CSTSeq = std::vector<std::unique_ptr<CSTNode>>;
+
+/// One method in SafeTSA form.
+class TSAMethod {
+public:
+  MethodSymbol *Symbol = nullptr;
+
+  /// All blocks in creation order == CST walk order == dominator-tree
+  /// pre-order (paper §7 phase 2 transmits blocks in exactly this order).
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  /// Top-level statement sequence. Blocks[0] is the entry block, which
+  /// holds the preloaded parameters and constants followed by code.
+  CSTSeq Root;
+
+  BasicBlock *getEntry() const {
+    assert(!Blocks.empty() && "method has no blocks");
+    return Blocks.front().get();
+  }
+
+  BasicBlock *createBlock() {
+    auto BB = std::make_unique<BasicBlock>();
+    BB->Id = static_cast<unsigned>(Blocks.size());
+    BasicBlock *Raw = BB.get();
+    Blocks.push_back(std::move(BB));
+    return Raw;
+  }
+
+  /// Recomputes Preds/Succs/IDom/DomDepth from the CST and renumbers
+  /// Blocks into CST walk order. Must be called after structural changes.
+  void deriveCFG();
+
+  /// Assigns PlaneIndex to every instruction and fills per-block
+  /// PlaneCounts. Requires deriveCFG() to have run. \p Ctx supplies the
+  /// type context used to compute result planes.
+  void finalize(struct PlaneContext &Ctx);
+
+  /// Replaces every use of \p Old (instruction operands, phi inputs, CST
+  /// condition/return references, safe-index anchors) with \p New.
+  void replaceAllUsesWith(Instruction *Old, Instruction *New);
+
+  /// Invokes \p Fn on every instruction in block order.
+  template <typename Fn> void forEachInstruction(Fn &&F) const {
+    for (const auto &BB : Blocks)
+      for (const auto &I : BB->Insts)
+        F(*I);
+  }
+
+  /// True if \p I has at least one use (operand or CST reference).
+  bool hasUses(const Instruction *I) const;
+
+  /// Removes instructions that were unlinked (marked dead) by passes.
+  void eraseIf(const std::function<bool(const Instruction &)> &Pred);
+
+  /// Number of transmitted instructions, excluding the Const/Param
+  /// preloads which the paper treats as constant-pool entries rather than
+  /// instructions ("doesn't correspond to any actual code").
+  unsigned countInstructions() const;
+  unsigned countOpcode(Opcode Op) const;
+
+private:
+  void walkCST(const CSTSeq &Seq, BasicBlock *&Cur,
+               std::vector<BasicBlock *> &Order,
+               std::vector<std::pair<BasicBlock *, BasicBlock *>> &Edges,
+               BasicBlock *LoopHeader, BasicBlock *LoopExit,
+               BasicBlock *&SeqExit);
+};
+
+/// A compiled SafeTSA module: the unit of mobile-code distribution.
+///
+/// Owns the SafeTSA form of every method with a body. Type and member
+/// symbols are *references* into the ClassTable — the paper's type table,
+/// whose builtin part "is always generated implicitly and thereby
+/// tamper-proof".
+class TSAModule {
+public:
+  ClassTable *Table = nullptr;
+  TypeContext *Types = nullptr;
+
+  std::vector<std::unique_ptr<TSAMethod>> Methods;
+
+  /// Constant initial values of static fields (slot -> constant); fields
+  /// without an entry start zero/null.
+  std::vector<std::pair<FieldSymbol *, ConstantValue>> StaticInits;
+
+  TSAMethod *findMethod(const MethodSymbol *Symbol) const {
+    for (const auto &M : Methods)
+      if (M->Symbol == Symbol)
+        return M.get();
+    return nullptr;
+  }
+
+  /// Whole-module instruction count (paper Figure 5 metric).
+  unsigned countInstructions() const {
+    unsigned N = 0;
+    for (const auto &M : Methods)
+      N += M->countInstructions();
+    return N;
+  }
+
+  unsigned countOpcode(Opcode Op) const {
+    unsigned N = 0;
+    for (const auto &M : Methods)
+      N += M->countOpcode(Op);
+    return N;
+  }
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_TSA_METHOD_H

@@ -1,0 +1,33 @@
+//===- tsa/Printer.h - Textual SafeTSA dump -------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dump of SafeTSA methods in the paper's (l-r) notation
+/// (Figures 2/4/9): operands print as (l-r) pairs, results implicitly
+/// fill their plane in ascending order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_TSA_PRINTER_H
+#define SAFETSA_TSA_PRINTER_H
+
+#include "tsa/Method.h"
+#include "tsa/Signature.h"
+
+#include <string>
+
+namespace safetsa {
+
+/// Renders one method. Requires deriveCFG() + finalize() to have run (the
+/// driver pipeline guarantees this).
+std::string printMethod(const TSAMethod &M, PlaneContext &Ctx);
+
+/// Renders every method of the module.
+std::string printModule(const TSAModule &M);
+
+} // namespace safetsa
+
+#endif // SAFETSA_TSA_PRINTER_H

@@ -1,0 +1,577 @@
+//===- tsa/Verifier.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tsa/Verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+using namespace safetsa;
+
+void TSAVerifier::error(const TSAMethod &M, const std::string &Msg) {
+  std::string Name = M.Symbol ? M.Symbol->signature() : "<method>";
+  Errors.push_back(Name + ": " + Msg);
+}
+
+bool TSAVerifier::verify() {
+  bool Ok = true;
+  for (auto &M : Module.Methods)
+    Ok &= verifyMethod(*M);
+  return Ok;
+}
+
+bool TSAVerifier::verifyMethod(TSAMethod &M) {
+  size_t ErrorsBefore = Errors.size();
+
+  if (!checkCSTStructure(M))
+    return false; // CFG derivation would not be safe.
+
+  M.deriveCFG();
+  M.finalize(Ctx);
+
+  // Entry block must have no predecessors; every other block at least one.
+  if (!M.Blocks.empty() && !M.getEntry()->Preds.empty())
+    error(M, "entry block has predecessors");
+
+  Pos.clear();
+  for (auto &BB : M.Blocks)
+    for (unsigned I = 0; I != BB->Insts.size(); ++I)
+      Pos[BB->Insts[I].get()] = {BB.get(), I};
+
+  checkBlocks(M);
+  checkCSTValueRefs(M);
+
+  return Errors.size() == ErrorsBefore;
+}
+
+//===----------------------------------------------------------------------===//
+// Counter check (paper §9)
+//===----------------------------------------------------------------------===//
+
+bool safetsa::counterCheckMethod(const TSAMethod &M, PlaneContext &Ctx) {
+  std::map<PlaneKey, unsigned> Running;
+  for (const auto &BB : M.Blocks) {
+    Running.clear();
+    for (const auto &I : BB->Insts) {
+      for (size_t K = 0; K != I->Operands.size(); ++K) {
+        const Instruction *Op = I->Operands[K];
+        if (!Op || !Op->Parent)
+          return false;
+        const BasicBlock *D = Op->Parent;
+        std::optional<PlaneKey> Plane = resultPlane(*Op, Ctx);
+        if (!Plane)
+          return false;
+        // Phi operand k is checked against the end of predecessor k.
+        const BasicBlock *Use =
+            I->isPhi() ? (K < BB->Preds.size() ? BB->Preds[K] : nullptr)
+                       : BB.get();
+        if (!Use)
+          return false;
+        if (D == BB.get() && !I->isPhi()) {
+          auto It = Running.find(*Plane);
+          if (It == Running.end() || Op->PlaneIndex >= It->second)
+            return false;
+        } else {
+          if (!BasicBlock::dominates(D, Use))
+            return false;
+          auto It = D->PlaneCounts.find(*Plane);
+          if (It == D->PlaneCounts.end() || Op->PlaneIndex >= It->second)
+            return false;
+        }
+      }
+      if (std::optional<PlaneKey> Plane = resultPlane(*I, Ctx))
+        ++Running[*Plane];
+    }
+  }
+  return true;
+}
+
+bool safetsa::counterCheckModule(const TSAModule &Module) {
+  PlaneContext Ctx{*Module.Types, *Module.Table};
+  for (const auto &M : Module.Methods)
+    if (!counterCheckMethod(*M, Ctx))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CST structure
+//===----------------------------------------------------------------------===//
+
+/// Validates the paper's exception-edge discipline before CFG derivation:
+/// RaisesToCatch only inside try bodies; a flagged block's last
+/// instruction may raise; inside a try body every raising instruction is
+/// last-in-block and flagged (subblock splitting); every handler has at
+/// least one incoming edge (otherwise it would be unreachable).
+static bool checkExceptionEdges(const CSTSeq &Seq, bool InTryBody,
+                                unsigned &EdgeCount,
+                                std::vector<std::string> &Errors,
+                                const std::string &Name) {
+  for (const auto &Node : Seq) {
+    switch (Node->K) {
+    case CSTNode::Kind::Basic: {
+      const BasicBlock *BB = Node->BB;
+      bool LastRaises =
+          BB && !BB->Insts.empty() && BB->Insts.back()->mayRaise();
+      if (Node->RaisesToCatch) {
+        if (!InTryBody) {
+          Errors.push_back(Name + ": exception edge outside of a try body");
+          return false;
+        }
+        if (!LastRaises) {
+          Errors.push_back(
+              Name + ": flagged block does not end with a raising "
+                     "instruction");
+          return false;
+        }
+        ++EdgeCount;
+      } else if (InTryBody && LastRaises) {
+        Errors.push_back(Name + ": raising instruction in a try body "
+                                "without an exception edge");
+        return false;
+      }
+      if (InTryBody && BB) {
+        for (size_t I = 0; I + 1 < BB->Insts.size(); ++I)
+          if (BB->Insts[I]->mayRaise()) {
+            Errors.push_back(Name + ": raising instruction is not the "
+                                    "last of its subblock");
+            return false;
+          }
+      }
+      break;
+    }
+    case CSTNode::Kind::If:
+      if (!checkExceptionEdges(Node->Then, InTryBody, EdgeCount, Errors,
+                               Name) ||
+          !checkExceptionEdges(Node->Else, InTryBody, EdgeCount, Errors,
+                               Name))
+        return false;
+      break;
+    case CSTNode::Kind::Loop:
+      if (!checkExceptionEdges(Node->Header, InTryBody, EdgeCount, Errors,
+                               Name) ||
+          !checkExceptionEdges(Node->Body, InTryBody, EdgeCount, Errors,
+                               Name))
+        return false;
+      break;
+    case CSTNode::Kind::Try: {
+      unsigned Inner = 0;
+      if (!checkExceptionEdges(Node->Then, /*InTryBody=*/true, Inner,
+                               Errors, Name))
+        return false;
+      if (Inner == 0) {
+        Errors.push_back(Name + ": try handler is unreachable (no "
+                                "exception edges)");
+        return false;
+      }
+      // The handler's own exceptions route to the enclosing context.
+      if (!checkExceptionEdges(Node->Else, InTryBody, EdgeCount, Errors,
+                               Name))
+        return false;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return true;
+}
+
+bool safetsa::checkExceptionDiscipline(const TSAMethod &M,
+                                       std::string *Err) {
+  std::vector<std::string> Errors;
+  unsigned TopEdges = 0;
+  std::string Name = M.Symbol ? M.Symbol->signature() : "<method>";
+  if (!checkExceptionEdges(M.Root, /*InTryBody=*/false, TopEdges, Errors,
+                           Name)) {
+    if (Err && !Errors.empty())
+      *Err = Errors.front();
+    return false;
+  }
+  return true;
+}
+
+bool TSAVerifier::checkCSTStructure(TSAMethod &M) {
+  std::vector<BasicBlock *> Covered;
+  if (!checkSeq(M.Root, /*InLoop=*/false, /*IsLoopHeader=*/false, Covered, M))
+    return false;
+
+  std::string EdgeErr;
+  if (!checkExceptionDiscipline(M, &EdgeErr)) {
+    Errors.push_back(EdgeErr);
+    return false;
+  }
+
+  if (Covered.size() != M.Blocks.size()) {
+    error(M, "CST covers " + std::to_string(Covered.size()) + " blocks but "
+                 "the method owns " + std::to_string(M.Blocks.size()));
+    return false;
+  }
+  std::unordered_set<const BasicBlock *> Owned;
+  for (auto &BB : M.Blocks)
+    Owned.insert(BB.get());
+  std::unordered_set<const BasicBlock *> Seen;
+  for (BasicBlock *BB : Covered) {
+    if (!Owned.count(BB)) {
+      error(M, "CST references a block not owned by the method");
+      return false;
+    }
+    if (!Seen.insert(BB).second) {
+      error(M, "CST references a block twice");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TSAVerifier::checkSeq(const CSTSeq &Seq, bool InLoop, bool IsLoopHeader,
+                           std::vector<BasicBlock *> &Covered, TSAMethod &M) {
+  if (Seq.empty()) {
+    error(M, "empty CST sequence");
+    return false;
+  }
+  if (Seq.front()->K != CSTNode::Kind::Basic) {
+    error(M, "CST sequence does not start with a basic block");
+    return false;
+  }
+  for (size_t I = 0; I != Seq.size(); ++I) {
+    const CSTNode &Node = *Seq[I];
+    bool IsLast = I + 1 == Seq.size();
+    switch (Node.K) {
+    case CSTNode::Kind::Basic:
+      if (!Node.BB) {
+        error(M, "basic CST node without a block");
+        return false;
+      }
+      Covered.push_back(Node.BB);
+      break;
+    case CSTNode::Kind::If:
+      if (!Node.Cond) {
+        error(M, "if node without a condition value");
+        return false;
+      }
+      if (!checkSeq(Node.Then, InLoop, IsLoopHeader, Covered, M))
+        return false;
+      if (!Node.Else.empty() &&
+          !checkSeq(Node.Else, InLoop, IsLoopHeader, Covered, M))
+        return false;
+      break;
+    case CSTNode::Kind::Try:
+      if (IsLoopHeader) {
+        error(M, "try inside a loop header sequence");
+        return false;
+      }
+      if (Node.Else.empty()) {
+        error(M, "try node without a handler");
+        return false;
+      }
+      if (!checkSeq(Node.Then, InLoop, false, Covered, M))
+        return false;
+      if (!checkSeq(Node.Else, InLoop, false, Covered, M))
+        return false;
+      break;
+    case CSTNode::Kind::Loop:
+      if (IsLoopHeader) {
+        // Loop headers contain only expression control flow; a loop whose
+        // decision set could become empty would break CFG derivation.
+        error(M, "loop nested inside a loop header sequence");
+        return false;
+      }
+      if (!Node.Cond) {
+        error(M, "loop node without a condition value");
+        return false;
+      }
+      if (!checkSeq(Node.Header, false, /*IsLoopHeader=*/true, Covered, M))
+        return false;
+      if (!checkSeq(Node.Body, /*InLoop=*/true, false, Covered, M))
+        return false;
+      break;
+    case CSTNode::Kind::Return:
+      if (IsLoopHeader) {
+        error(M, "return inside a loop header sequence");
+        return false;
+      }
+      if (!IsLast) {
+        error(M, "statements follow a return in a CST sequence");
+        return false;
+      }
+      break;
+    case CSTNode::Kind::Break:
+    case CSTNode::Kind::Continue:
+      if (!InLoop || IsLoopHeader) {
+        error(M, "break/continue outside of a loop body in the CST");
+        return false;
+      }
+      if (!IsLast) {
+        error(M, "statements follow a break/continue in a CST sequence");
+        return false;
+      }
+      break;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction checks
+//===----------------------------------------------------------------------===//
+
+bool TSAVerifier::isAvailableAt(const Instruction *Def,
+                                const BasicBlock *Block,
+                                unsigned Ordinal) const {
+  auto It = Pos.find(Def);
+  if (It == Pos.end())
+    return false; // Foreign instruction (different method) or dangling.
+  const BasicBlock *DefBlock = It->second.first;
+  if (DefBlock == Block)
+    return It->second.second < Ordinal;
+  return BasicBlock::dominates(DefBlock, Block);
+}
+
+void TSAVerifier::checkBlocks(TSAMethod &M) {
+  for (auto &BB : M.Blocks) {
+    bool SeenNonPhi = false;
+    for (unsigned Ord = 0; Ord != BB->Insts.size(); ++Ord) {
+      Instruction &I = *BB->Insts[Ord];
+      if (I.isPhi()) {
+        if (SeenNonPhi)
+          error(M, "phi after non-phi instruction in block " +
+                       std::to_string(BB->Id));
+      } else {
+        SeenNonPhi = true;
+      }
+      checkInstruction(M, *BB, I, Ord);
+    }
+  }
+}
+
+void TSAVerifier::checkConst(TSAMethod &M, const Instruction &I) {
+  Type *Ty = I.OpType;
+  bool Ok = false;
+  switch (I.C.K) {
+  case ConstantValue::Kind::Int:
+    Ok = Ty->isInt();
+    break;
+  case ConstantValue::Kind::Double:
+    Ok = Ty->isDouble();
+    break;
+  case ConstantValue::Kind::Bool:
+    Ok = Ty->isBoolean();
+    break;
+  case ConstantValue::Kind::Char:
+    Ok = Ty->isChar();
+    break;
+  case ConstantValue::Kind::Null:
+    Ok = Ty->isClass() || Ty->isArray();
+    break;
+  case ConstantValue::Kind::String:
+    Ok = Ty->isArray() && Ty->getElemType()->isChar();
+    break;
+  }
+  if (!Ok)
+    error(M, "constant kind does not match its declared type plane");
+}
+
+void TSAVerifier::checkDowncast(TSAMethod &M, const Instruction &I) {
+  Type *Src = I.AuxType, *Dst = I.OpType;
+  if (!Src || !Dst || !(Src->isClass() || Src->isArray()) ||
+      !(Dst->isClass() || Dst->isArray())) {
+    error(M, "downcast requires reference types");
+    return;
+  }
+  // Statically-safe directions only: widening along the class hierarchy
+  // (identity included); arrays widen only to Object. Safety may be
+  // erased (safe-ref -> ref) or preserved, but NEVER introduced — that is
+  // nullcheck's exclusive privilege.
+  bool Widens = false;
+  if (Src == Dst)
+    Widens = true;
+  else if (Dst->isClass() && Src->isClass())
+    Widens = Src->getClassSymbol()->isSubclassOf(Dst->getClassSymbol());
+  else if (Dst->isClass() && Src->isArray())
+    Widens = Dst->getClassSymbol()->Super == nullptr; // Object only.
+  if (!Widens)
+    error(M, "downcast does not widen: " + Src->getName() + " -> " +
+                 Dst->getName());
+  if (I.DstSafe && !I.SrcSafe)
+    error(M, "downcast cannot introduce safety (ref -> safe-ref)");
+}
+
+void TSAVerifier::checkInstruction(TSAMethod &M, BasicBlock &BB,
+                                   Instruction &I, unsigned Ordinal) {
+  // Preloads are confined to the entry block (paper §5: parameters and
+  // constants are pre-loaded into the initial basic block).
+  if (I.isPreload() && &BB != M.getEntry()) {
+    error(M, std::string(opcodeName(I.Op)) +
+                 " preload outside of the entry block");
+    return;
+  }
+  if (I.Op == Opcode::Const)
+    checkConst(M, I);
+  if (I.Op == Opcode::Param) {
+    // Instance methods and constructors receive `this` as parameter 0;
+    // declared parameters follow.
+    bool IsInstance = M.Symbol && !M.Symbol->IsStatic;
+    unsigned Shift = IsInstance ? 1 : 0;
+    bool Ok = false;
+    if (IsInstance && I.ParamIndex == 0)
+      Ok = I.OpType == Ctx.Types.getClass(M.Symbol->Owner);
+    else if (M.Symbol && I.ParamIndex >= Shift &&
+             I.ParamIndex - Shift < M.Symbol->ParamTys.size())
+      Ok = M.Symbol->ParamTys[I.ParamIndex - Shift] == I.OpType;
+    if (!Ok)
+      error(M, "parameter preload index/type mismatch");
+  }
+  if (I.Op == Opcode::Downcast)
+    checkDowncast(M, I);
+  if (I.Op == Opcode::Upcast &&
+      !(I.OpType && (I.OpType->isClass() || I.OpType->isArray())))
+    error(M, "upcast target must be a reference type");
+  if ((I.Op == Opcode::GetStatic || I.Op == Opcode::SetStatic) &&
+      (!I.Field || !I.Field->IsStatic))
+    error(M, "static field access without a static field");
+  if (I.Op == Opcode::New &&
+      !(I.OpType && I.OpType->isClass() &&
+        !I.OpType->getClassSymbol()->IsBuiltin))
+    error(M, "new requires a user class type");
+  if ((I.Op == Opcode::Primitive && primOpMayRaise(I.Prim)) ||
+      (I.Op == Opcode::XPrimitive && !primOpMayRaise(I.Prim)))
+    error(M, std::string("operation '") + primOpName(I.Prim) +
+                 "' used with the wrong primitive/xprimitive opcode");
+
+  // Operand count.
+  unsigned Expected = expectedOperandCount(I);
+  if (I.isPhi()) {
+    if (I.Operands.size() != BB.Preds.size()) {
+      error(M, "phi operand count " + std::to_string(I.Operands.size()) +
+                   " does not match predecessor count " +
+                   std::to_string(BB.Preds.size()) + " in block " +
+                   std::to_string(BB.Id));
+      return;
+    }
+  } else if (I.Operands.size() != Expected) {
+    error(M, std::string(opcodeName(I.Op)) + " expects " +
+                 std::to_string(Expected) + " operands, has " +
+                 std::to_string(I.Operands.size()));
+    return;
+  }
+
+  // Operand planes and availability.
+  for (unsigned Idx = 0; Idx != I.Operands.size(); ++Idx) {
+    Instruction *Op = I.Operands[Idx];
+    if (!Op) {
+      error(M, "null operand");
+      continue;
+    }
+    std::string Err;
+    std::optional<PlaneKey> Want = operandPlane(I, Idx, Ctx, &Err);
+    if (!Want) {
+      error(M, std::string(opcodeName(I.Op)) + ": " + Err);
+      return;
+    }
+    std::optional<PlaneKey> Got = resultPlane(*Op, Ctx);
+    if (!Got) {
+      error(M, "operand has no result value");
+      continue;
+    }
+    if (!(*Got == *Want)) {
+      error(M, std::string(opcodeName(I.Op)) + " operand " +
+                   std::to_string(Idx) + " is on plane " + Got->str() +
+                   " but the instruction reads plane " + Want->str());
+      continue;
+    }
+    if (I.isPhi()) {
+      // Phi operand k must be available at the end of predecessor k.
+      BasicBlock *Pred = BB.Preds[Idx];
+      if (!isAvailableAt(Op, Pred,
+                         static_cast<unsigned>(Pred->Insts.size())))
+        error(M, "phi operand " + std::to_string(Idx) +
+                     " does not dominate its incoming edge");
+    } else if (!isAvailableAt(Op, &BB, Ordinal)) {
+      error(M, std::string(opcodeName(I.Op)) + " operand " +
+                   std::to_string(Idx) +
+                   " does not dominate its use (referential integrity)");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CST value references
+//===----------------------------------------------------------------------===//
+
+void TSAVerifier::checkCSTValueRefs(TSAMethod &M) {
+  // Walk the CST maintaining the current block, mirroring CFG derivation.
+  std::function<BasicBlock *(const CSTSeq &, BasicBlock *)> Walk =
+      [&](const CSTSeq &Seq, BasicBlock *Cur) -> BasicBlock * {
+    for (const auto &Node : Seq) {
+      switch (Node->K) {
+      case CSTNode::Kind::Basic:
+        Cur = Node->BB;
+        break;
+      case CSTNode::Kind::If: {
+        const Instruction *Cond = Node->Cond;
+        std::optional<PlaneKey> P = Cond ? resultPlane(*Cond, Ctx)
+                                         : std::nullopt;
+        if (!P || !(*P == PlaneKey::base(Ctx.Types.getBoolean())))
+          error(M, "if condition is not a boolean value");
+        else if (!Cur || !isAvailableAt(Cond, Cur,
+                                        static_cast<unsigned>(
+                                            Cur->Insts.size())))
+          error(M, "if condition not available at the decision block");
+        Walk(Node->Then, Cur);
+        Walk(Node->Else, Cur);
+        // After an if, control is at the join: the next Basic updates Cur.
+        Cur = nullptr;
+        break;
+      }
+      case CSTNode::Kind::Loop: {
+        BasicBlock *Decision = Walk(Node->Header, Cur);
+        const Instruction *Cond = Node->Cond;
+        std::optional<PlaneKey> P = Cond ? resultPlane(*Cond, Ctx)
+                                         : std::nullopt;
+        if (!P || !(*P == PlaneKey::base(Ctx.Types.getBoolean())))
+          error(M, "loop condition is not a boolean value");
+        else if (!Decision ||
+                 !isAvailableAt(Cond, Decision,
+                                static_cast<unsigned>(
+                                    Decision->Insts.size())))
+          error(M, "loop condition not available at the loop decision block");
+        Walk(Node->Body, Decision);
+        Cur = nullptr;
+        break;
+      }
+      case CSTNode::Kind::Try: {
+        Walk(Node->Then, Cur);
+        Walk(Node->Else, nullptr);
+        Cur = nullptr;
+        break;
+      }
+      case CSTNode::Kind::Return: {
+        Type *Ret = M.Symbol ? M.Symbol->RetTy : nullptr;
+        if (Node->RetVal) {
+          std::optional<PlaneKey> P = resultPlane(*Node->RetVal, Ctx);
+          if (!Ret || Ret->isVoid())
+            error(M, "value returned from a void method");
+          else if (!P || !(*P == PlaneKey::base(Ret)))
+            error(M, "return value is on the wrong plane");
+          else if (!Cur || !isAvailableAt(Node->RetVal, Cur,
+                                          static_cast<unsigned>(
+                                              Cur->Insts.size())))
+            error(M, "return value not available at the returning block");
+        } else if (Ret && !Ret->isVoid()) {
+          error(M, "non-void method returns without a value");
+        }
+        break;
+      }
+      case CSTNode::Kind::Break:
+      case CSTNode::Kind::Continue:
+        break;
+      }
+    }
+    return Cur;
+  };
+  Walk(M.Root, nullptr);
+}

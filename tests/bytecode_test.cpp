@@ -1,0 +1,352 @@
+//===- tests/bytecode_test.cpp - Baseline substrate tests -----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode baseline in isolation: class-file round trips, link-time
+/// resolution, the dataflow verifier's accept/reject behaviour (including
+/// the classic attacks SafeTSA makes structurally impossible), and
+/// instruction-shape expectations that Figure 5 relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BCCompiler.h"
+#include "bytecode/BCFile.h"
+#include "bytecode/BCInterp.h"
+#include "bytecode/BCVerifier.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<CompiledProgram> P;
+  std::unique_ptr<BCModule> BC;
+};
+
+Built build(const std::string &Src) {
+  Built B;
+  B.P = compileMJ("bc.mj", Src, /*EmitTSA=*/false);
+  EXPECT_TRUE(B.P->ok()) << B.P->renderDiagnostics();
+  BCCompiler C(B.P->Types, *B.P->Table);
+  B.BC = C.compile(B.P->AST);
+  return B;
+}
+
+std::string runBC(const BCModule &M, CompiledProgram &P) {
+  Runtime RT(*P.Table);
+  BCInterpreter I(M, RT, P.Types);
+  ExecResult R = I.runMain();
+  EXPECT_EQ(R.Err, RuntimeError::None) << runtimeErrorName(R.Err);
+  return RT.getOutput();
+}
+
+BCMethod *findMethod(BCModule &M, const std::string &Name) {
+  for (BCClass &C : M.Classes)
+    for (BCMethod &Mth : C.Methods)
+      if (Mth.Symbol && Mth.Symbol->Name == Name)
+        return &Mth;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation shapes
+//===----------------------------------------------------------------------===//
+
+TEST(Bytecode, IIncForIntLocals) {
+  Built B = build("class Main { static void main() { "
+                  "for (int i = 0; i < 3; i++) IO.printInt(i); } }");
+  BCMethod *Main = findMethod(*B.BC, "main");
+  ASSERT_NE(Main, nullptr);
+  bool HasIInc = false;
+  for (size_t I = 0; I < Main->Code.size();) {
+    BC Op = static_cast<BC>(Main->Code[I]);
+    if (Op == BC::IInc)
+      HasIInc = true;
+    I += 1 + bcOperandWidth(Op);
+  }
+  EXPECT_TRUE(HasIInc) << "int local ++ should compile to iinc";
+}
+
+TEST(Bytecode, ConditionsCompileToBranchesNotValues) {
+  // `if (a < b)` should use if_icmpge directly, with no iconst/booleans.
+  Built B = build("class Main { static void f(int a, int b) { "
+                  "if (a < b) IO.printInt(1); } "
+                  "static void main() { f(1, 2); } }");
+  BCMethod *F = findMethod(*B.BC, "f");
+  ASSERT_NE(F, nullptr);
+  bool HasCmpBranch = false;
+  for (size_t I = 0; I < F->Code.size();) {
+    BC Op = static_cast<BC>(F->Code[I]);
+    if (Op == BC::IfICmpGe || Op == BC::IfICmpLt)
+      HasCmpBranch = true;
+    I += 1 + bcOperandWidth(Op);
+  }
+  EXPECT_TRUE(HasCmpBranch);
+}
+
+TEST(Bytecode, SmallConstantsUseCompactForms) {
+  Built B = build("class Main { static void main() { IO.printInt(0); "
+                  "IO.printInt(1); IO.printInt(100); IO.printInt(30000); "
+                  "IO.printInt(100000); } }");
+  BCMethod *Main = findMethod(*B.BC, "main");
+  unsigned Ldc = 0, BiPush = 0, SiPush = 0, IConst = 0;
+  for (size_t I = 0; I < Main->Code.size();) {
+    BC Op = static_cast<BC>(Main->Code[I]);
+    if (Op == BC::Ldc)
+      ++Ldc;
+    if (Op == BC::BIPush)
+      ++BiPush;
+    if (Op == BC::SIPush)
+      ++SiPush;
+    if (Op == BC::IConst0 || Op == BC::IConst1)
+      ++IConst;
+    I += 1 + bcOperandWidth(Op);
+  }
+  EXPECT_EQ(IConst, 2u);
+  EXPECT_EQ(BiPush, 1u);
+  EXPECT_EQ(SiPush, 1u);
+  EXPECT_EQ(Ldc, 1u); // Only 100000 needs the pool.
+}
+
+TEST(Bytecode, MaxStackIsRespectedAtRuntime) {
+  Built B = build("class Main { static int f(int a, int b, int c) { "
+                  "return a * (b + c * (a - b)); } "
+                  "static void main() { IO.printInt(f(2, 3, 4)); } }");
+  BCMethod *F = findMethod(*B.BC, "f");
+  EXPECT_GE(F->MaxStack, 3u);
+  EXPECT_LE(F->MaxStack, 8u);
+  EXPECT_EQ(runBC(*B.BC, *B.P), "-2");
+}
+
+//===----------------------------------------------------------------------===//
+// Class-file round trip
+//===----------------------------------------------------------------------===//
+
+TEST(Bytecode, FileRoundTripIsByteExact) {
+  Built B = build(findCorpusProgram("Shapes") ? "class X {}"
+                                              : "class X {}");
+  // Use a real corpus program for coverage.
+  const CorpusProgram *Prog = findCorpusProgram("SourceClass");
+  ASSERT_NE(Prog, nullptr);
+  Built B2 = build(Prog->Source);
+  std::vector<uint8_t> Bytes = writeBCModule(*B2.BC);
+  std::string Err;
+  auto Read = readBCModule(Bytes, &Err);
+  ASSERT_TRUE(Read) << Err;
+  EXPECT_EQ(writeBCModule(*Read), Bytes);
+  EXPECT_EQ(Read->countInstructions(), B2.BC->countInstructions());
+}
+
+TEST(Bytecode, LinkedReadBackExecutes) {
+  const CorpusProgram *Prog = findCorpusProgram("BatchParser");
+  ASSERT_NE(Prog, nullptr);
+  Built B = build(Prog->Source);
+  std::string Expected = runBC(*B.BC, *B.P);
+
+  std::vector<uint8_t> Bytes = writeBCModule(*B.BC);
+  std::string Err;
+  auto Read = readBCModule(Bytes, &Err);
+  ASSERT_TRUE(Read) << Err;
+  ASSERT_TRUE(linkBCModule(*Read, *B.P->Table, B.P->Types, &Err)) << Err;
+  EXPECT_EQ(runBC(*Read, *B.P), Expected);
+}
+
+TEST(Bytecode, ReaderRejectsCorruptContainers) {
+  const CorpusProgram *Prog = findCorpusProgram("Main");
+  Built B = build(Prog->Source);
+  std::vector<uint8_t> Bytes = writeBCModule(*B.BC);
+  std::string Err;
+  // Truncations at every prefix must fail cleanly or round-trip.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Len);
+    EXPECT_EQ(readBCModule(Cut, &Err), nullptr);
+  }
+  // Bad magic.
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[0] ^= 0x01;
+  EXPECT_EQ(readBCModule(Bad, &Err), nullptr);
+}
+
+TEST(Bytecode, LinkerRejectsUnresolvedMembers) {
+  Built B = build("class C { int v; int f() { return v; } } "
+                  "class Main { static void main() { "
+                  "IO.printInt(new C().f()); } }");
+  std::vector<uint8_t> Bytes = writeBCModule(*B.BC);
+  std::string Err;
+  auto Read = readBCModule(Bytes, &Err);
+  ASSERT_TRUE(Read);
+  // Link against a table that lacks class C.
+  auto Other = compileMJ("other.mj", "class Unrelated {}",
+                         /*EmitTSA=*/false);
+  EXPECT_FALSE(linkBCModule(*Read, *Other->Table, Other->Types, &Err));
+  EXPECT_NE(Err.find("unresolved"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow verifier
+//===----------------------------------------------------------------------===//
+
+class BCVerifyCorpus : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(BCVerifyCorpus, AcceptsCompilerOutput) {
+  Built B = build(GetParam().Source);
+  BCVerifier V(*B.BC);
+  EXPECT_TRUE(V.verify())
+      << (V.getErrors().empty() ? "" : V.getErrors().front());
+  EXPECT_GT(V.getIterationCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BCVerifyCorpus, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+/// Replaces the first occurrence of \p From with \p To in main's code.
+bool patchOpcode(BCModule &M, BC From, BC To) {
+  for (BCClass &C : M.Classes)
+    for (BCMethod &Mth : C.Methods)
+      for (size_t I = 0; I < Mth.Code.size();) {
+        BC Op = static_cast<BC>(Mth.Code[I]);
+        if (Op == From) {
+          Mth.Code[I] = static_cast<uint8_t>(To);
+          return true;
+        }
+        I += 1 + bcOperandWidth(Op);
+      }
+  return false;
+}
+
+TEST(BCVerify, RejectsTypeConfusionIntAsRef) {
+  Built B = build("class C { int v; } class Main { static void main() { "
+                  "C c = new C(); IO.printInt(c.v); } }");
+  // Retype an aload as iload: the getfield then sees an int.
+  ASSERT_TRUE(patchOpcode(*B.BC, BC::ALoad, BC::ILoad));
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, RejectsStackUnderflow) {
+  Built B = build("class Main { static void main() { "
+                  "IO.printInt(1 + 2); } }");
+  // iadd with only one value: replace a push with a nop... simplest:
+  // replace iconst with nop is impossible (different widths), so inject
+  // an extra Pop before a return.
+  BCMethod *Main = findMethod(*B.BC, "main");
+  std::vector<uint8_t> Code = Main->Code;
+  Code.insert(Code.end() - 1, static_cast<uint8_t>(BC::Pop));
+  Main->Code = Code;
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, RejectsBranchIntoOperands) {
+  Built B = build("class Main { static void main() { int x = 70000; "
+                  "if (x > 0) IO.printInt(x); } }");
+  BCMethod *Main = findMethod(*B.BC, "main");
+  // Find a conditional branch and skew its offset by one byte so it lands
+  // mid-instruction.
+  bool Patched = false;
+  for (size_t I = 0; I < Main->Code.size() && !Patched;) {
+    BC Op = static_cast<BC>(Main->Code[I]);
+    if (Op == BC::IfLe || Op == BC::IfGt || Op == BC::Goto) {
+      Main->Code[I + 2] += 1;
+      Patched = true;
+    }
+    I += 1 + bcOperandWidth(Op);
+  }
+  ASSERT_TRUE(Patched);
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, RejectsFallingOffTheEnd) {
+  Built B = build("class Main { static void main() { IO.println(); } }");
+  BCMethod *Main = findMethod(*B.BC, "main");
+  Main->Code.pop_back(); // Drop the return.
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, RejectsWrongReturnKind) {
+  Built B = build("class Main { static int f() { return 3; } "
+                  "static void main() { IO.printInt(f()); } }");
+  ASSERT_TRUE(patchOpcode(*B.BC, BC::IReturn, BC::Return));
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, RejectsBadPoolIndexKinds) {
+  Built B = build("class C { int v; } class Main { static void main() { "
+                  "C c = new C(); IO.printInt(c.v); } }");
+  // Point the getfield at a Utf8 entry instead of a FieldRef.
+  BCMethod *Main = findMethod(*B.BC, "main");
+  bool Patched = false;
+  for (size_t I = 0; I < Main->Code.size() && !Patched;) {
+    BC Op = static_cast<BC>(Main->Code[I]);
+    if (Op == BC::GetField) {
+      Main->Code[I + 1] = 0;
+      Main->Code[I + 2] = 1; // Pool entry 1 is a Utf8 in practice.
+      Patched = true;
+    }
+    I += 1 + bcOperandWidth(Op);
+  }
+  ASSERT_TRUE(Patched);
+  ASSERT_NE(B.BC->Pool[1].K, PoolEntry::Kind::FieldRef);
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+TEST(BCVerify, MergePointsRequireConsistentStacks) {
+  // Hand-craft: two paths reaching a join with different stack depths.
+  Built B = build("class Main { static void main() { IO.println(); } }");
+  BCMethod *Main = findMethod(*B.BC, "main");
+  // iconst_0; ifeq +4 ; iconst_1 ; <join> return
+  // One path has 1 value, the other 0 at the join.
+  std::vector<uint8_t> Code;
+  Code.push_back(static_cast<uint8_t>(BC::IConst0));
+  Code.push_back(static_cast<uint8_t>(BC::IfEq));
+  Code.push_back(0);
+  Code.push_back(4); // to `return`
+  Code.push_back(static_cast<uint8_t>(BC::IConst1));
+  Code.push_back(static_cast<uint8_t>(BC::Return));
+  Main->Code = Code;
+  Main->MaxStack = 4;
+  BCVerifier V(*B.BC);
+  EXPECT_FALSE(V.verify());
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter details
+//===----------------------------------------------------------------------===//
+
+TEST(Bytecode, DupInstructionsBehave) {
+  // Compound array assignment exercises dup2/dup_x2.
+  Built B = build("class Main { static void main() { int[] a = new "
+                  "int[2]; a[1] = 10; IO.printInt(a[1] += 5); "
+                  "IO.printInt(a[1]); } }");
+  EXPECT_EQ(runBC(*B.BC, *B.P), "1515");
+}
+
+TEST(Bytecode, FieldInitsViaTempSlot) {
+  Built B = build("class C { int a = 3; int b = a * 2; } "
+                  "class Main { static void main() { C c = new C(); "
+                  "IO.printInt(c.a + c.b); } }");
+  EXPECT_EQ(runBC(*B.BC, *B.P), "9");
+}
+
+TEST(Bytecode, DCmpNaNOrdering) {
+  Built B = build("class Main { static void main() { double n = 0.0; "
+                  "double nan = n / n; IO.printBool(nan < 1.0); "
+                  "IO.printBool(nan >= 1.0); IO.printBool(nan == nan); } }");
+  EXPECT_EQ(runBC(*B.BC, *B.P), "falsefalsefalse");
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+//===- tests/codec_test.cpp - Wire-format tests ---------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encode/decode round trips, structural fidelity, and hostile-input
+/// robustness: random mutations and truncations of wire images must never
+/// crash the decoder and never produce an unverifiable module.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/TSAInterp.h"
+#include "opt/Optimizer.h"
+#include "tsa/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace safetsa;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string &Src) {
+  auto P = compileMJ("codec.mj", Src);
+  EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
+  return P;
+}
+
+std::string runDecoded(const DecodedUnit &Unit) {
+  Runtime RT(*Unit.Table);
+  TSAInterpreter I(*Unit.Module, RT);
+  ExecResult R = I.runMain();
+  EXPECT_EQ(R.Err, RuntimeError::None) << runtimeErrorName(R.Err);
+  return RT.getOutput();
+}
+
+const char *DemoSrc =
+    "class Pair { int a; int b; Pair(int x, int y) { a = x; b = y; } "
+    "  int sum() { return a + b; } } "
+    "class Main { static double half = 0.5; "
+    "  static void main() { Pair p = new Pair(3, 4); "
+    "    int[] xs = new int[4]; "
+    "    for (int i = 0; i < xs.length; i++) xs[i] = p.sum() * i; "
+    "    IO.printInt(xs[3]); IO.printDouble(half); "
+    "    IO.printStr(\"ok\"); } }";
+
+TEST(Codec, RoundTripPreservesStructureAndBehaviour) {
+  auto P = compile(DemoSrc);
+  unsigned Insts = P->TSA->countInstructions();
+  unsigned Phis = P->TSA->countOpcode(Opcode::Phi);
+  unsigned Checks = P->TSA->countOpcode(Opcode::NullCheck);
+
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  std::string Err;
+  auto Unit = decodeModule(Wire, &Err);
+  ASSERT_TRUE(Unit) << Err;
+
+  EXPECT_EQ(Unit->Module->countInstructions(), Insts);
+  EXPECT_EQ(Unit->Module->countOpcode(Opcode::Phi), Phis);
+  EXPECT_EQ(Unit->Module->countOpcode(Opcode::NullCheck), Checks);
+  EXPECT_EQ(Unit->Module->Methods.size(), P->TSA->Methods.size());
+
+  TSAVerifier V(*Unit->Module);
+  EXPECT_TRUE(V.verify());
+  EXPECT_EQ(runDecoded(*Unit), "210.5ok");
+}
+
+TEST(Codec, EncodingIsDeterministic) {
+  auto P1 = compile(DemoSrc);
+  auto P2 = compile(DemoSrc);
+  EXPECT_EQ(encodeModule(*P1->TSA), encodeModule(*P2->TSA));
+}
+
+TEST(Codec, ReEncodingDecodedModuleIsStable) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire1 = encodeModule(*P->TSA);
+  std::string Err;
+  auto Unit = decodeModule(Wire1, &Err);
+  ASSERT_TRUE(Unit) << Err;
+  std::vector<uint8_t> Wire2 = encodeModule(*Unit->Module);
+  EXPECT_EQ(Wire1, Wire2) << "decode/encode must be a fixpoint";
+}
+
+TEST(Codec, DecodedTableRebuildsLayoutsAndVTables) {
+  auto P = compile(
+      "class A { int x; int f() { return 1; } } "
+      "class B extends A { int y; int f() { return 2; } "
+      "int g() { return 3; } } "
+      "class Main { static void main() { A a = new B(); "
+      "IO.printInt(a.f()); } }");
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  std::string Err;
+  auto Unit = decodeModule(Wire, &Err);
+  ASSERT_TRUE(Unit) << Err;
+  ClassSymbol *B = Unit->Table->lookup("B");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->InstanceLayout.size(), 2u);
+  EXPECT_EQ(B->VTable.size(), 2u);
+  EXPECT_EQ(B->VTable[0]->Owner, B) << "override installed in slot 0";
+  EXPECT_EQ(runDecoded(*Unit), "2");
+}
+
+TEST(Codec, StaticInitsSurviveTheTrip) {
+  auto P = compile(
+      "class K { static int a = 41; static char c = 'z'; "
+      "static double d = 1.25; static boolean b = true; } "
+      "class Main { static void main() { IO.printInt(K.a); "
+      "IO.printChar(K.c); IO.printDouble(K.d); IO.printBool(K.b); } }");
+  auto Unit = decodeModule(encodeModule(*P->TSA), nullptr);
+  ASSERT_TRUE(Unit);
+  EXPECT_EQ(runDecoded(*Unit), "41z1.25true");
+}
+
+TEST(Codec, OptimizedModulesRoundTrip) {
+  for (const CorpusProgram &Prog :
+       {*findCorpusProgram("BitSieve"), *findCorpusProgram("Parser")}) {
+    auto P = compile(Prog.Source);
+    optimizeModule(*P->TSA);
+    std::string Err;
+    auto Unit = decodeModule(encodeModule(*P->TSA), &Err);
+    ASSERT_TRUE(Unit) << Err;
+    TSAVerifier V(*Unit->Module);
+    EXPECT_TRUE(V.verify());
+  }
+}
+
+TEST(Codec, PrefixModeIsSmallerThanNaive) {
+  auto P = compile(DemoSrc);
+  size_t Prefix = encodeModule(*P->TSA, CodecMode::Prefix).size();
+  size_t Naive = encodeModule(*P->TSA, CodecMode::Naive).size();
+  EXPECT_LT(Prefix, Naive);
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile inputs
+//===----------------------------------------------------------------------===//
+
+TEST(Codec, RejectsGarbageAndEmpty) {
+  std::string Err;
+  EXPECT_EQ(decodeModule({}, &Err), nullptr);
+  EXPECT_EQ(decodeModule({0x00}, &Err), nullptr);
+  std::vector<uint8_t> Junk(256, 0xA5);
+  EXPECT_EQ(decodeModule(Junk, &Err), nullptr);
+}
+
+TEST(Codec, RejectsWrongMagicOrVersion) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  {
+    std::vector<uint8_t> Bad = Wire;
+    Bad[0] ^= 0xff;
+    std::string Err;
+    EXPECT_EQ(decodeModule(Bad, &Err), nullptr);
+    EXPECT_EQ(Err, "bad magic");
+  }
+  {
+    std::vector<uint8_t> Bad = Wire;
+    Bad[4] ^= 0xff; // Version field (little-end bit order in stream).
+    std::string Err;
+    EXPECT_EQ(decodeModule(Bad, &Err), nullptr);
+  }
+}
+
+TEST(Codec, TruncationAtEveryLengthIsHandled) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  for (size_t Len = 0; Len < Wire.size(); ++Len) {
+    std::vector<uint8_t> Cut(Wire.begin(), Wire.begin() + Len);
+    std::string Err;
+    auto Unit = decodeModule(Cut, &Err);
+    if (Unit) {
+      // Decoding may succeed if the tail was padding; the module must
+      // still verify.
+      TSAVerifier V(*Unit->Module);
+      EXPECT_TRUE(V.verify()) << "truncated-at-" << Len;
+    }
+  }
+}
+
+/// Random multi-byte corruption; parameterized by seed.
+class CodecFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CodecFuzz, MutatedImagesNeverYieldUnsafeModules) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round < 300; ++Round) {
+    std::vector<uint8_t> Evil = Wire;
+    unsigned Mutations = 1 + Rng() % 8;
+    for (unsigned I = 0; I != Mutations; ++I) {
+      size_t Pos = Rng() % Evil.size();
+      Evil[Pos] = static_cast<uint8_t>(Rng());
+    }
+    std::string Err;
+    auto Unit = decodeModule(Evil, &Err);
+    if (!Unit)
+      continue; // Rejected: fine.
+    TSAVerifier V(*Unit->Module);
+    EXPECT_TRUE(V.verify())
+        << "decoder accepted a module the verifier rejects (seed "
+        << GetParam() << ", round " << Round << "): "
+        << (V.getErrors().empty() ? "" : V.getErrors().front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(100u, 112u));
+
+} // namespace

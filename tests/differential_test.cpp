@@ -1,0 +1,134 @@
+//===- tests/differential_test.cpp - Corpus pipeline equivalence -*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strongest correctness evidence in the suite: every corpus program
+/// is run through five independent executions and all outputs must agree:
+///   1. SafeTSA evaluated directly,
+///   2. SafeTSA after the full optimization pipeline (CP + CSE + DCE),
+///   3. SafeTSA encoded to bytes, decoded into a *fresh* class table, and
+///      evaluated on the consumer side,
+///   4. the optimized module after an encode/decode round trip,
+///   5. the baseline stack bytecode, compiled from the same AST.
+/// Every intermediate module must also pass its verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BCCompiler.h"
+#include "bytecode/BCInterp.h"
+#include "bytecode/BCVerifier.h"
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/TSAInterp.h"
+#include "opt/Optimizer.h"
+#include "tsa/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+class DifferentialTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+std::string runTSA(const TSAModule &Module, ClassTable &Table,
+                   RuntimeError *Err = nullptr) {
+  Runtime RT(Table);
+  TSAInterpreter Interp(Module, RT);
+  ExecResult R = Interp.runMain();
+  if (Err)
+    *Err = R.Err;
+  EXPECT_EQ(R.Err, RuntimeError::None) << runtimeErrorName(R.Err);
+  return RT.getOutput();
+}
+
+TEST_P(DifferentialTest, AllExecutionsAgree) {
+  const CorpusProgram &P = GetParam();
+  auto C = compileMJ(P.Name, P.Source);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+
+  // 1. Unoptimized SafeTSA.
+  {
+    TSAVerifier V(*C->TSA);
+    ASSERT_TRUE(V.verify()) << (V.getErrors().empty()
+                                    ? ""
+                                    : V.getErrors().front());
+  }
+  std::string Reference = runTSA(*C->TSA, *C->Table);
+  ASSERT_FALSE(Reference.empty()) << "corpus program produced no output";
+
+  // 5 (early, before the module is mutated). Baseline bytecode.
+  {
+    BCCompiler BCC(C->Types, *C->Table);
+    auto BC = BCC.compile(C->AST);
+    BCVerifier BV(*BC);
+    ASSERT_TRUE(BV.verify())
+        << (BV.getErrors().empty() ? "" : BV.getErrors().front());
+    Runtime RT(*C->Table);
+    BCInterpreter Interp(*BC, RT, C->Types);
+    ExecResult R = Interp.runMain();
+    ASSERT_EQ(R.Err, RuntimeError::None) << runtimeErrorName(R.Err);
+    EXPECT_EQ(RT.getOutput(), Reference) << "bytecode backend diverged";
+  }
+
+  // 3. Mobile-code round trip of the unoptimized module.
+  {
+    std::vector<uint8_t> Wire = encodeModule(*C->TSA);
+    ASSERT_FALSE(Wire.empty());
+    std::string Err;
+    auto Unit = decodeModule(Wire, &Err);
+    ASSERT_TRUE(Unit) << Err;
+    TSAVerifier V(*Unit->Module);
+    ASSERT_TRUE(V.verify())
+        << (V.getErrors().empty() ? "" : V.getErrors().front());
+    EXPECT_EQ(runTSA(*Unit->Module, *Unit->Table), Reference)
+        << "decoded module diverged";
+  }
+
+  // 2. Optimized module (mutates C->TSA).
+  OptStats Stats = optimizeModule(*C->TSA);
+  {
+    TSAVerifier V(*C->TSA);
+    ASSERT_TRUE(V.verify())
+        << (V.getErrors().empty() ? "" : V.getErrors().front());
+  }
+  EXPECT_EQ(runTSA(*C->TSA, *C->Table), Reference)
+      << "optimizer changed behaviour";
+  EXPECT_GT(Stats.CSERemoved + Stats.DCERemoved, 0u)
+      << "optimizer found nothing on a corpus program";
+
+  // 4. Round trip of the optimized module.
+  {
+    std::vector<uint8_t> Wire = encodeModule(*C->TSA);
+    std::string Err;
+    auto Unit = decodeModule(Wire, &Err);
+    ASSERT_TRUE(Unit) << Err;
+    TSAVerifier V(*Unit->Module);
+    ASSERT_TRUE(V.verify())
+        << (V.getErrors().empty() ? "" : V.getErrors().front());
+    EXPECT_EQ(runTSA(*Unit->Module, *Unit->Table), Reference)
+        << "optimized+decoded module diverged";
+  }
+
+  // Naive-mode codec round trip (ablation path must be correct too).
+  {
+    std::vector<uint8_t> Wire = encodeModule(*C->TSA, CodecMode::Naive);
+    std::string Err;
+    auto Unit = decodeModule(Wire, &Err, CodecMode::Naive);
+    ASSERT_TRUE(Unit) << Err;
+    EXPECT_EQ(runTSA(*Unit->Module, *Unit->Table), Reference)
+        << "naive-mode codec diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DifferentialTest, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/printer_test.cpp - Dump/driver surface tests -----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "tsa/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+TEST(Printer, ShowsPaperNotation) {
+  auto P = compileMJ("p.mj",
+                     "class C { int v; } "
+                     "class Main { static int f(C c, int i) { "
+                     "int[] a = new int[4]; "
+                     "while (i < a.length) { a[i] = c.v; i = i + 1; } "
+                     "return i + a[0]; } "
+                     "static void main() { IO.printInt(f(new C(), 1)); } }");
+  ASSERT_TRUE(P->ok());
+  std::string Dump = printModule(*P->TSA);
+  // Register planes with ascending fill.
+  EXPECT_NE(Dump.find("int[0] <-"), std::string::npos);
+  // Safe planes from checks.
+  EXPECT_NE(Dump.find("safe-C[0] <- nullcheck C"), std::string::npos);
+  EXPECT_NE(Dump.find("safe-index-int[]"), std::string::npos);
+  // (l-r) operand pairs.
+  EXPECT_NE(Dump.find("(0-0)"), std::string::npos);
+  EXPECT_NE(Dump.find("(1-"), std::string::npos);
+  // Structure comes from the CST.
+  EXPECT_NE(Dump.find("loop header:"), std::string::npos);
+  EXPECT_NE(Dump.find("while "), std::string::npos);
+  EXPECT_NE(Dump.find("return"), std::string::npos);
+  EXPECT_NE(Dump.find("phi"), std::string::npos);
+}
+
+TEST(Printer, ShowsTryStructure) {
+  auto P = compileMJ("p.mj",
+                     "class Main { static void main() { int z = 0; "
+                     "try { IO.printInt(1 / z); } "
+                     "catch { IO.printInt(2); } } }");
+  ASSERT_TRUE(P->ok());
+  std::string Dump = printModule(*P->TSA);
+  EXPECT_NE(Dump.find("try"), std::string::npos);
+  EXPECT_NE(Dump.find("catch"), std::string::npos);
+  EXPECT_NE(Dump.find("xcall IO.printInt(int)"), std::string::npos);
+  EXPECT_NE(Dump.find("xprimitive int div"), std::string::npos);
+}
+
+TEST(Printer, EveryCorpusProgramDumpsCleanly) {
+  for (const CorpusProgram &Prog : getCorpus()) {
+    auto P = compileMJ(Prog.Name, Prog.Source);
+    ASSERT_TRUE(P->ok()) << Prog.Name;
+    std::string Dump = printModule(*P->TSA);
+    EXPECT_GT(Dump.size(), 500u) << Prog.Name;
+    EXPECT_EQ(Dump.find("(?)"), std::string::npos)
+        << Prog.Name << ": dangling reference in dump";
+  }
+}
+
+TEST(Driver, FindMain) {
+  auto P = compileMJ("p.mj", "class A { static void main() {} }");
+  ASSERT_TRUE(P->ok());
+  ASSERT_NE(P->findMain(), nullptr);
+  EXPECT_EQ(P->findMain()->Name, "main");
+
+  auto NoMain = compileMJ("p.mj", "class A { static void main(int x) {} }");
+  ASSERT_TRUE(NoMain->ok());
+  EXPECT_EQ(NoMain->findMain(), nullptr);
+}
+
+TEST(Driver, DiagnosticsRenderWithContext) {
+  auto P = compileMJ("broken.mj", "class A { void f() { return 1; } }");
+  EXPECT_FALSE(P->ok());
+  std::string Out = P->renderDiagnostics();
+  EXPECT_NE(Out.find("broken.mj:1:"), std::string::npos);
+  EXPECT_NE(Out.find("void method cannot return"), std::string::npos);
+  EXPECT_NE(Out.find('^'), std::string::npos);
+}
+
+TEST(Driver, EmitTSAFalseSkipsGeneration) {
+  auto P = compileMJ("p.mj", "class A { static void main() {} }",
+                     /*EmitTSA=*/false);
+  EXPECT_TRUE(P->ok());
+  EXPECT_EQ(P->TSA, nullptr);
+  EXPECT_NE(P->Table, nullptr);
+}
+
+TEST(Driver, ASTDumpIsStable) {
+  auto P = compileMJ("p.mj",
+                     "class A { int x; int f(int a) { "
+                     "if (a > 0) return a * x; return -a; } }",
+                     /*EmitTSA=*/false);
+  ASSERT_TRUE(P->ok());
+  std::string Dump = dumpAST(P->AST);
+  EXPECT_NE(Dump.find("class A"), std::string::npos);
+  EXPECT_NE(Dump.find("method int f(int a)"), std::string::npos);
+  EXPECT_NE(Dump.find("(a > 0)"), std::string::npos);
+  EXPECT_NE(Dump.find("return (a * x)"), std::string::npos);
+}
+
+} // namespace

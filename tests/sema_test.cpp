@@ -1,0 +1,351 @@
+//===- tests/sema_test.cpp - Semantic analysis tests ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+/// Compiles and expects success.
+std::unique_ptr<CompiledProgram> ok(const std::string &Src) {
+  auto P = compileMJ("sema.mj", Src, /*EmitTSA=*/false);
+  EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
+  return P;
+}
+
+/// Compiles and expects an error whose message contains \p Needle.
+void bad(const std::string &Src, const std::string &Needle) {
+  auto P = compileMJ("sema.mj", Src, /*EmitTSA=*/false);
+  EXPECT_FALSE(P->ok()) << "expected error containing '" << Needle << "'";
+  EXPECT_TRUE(P->Diags.containsMessage(Needle))
+      << "wanted '" << Needle << "', got:\n"
+      << P->renderDiagnostics();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, DuplicateClass) {
+  bad("class A {} class A {}", "duplicate class");
+}
+
+TEST(Sema, BuiltinClassClash) {
+  bad("class IO {}", "conflicts with a builtin class");
+  bad("class Object {}", "conflicts with a builtin class");
+  bad("class Math {}", "conflicts with a builtin class");
+}
+
+TEST(Sema, UnknownSuperclass) {
+  bad("class A extends Nope {}", "unknown superclass");
+}
+
+TEST(Sema, CannotExtendBuiltins) {
+  bad("class A extends IO {}", "cannot extend builtin class");
+}
+
+TEST(Sema, ExtendingObjectIsFine) {
+  ok("class A extends Object {}");
+}
+
+TEST(Sema, InheritanceCycle) {
+  bad("class A extends B {} class B extends A {}", "inheritance cycle");
+}
+
+TEST(Sema, SelfInheritance) {
+  bad("class A extends A {}", "cycle");
+}
+
+TEST(Sema, DuplicateField) {
+  bad("class A { int x; double x; }", "duplicate field");
+}
+
+TEST(Sema, DuplicateMethodSignature) {
+  bad("class A { void f(int a) {} void f(int b) {} }",
+      "duplicate method signature");
+}
+
+TEST(Sema, OverloadingIsAllowed) {
+  ok("class A { void f(int a) {} void f(double a) {} void f() {} }");
+}
+
+TEST(Sema, OverrideChangingReturnTypeRejected) {
+  bad("class A { int f() { return 1; } } "
+      "class B extends A { double f() { return 1.0; } }",
+      "changes the return type");
+}
+
+TEST(Sema, ValidOverride) {
+  ok("class A { int f() { return 1; } } "
+    "class B extends A { int f() { return 2; } }");
+}
+
+TEST(Sema, UnknownFieldType) {
+  bad("class A { Zork z; }", "unknown type");
+}
+
+TEST(Sema, VoidField) {
+  bad("class A { void v; }", "cannot have type 'void'");
+}
+
+TEST(Sema, StaticInitMustBeConstant) {
+  bad("class A { static int x = f(); static int f() { return 1; } }",
+      "constant expression");
+  ok("class A { static int x = 3 * 7 + (1 << 4); }");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, UndeclaredIdentifier) {
+  bad("class A { void f() { x = 1; } }", "undeclared identifier");
+}
+
+TEST(Sema, LocalRedeclaration) {
+  bad("class A { void f() { int x; int x; } }", "redeclaration");
+}
+
+TEST(Sema, BlockScoping) {
+  ok("class A { void f() { { int x; } { int x; } } }");
+  bad("class A { void f() { int x; { int x; } } }", "redeclaration");
+}
+
+TEST(Sema, ArithmeticTypeRules) {
+  ok("class A { int f(int a, char c) { return a + c; } }");
+  ok("class A { double f(int a, double d) { return a * d; } }");
+  bad("class A { int f(boolean b) { return b + 1; } }", "numeric");
+  bad("class A { void f(A x) { int y = x + 1; } }", "numeric");
+}
+
+TEST(Sema, NarrowingNeedsCast) {
+  bad("class A { int f(double d) { return d; } }", "cannot convert");
+  ok("class A { int f(double d) { return (int) d; } }");
+  bad("class A { char f(int i) { return i; } }", "cannot convert");
+  ok("class A { char f(int i) { return (char) i; } }");
+}
+
+TEST(Sema, WideningIsImplicit) {
+  ok("class A { double f(int i) { return i; } }");
+  ok("class A { int f(char c) { return c; } }");
+  ok("class A { double f(char c) { return c; } }");
+}
+
+TEST(Sema, BooleanCastsRejected) {
+  bad("class A { int f(boolean b) { return (int) b; } }", "invalid cast");
+  bad("class A { boolean f(int i) { return (boolean) i; } }",
+      "invalid cast");
+}
+
+TEST(Sema, BitwiseRequiresInts) {
+  ok("class A { int f(int a, char c) { return (a & c) | (a ^ 3) << 2; } }");
+  bad("class A { int f(double d) { return 1 & d; } }", "integer operands");
+  bad("class A { int f(boolean b) { return 1 | b; } }", "integer operands");
+}
+
+TEST(Sema, LogicalRequiresBooleans) {
+  bad("class A { boolean f(int i) { return i && true; } }",
+      "cannot convert");
+  bad("class A { boolean f() { return !1; } }", "boolean operand");
+}
+
+TEST(Sema, ConditionsMustBeBoolean) {
+  bad("class A { void f(int i) { if (i) {} } }", "cannot convert");
+  bad("class A { void f(int i) { while (i) {} } }", "cannot convert");
+  bad("class A { void f(int i) { for (;i;) {} } }", "cannot convert");
+}
+
+TEST(Sema, EqualityRules) {
+  ok("class A { boolean f(int a, double b) { return a == b; } }");
+  ok("class A { boolean f(boolean a, boolean b) { return a != b; } }");
+  ok("class A { boolean f(A x) { return x == null; } }");
+  ok("class B {} class A extends B { boolean f(A a, B b) "
+     "{ return a == b; } }");
+  bad("class B {} class A { boolean f(A a, B b) { return a == b; } }",
+      "unrelated reference types");
+  bad("class A { boolean f(int i, A a) { return i == a; } }",
+      "invalid operands");
+  bad("class A { boolean f(boolean b, int i) { return b == i; } }",
+      "invalid operands");
+}
+
+TEST(Sema, RefCastRules) {
+  ok("class B {} class A extends B { B up(A a) { return (B) a; } "
+     "A down(B b) { return (A) b; } }");
+  bad("class B {} class A { A f(B b) { return (A) b; } }",
+      "unrelated types");
+}
+
+TEST(Sema, InstanceofRules) {
+  ok("class B {} class A extends B { boolean f(B b) "
+     "{ return b instanceof A; } }");
+  bad("class A { boolean f(int i) { return i instanceof A; } }",
+      "reference operand");
+}
+
+TEST(Sema, ArrayRules) {
+  ok("class A { int f(int[] a) { return a[0] + a.length; } }");
+  ok("class A { int f(int[] a, char c) { return a[c]; } }");
+  bad("class A { int f(int[] a, double d) { return a[d]; } }",
+      "cannot convert");
+  bad("class A { int f(int x) { return x[0]; } }", "not an array");
+  bad("class A { int f(int[] a) { return a.size; } }", "no field");
+  bad("class A { void f(int[] a) { a.length = 3; } }", "read-only");
+}
+
+TEST(Sema, ArrayCovarianceRejected) {
+  // MJ arrays are invariant (unlike Java): B[] is not an A[].
+  bad("class B {} class A extends B { B[] f(A[] a) { return a; } }",
+      "cannot convert");
+}
+
+TEST(Sema, NewArraySizeMustBeInt) {
+  bad("class A { void f(double d) { int[] a = new int[d]; } }",
+      "cannot convert");
+}
+
+TEST(Sema, FieldAccessRules) {
+  ok("class A { int x; int f(A a) { return a.x; } }");
+  bad("class A { int x; int f(A a) { return a.y; } }", "no field");
+  bad("class A { static int s; int f(A a) { return a.s; } }",
+      "accessed through an instance");
+  ok("class A { static int s; int f() { return A.s; } }");
+  ok("class A { static int s; int f() { return s; } }");
+}
+
+TEST(Sema, ThisRules) {
+  bad("class A { static void f() { this.g(); } void g() {} }",
+      "static context");
+  bad("class A { int x; static int f() { return x; } }", "static context");
+  ok("class A { int x; int f() { return this.x; } }");
+}
+
+TEST(Sema, CallResolution) {
+  bad("class A { void f() { g(); } }", "unknown method");
+  bad("class A { void g(int i) {} void f() { g(); } }",
+      "no applicable overload");
+  bad("class A { void g(int i) {} void f(A a) { a.g(true); } }",
+      "no applicable overload");
+  bad("class A { void f() { IO.nope(1); } }", "no static method");
+  // Static method called from instance context is fine.
+  ok("class A { static int g() { return 1; } int f() { return g(); } }");
+  // Instance method from static context is not.
+  bad("class A { int g() { return 1; } static int f() { return g(); } }",
+      "static context");
+}
+
+TEST(Sema, OverloadSelectsMostSpecific) {
+  // int argument prefers f(int) over f(double).
+  auto P = ok("class A { static int f(int x) { return 1; } "
+              "static int f(double x) { return 2; } "
+              "static int main() { return f(3); } }");
+  (void)P;
+}
+
+TEST(Sema, AmbiguousOverload) {
+  bad("class A { void f(int a, double b) {} void f(double a, int b) {} "
+      "void g() { f(1, 2); } }",
+      "ambiguous");
+}
+
+TEST(Sema, ConstructorResolution) {
+  ok("class A { A(int x) {} } class B { A f() { return new A(1); } }");
+  bad("class A { A(int x) {} } class B { A f() { return new A(); } }",
+      "no applicable overload");
+  bad("class B { Object f() { return new IO(); } }",
+      "cannot instantiate builtin");
+  bad("class A { } class B { A f() { return new A(5); } }",
+      "no constructors but arguments");
+}
+
+TEST(Sema, FinalFieldRules) {
+  ok("class A { final int x; A() { x = 1; } }");
+  bad("class A { final int x; void f() { x = 2; } }",
+      "assignment to final field");
+  bad("class A { final int x; } class B { void f(A a) { a.x = 1; } }",
+      "assignment to final field");
+}
+
+TEST(Sema, CompoundAssignmentRules) {
+  ok("class A { void f(int i) { i += 2; i *= 3; } }");
+  ok("class A { void f(double d) { d += 1; d /= 2.0; } }");
+  bad("class A { void f(int i, double d) { i += d; } }", "narrow");
+}
+
+TEST(Sema, IncDecRules) {
+  ok("class A { void f(int i, double d, char c) { i++; d--; c++; } }");
+  bad("class A { void f(boolean b) { b++; } }", "numeric operand");
+}
+
+TEST(Sema, VoidValueContexts) {
+  bad("class A { void g() {} void f() { int x = g(); } }",
+      "cannot convert");
+}
+
+TEST(Sema, ReturnRules) {
+  bad("class A { int f() { } }", "fall off the end");
+  bad("class A { int f(boolean b) { if (b) return 1; } }",
+      "fall off the end");
+  ok("class A { int f(boolean b) { if (b) return 1; else return 2; } }");
+  ok("class A { int f() { while (true) { } } }");
+  ok("class A { int f(int n) { for (;;) { if (n > 0) return n; n++; } } }");
+  bad("class A { int f() { while (true) { break; } } }",
+      "fall off the end");
+  bad("class A { void f() { return 1; } }", "void method cannot return");
+  bad("class A { int f() { return; } }", "must return a value");
+}
+
+TEST(Sema, BreakContinueOutsideLoop) {
+  bad("class A { void f() { break; } }", "outside of a loop");
+  bad("class A { void f() { continue; } }", "outside of a loop");
+  ok("class A { void f() { while (true) { if (true) break; continue; } } "
+     "}");
+}
+
+TEST(Sema, ClassNameAsValueRejected) {
+  bad("class A { void f() { int x = IO; } }", "class name");
+  bad("class A { void f(A a) { a = Math; } }", "class name");
+}
+
+TEST(Sema, VTableLayout) {
+  auto P = ok("class A { int f() { return 1; } int g() { return 2; } } "
+              "class B extends A { int g() { return 3; } "
+              "int h() { return 4; } }");
+  ClassSymbol *A = P->Table->lookup("A");
+  ClassSymbol *B = P->Table->lookup("B");
+  ASSERT_EQ(A->VTable.size(), 2u);
+  ASSERT_EQ(B->VTable.size(), 3u);
+  // Slot 0/1 inherited; g overridden in place; h appended.
+  EXPECT_EQ(B->VTable[0], A->VTable[0]);
+  EXPECT_NE(B->VTable[1], A->VTable[1]);
+  EXPECT_EQ(B->VTable[1]->Owner, B);
+  EXPECT_EQ(B->VTable[2]->Name, "h");
+}
+
+TEST(Sema, InstanceLayoutConcatenatesSupers) {
+  auto P = ok("class A { int a; int b; } "
+              "class B extends A { int c; static int s; }");
+  ClassSymbol *B = P->Table->lookup("B");
+  ASSERT_EQ(B->InstanceLayout.size(), 3u);
+  EXPECT_EQ(B->InstanceLayout[0]->Name, "a");
+  EXPECT_EQ(B->InstanceLayout[2]->Name, "c");
+  EXPECT_EQ(B->InstanceLayout[2]->Slot, 2u);
+}
+
+TEST(Sema, ImplicitConversionInsertsCasts) {
+  // double d = 1 + 2 must wrap the int expression in an IntToDouble cast.
+  auto P = ok("class A { void f() { double d = 1 + 2; } }");
+  const auto &Body = P->AST.Classes[0]->Methods[0]->Body->Stmts;
+  const auto &Decl = static_cast<const VarDeclStmt &>(*Body[0]);
+  ASSERT_EQ(Decl.Init->Kind, ExprKind::Cast);
+  EXPECT_EQ(static_cast<const CastExpr &>(*Decl.Init).Lowering,
+            CastLowering::IntToDouble);
+}
+
+} // namespace

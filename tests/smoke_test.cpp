@@ -1,0 +1,120 @@
+//===- tests/smoke_test.cpp - End-to-end pipeline smoke test --*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "exec/TSAInterp.h"
+#include "tsa/Printer.h"
+#include "tsa/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+/// Compiles, verifies, runs, and returns the captured IO output.
+std::string runProgram(const std::string &Source) {
+  auto P = compileMJ("test.mj", Source);
+  EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
+  if (!P->ok())
+    return "<compile error>";
+  TSAVerifier V(*P->TSA);
+  bool Verified = V.verify();
+  EXPECT_TRUE(Verified);
+  if (!Verified) {
+    for (const std::string &E : V.getErrors())
+      ADD_FAILURE() << E;
+    return "<verify error>";
+  }
+  Runtime RT(*P->Table);
+  TSAInterpreter Interp(*P->TSA, RT);
+  ExecResult R = Interp.runMain();
+  EXPECT_TRUE(R.ok()) << runtimeErrorName(R.Err);
+  return RT.getOutput();
+}
+
+TEST(Smoke, HelloArithmetic) {
+  EXPECT_EQ(runProgram(R"(
+    class Main {
+      static void main() {
+        int x = 6 * 7;
+        IO.printInt(x);
+        IO.println();
+      }
+    }
+  )"),
+            "42\n");
+}
+
+TEST(Smoke, LoopAndConditionals) {
+  EXPECT_EQ(runProgram(R"(
+    class Main {
+      static void main() {
+        int sum = 0;
+        for (int i = 1; i <= 10; i++) {
+          if (i % 2 == 0) { sum = sum + i; } else { sum = sum + 1; }
+        }
+        IO.printInt(sum);
+      }
+    }
+  )"),
+            "35");
+}
+
+TEST(Smoke, ObjectsAndDispatch) {
+  EXPECT_EQ(runProgram(R"(
+    class Shape {
+      int area() { return 0; }
+    }
+    class Square extends Shape {
+      int side;
+      Square(int s) { side = s; }
+      int area() { return side * side; }
+    }
+    class Main {
+      static void main() {
+        Shape s = new Square(5);
+        IO.printInt(s.area());
+      }
+    }
+  )"),
+            "25");
+}
+
+TEST(Smoke, ArraysAndWhile) {
+  EXPECT_EQ(runProgram(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[5];
+        int i = 0;
+        while (i < a.length) { a[i] = i * i; i = i + 1; }
+        int sum = 0;
+        i = 0;
+        while (i < a.length) { sum = sum + a[i]; i = i + 1; }
+        IO.printInt(sum);
+      }
+    }
+  )"),
+            "30");
+}
+
+TEST(Smoke, ShortCircuitAndStrings) {
+  EXPECT_EQ(runProgram(R"(
+    class Main {
+      static boolean boom() { IO.printChar('!'); return true; }
+      static void main() {
+        boolean b = false && boom();
+        IO.printBool(b);
+        boolean c = true || boom();
+        IO.printBool(c);
+        IO.printStr(" done");
+      }
+    }
+  )"),
+            "falsetrue done");
+}
+
+} // namespace

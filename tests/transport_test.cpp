@@ -1,0 +1,204 @@
+//===- tests/transport_test.cpp - Safe-phi check transport ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper §4 mechanism: null-check certificates travelling across
+/// phi-joins on the safe-ref plane. These cases are invisible to plain
+/// dominance-scoped CSE — the certificate exists on *every* path but in
+/// *different* instructions — so removal requires a phi of certificates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "driver/Compiler.h"
+#include "exec/TSAInterp.h"
+#include "opt/Optimizer.h"
+#include "tsa/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace safetsa;
+
+namespace {
+
+struct Result {
+  std::unique_ptr<CompiledProgram> P;
+  OptStats Stats;
+  std::string Output;
+  unsigned SafePhis = 0;
+  unsigned NullChecks = 0;
+};
+
+Result optimize(const std::string &Src, bool Transport = true) {
+  Result R;
+  R.P = compileMJ("transport.mj", Src);
+  EXPECT_TRUE(R.P->ok()) << R.P->renderDiagnostics();
+  OptOptions O;
+  O.CheckTransport = Transport;
+  R.Stats = optimizeModule(*R.P->TSA, O);
+  TSAVerifier V(*R.P->TSA);
+  EXPECT_TRUE(V.verify())
+      << (V.getErrors().empty() ? "" : V.getErrors().front());
+  Runtime RT(*R.P->Table);
+  TSAInterpreter I(*R.P->TSA, RT);
+  ExecResult E = I.runMain();
+  EXPECT_EQ(E.Err, RuntimeError::None) << runtimeErrorName(E.Err);
+  R.Output = RT.getOutput();
+  for (const auto &M : R.P->TSA->Methods)
+    M->forEachInstruction([&](const Instruction &I) {
+      if (I.isPhi() && I.DstSafe)
+        ++R.SafePhis;
+      if (I.Op == Opcode::NullCheck)
+        ++R.NullChecks;
+    });
+  return R;
+}
+
+// Both arms check x (through different instructions); the post-join
+// access must not recheck.
+const char *DiamondSrc =
+    "class C { int v; } "
+    "class Main { static int f(C a, C b, boolean c) { "
+    "C x = null; "
+    "if (c) { x = a; IO.printInt(x.v); } "
+    "else { x = b; IO.printInt(x.v); } "
+    "return x.v; } "
+    "static void main() { IO.printInt(f(new C(), new C(), true)); } }";
+
+TEST(CheckTransport, DiamondRecheckRemoved) {
+  Result With = optimize(DiamondSrc, true);
+  Result Without = optimize(DiamondSrc, false);
+  EXPECT_GE(With.Stats.TransportedChecks, 1u);
+  EXPECT_EQ(With.SafePhis, 1u);
+  EXPECT_LT(With.NullChecks, Without.NullChecks);
+  EXPECT_EQ(With.Output, Without.Output);
+  EXPECT_EQ(With.Output, "00"); // One arm's print + main's print.
+}
+
+TEST(CheckTransport, NotAppliedWhenOnePathUnchecked) {
+  // The else-arm never dereferences b: no certificate on that path, so
+  // the post-join check must stay.
+  Result R = optimize(
+      "class C { int v; } "
+      "class Main { static int f(C a, C b, boolean c) { "
+      "C x = null; "
+      "if (c) { x = a; IO.printInt(x.v); } else { x = b; } "
+      "return x.v; } "
+      "static void main() { IO.printInt(f(new C(), new C(), false)); } }");
+  EXPECT_EQ(R.Stats.TransportedChecks, 0u);
+  EXPECT_EQ(R.SafePhis, 0u);
+}
+
+TEST(CheckTransport, NullOnOnePathStillTraps) {
+  // b arrives null through the unchecked arm; the retained check must
+  // still fire. (With transport, this join is not coverable.)
+  auto P = compileMJ(
+      "transport.mj",
+      "class C { int v; } "
+      "class Main { static int f(C a, C b, boolean c) { "
+      "C x = null; "
+      "if (c) { x = a; IO.printInt(x.v); } else { x = b; } "
+      "return x.v; } "
+      "static void main() { IO.printInt(f(new C(), null, false)); } }");
+  ASSERT_TRUE(P->ok());
+  optimizeModule(*P->TSA);
+  Runtime RT(*P->Table);
+  TSAInterpreter I(*P->TSA, RT);
+  EXPECT_EQ(I.runMain().Err, RuntimeError::NullPointer);
+}
+
+TEST(CheckTransport, LoopCarriedCertificate) {
+  // p is checked before the loop and re-assigned to a checked value in
+  // the body: the in-loop check of the phi rides the safe phi, including
+  // around the back edge.
+  Result With = optimize(
+      "class Node { int v; Node next; } "
+      "class Main { static int sum(Node head, int n) { "
+      "Node p = head; "
+      "IO.printInt(p.v); " // certificate for the entry edge
+      "int s = 0; "
+      "for (int i = 0; i < n; i++) { "
+      "  s = s + p.v; "    // recheck of the loop phi
+      "  Node q = p.next; "
+      "  if (q == null) break; "
+      "  IO.printInt(q.v); " // certificate for the back edge
+      "  p = q; "
+      "} return s; } "
+      "static void main() { "
+      "Node a = new Node(); Node b = new Node(); "
+      "a.v = 1; b.v = 2; a.next = b; "
+      "IO.printInt(sum(a, 5)); } }",
+      true);
+  Result Without = optimize(
+      "class Node { int v; Node next; } "
+      "class Main { static int sum(Node head, int n) { "
+      "Node p = head; "
+      "IO.printInt(p.v); "
+      "int s = 0; "
+      "for (int i = 0; i < n; i++) { "
+      "  s = s + p.v; "
+      "  Node q = p.next; "
+      "  if (q == null) break; "
+      "  IO.printInt(q.v); "
+      "  p = q; "
+      "} return s; } "
+      "static void main() { "
+      "Node a = new Node(); Node b = new Node(); "
+      "a.v = 1; b.v = 2; a.next = b; "
+      "IO.printInt(sum(a, 5)); } }",
+      false);
+  EXPECT_EQ(With.Output, Without.Output);
+  EXPECT_GE(With.Stats.TransportedChecks, 1u);
+  EXPECT_LE(With.NullChecks, Without.NullChecks);
+}
+
+TEST(CheckTransport, SurvivesCodecRoundTrip) {
+  // Safe-ref phis are first-class wire citizens: encode, decode into a
+  // fresh table, verify, run.
+  Result R = optimize(DiamondSrc, true);
+  ASSERT_EQ(R.SafePhis, 1u);
+  std::string Err;
+  auto Unit = decodeModule(encodeModule(*R.P->TSA), &Err);
+  ASSERT_TRUE(Unit) << Err;
+  TSAVerifier V(*Unit->Module);
+  EXPECT_TRUE(V.verify());
+  unsigned SafePhis = 0;
+  for (const auto &M : Unit->Module->Methods)
+    M->forEachInstruction([&](const Instruction &I) {
+      if (I.isPhi() && I.DstSafe)
+        ++SafePhis;
+    });
+  EXPECT_EQ(SafePhis, 1u);
+  Runtime RT(*Unit->Table);
+  TSAInterpreter I(*Unit->Module, RT);
+  ExecResult E = I.runMain();
+  EXPECT_EQ(E.Err, RuntimeError::None);
+  EXPECT_EQ(RT.getOutput(), R.Output);
+}
+
+TEST(CheckTransport, ForgedSafePhiRejected) {
+  // A safe phi whose operand is an UNCHECKED value must not verify:
+  // safety cannot be minted at a join.
+  Result R = optimize(DiamondSrc, true);
+  ASSERT_EQ(R.SafePhis, 1u);
+  Instruction *SafePhi = nullptr;
+  Instruction *RawValue = nullptr;
+  for (const auto &M : R.P->TSA->Methods)
+    M->forEachInstruction([&](const Instruction &I) {
+      if (I.isPhi() && I.DstSafe && !SafePhi)
+        SafePhi = const_cast<Instruction *>(&I);
+      if (I.Op == Opcode::Param && I.OpType && I.OpType->isClass() &&
+          !RawValue)
+        RawValue = const_cast<Instruction *>(&I);
+    });
+  ASSERT_NE(SafePhi, nullptr);
+  ASSERT_NE(RawValue, nullptr);
+  SafePhi->Operands[0] = RawValue; // ref plane into a safe-ref phi.
+  TSAVerifier V(*R.P->TSA);
+  EXPECT_FALSE(V.verify());
+}
+
+} // namespace
