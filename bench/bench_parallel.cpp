@@ -1,0 +1,105 @@
+//===- bench/bench_parallel.cpp - Batch throughput scaling ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch throughput of the parallel pipeline at 1/2/4/8 worker threads.
+/// Two scopes:
+///  - BM_BatchFullPipeline: compile -> encode -> decode -> verify per
+///    unit, the whole producer+consumer round trip.
+///  - BM_BatchEncodeVerify: the hot serving path only — modules are
+///    pre-compiled outside the timed region; workers encode, decode, and
+///    verify. This is the path a mobile-code server scales on.
+/// Items/second is compilation units; compare across thread counts for
+/// the scaling curve. (On a single-core host the curve is flat — the
+/// pool still works, there is just no hardware to scale onto.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "driver/BatchCompiler.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace safetsa;
+
+namespace {
+
+/// Corpus replicated to give the pool enough units to spread.
+constexpr int Replication = 4;
+
+std::vector<BatchJob> replicatedJobs() {
+  std::vector<BatchJob> Jobs;
+  for (int R = 0; R != Replication; ++R)
+    for (const CorpusProgram &P : getCorpus())
+      Jobs.push_back({P.Name, P.Source});
+  return Jobs;
+}
+
+void BM_BatchFullPipeline(benchmark::State &State) {
+  const std::vector<BatchJob> Jobs = replicatedJobs();
+  BatchOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(0));
+  int64_t Units = 0;
+  for (auto _ : State) {
+    BatchCompiler BC(Opts);
+    std::vector<BatchResult> Results = BC.run(Jobs);
+    for (const BatchResult &R : Results)
+      if (!R.ok())
+        std::abort();
+    Units += static_cast<int64_t>(Results.size());
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(Units);
+}
+BENCHMARK(BM_BatchFullPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchEncodeVerify(benchmark::State &State) {
+  // Compile once, outside the timed region; each unit owns its module.
+  std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+  for (int R = 0; R != Replication; ++R)
+    for (const CorpusProgram &P : getCorpus()) {
+      auto C = compileMJ(P.Name, P.Source);
+      if (!C->ok())
+        std::abort();
+      Compiled.push_back(std::move(C));
+    }
+
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  int64_t Units = 0;
+  for (auto _ : State) {
+    ThreadPool Pool(Threads);
+    for (auto &C : Compiled)
+      Pool.submit([&C] {
+        std::vector<uint8_t> Wire = encodeModule(*C->TSA);
+        std::string Err;
+        auto Unit = decodeModule(Wire, &Err);
+        if (!Unit || !counterCheckModule(*Unit->Module))
+          std::abort();
+        benchmark::DoNotOptimize(Unit->Module.get());
+      });
+    Pool.wait();
+    Units += static_cast<int64_t>(Compiled.size());
+  }
+  State.SetItemsProcessed(Units);
+}
+BENCHMARK(BM_BatchEncodeVerify)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

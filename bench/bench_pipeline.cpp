@@ -91,6 +91,37 @@ void BM_Decode(benchmark::State &State) {
 }
 BENCHMARK(BM_Decode);
 
+void BM_CounterCheck(benchmark::State &State) {
+  // The consumer's per-operand hot loop: one flat array index per operand
+  // after the plane-interning rewrite (was an ordered-map walk).
+  std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+  for (const CorpusProgram &P : getCorpus())
+    Compiled.push_back(compileMJ(P.Name, P.Source));
+  for (auto _ : State)
+    for (auto &C : Compiled) {
+      bool Ok = counterCheckModule(*C->TSA);
+      if (!Ok)
+        std::abort();
+      benchmark::DoNotOptimize(Ok);
+    }
+}
+BENCHMARK(BM_CounterCheck);
+
+void BM_FullVerify(benchmark::State &State) {
+  std::vector<std::unique_ptr<CompiledProgram>> Compiled;
+  for (const CorpusProgram &P : getCorpus())
+    Compiled.push_back(compileMJ(P.Name, P.Source));
+  for (auto _ : State)
+    for (auto &C : Compiled) {
+      TSAVerifier V(*C->TSA);
+      bool Ok = V.verify();
+      if (!Ok)
+        std::abort();
+      benchmark::DoNotOptimize(Ok);
+    }
+}
+BENCHMARK(BM_FullVerify);
+
 void BM_BytecodeCompile(benchmark::State &State) {
   std::vector<std::unique_ptr<CompiledProgram>> Compiled;
   for (const CorpusProgram &P : getCorpus())

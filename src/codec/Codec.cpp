@@ -69,6 +69,7 @@ public:
     else
       W.writeVarUint(B);
   }
+  void reserve(size_t NumBytes) { W.reserve(NumBytes); }
   void varuint(uint64_t V) { W.writeVarUint(V); }
   void varint(int64_t V) { W.writeVarUint(zigzag(V)); }
   void bits64(uint64_t V) { W.writeFixed(V, 64); }
@@ -145,6 +146,26 @@ public:
       ClassIdx[C.get()] = static_cast<unsigned>(AllClasses.size());
       AllClasses.push_back(C.get());
     }
+    // Per-class member-index maps, built once so wire references are O(1)
+    // instead of a linear member scan per reference.
+    for (ClassSymbol *C : AllClasses) {
+      unsigned MIdx = 0;
+      for (const auto &M : C->Methods)
+        MethodIdx[M.get()] = MIdx++;
+      unsigned SIdx = 0;
+      for (const auto &F : C->Fields)
+        if (F->IsStatic)
+          StaticFieldIdx[F.get()] = SIdx++;
+      NumStatics[C] = SIdx;
+    }
+
+    // Capacity hint: symbols are a handful of bits each; preloads, types,
+    // and strings push the per-instruction average to a few bytes.
+    size_t NumInsts = 0;
+    for (const auto &M : Module.Methods)
+      for (const auto &BB : M->Blocks)
+        NumInsts += BB->Insts.size();
+    S.reserve(NumInsts * 3 + AllClasses.size() * 32 + 64);
 
     S.bits(Magic, 32);
     S.bits(Version, 16);
@@ -170,6 +191,9 @@ private:
   SymSink S;
   std::vector<ClassSymbol *> AllClasses;
   std::unordered_map<const ClassSymbol *, unsigned> ClassIdx;
+  std::unordered_map<const MethodSymbol *, unsigned> MethodIdx;
+  std::unordered_map<const FieldSymbol *, unsigned> StaticFieldIdx;
+  std::unordered_map<const ClassSymbol *, unsigned> NumStatics;
 
   uint64_t numClasses() const { return AllClasses.size(); }
 
@@ -191,15 +215,8 @@ private:
   }
 
   void encodeMethodRef(const MethodSymbol *M) {
-    unsigned CIdx = ClassIdx.at(M->Owner);
-    S.sym(CIdx, numClasses());
-    unsigned MIdx = 0;
-    for (const auto &Cand : M->Owner->Methods) {
-      if (Cand.get() == M)
-        break;
-      ++MIdx;
-    }
-    S.sym(MIdx, M->Owner->Methods.size());
+    S.sym(ClassIdx.at(M->Owner), numClasses());
+    S.sym(MethodIdx.at(M), M->Owner->Methods.size());
   }
 
   void encodeConstant(const ConstantValue &C, Type *OpType) {
@@ -269,15 +286,7 @@ private:
     for (const auto &[F, C] : Module.StaticInits) {
       S.sym(ClassIdx.at(F->Owner), numClasses());
       // Index within the owner's own static fields.
-      unsigned Idx = 0, Count = 0;
-      for (const auto &Cand : F->Owner->Fields) {
-        if (!Cand->IsStatic)
-          continue;
-        if (Cand.get() == F)
-          Idx = Count;
-        ++Count;
-      }
-      S.sym(Idx, Count);
+      S.sym(StaticFieldIdx.at(F), NumStatics.at(F->Owner));
       encodeConstant(C, F->Ty);
     }
   }
@@ -333,24 +342,24 @@ private:
   // Phase 2: blocks, instructions, non-phi operands
   //===--------------------------------------------------------------------===//
 
-  /// Emits the (l, r) reference for \p Def used from \p UseBlock.
-  /// \p SameBlockBound gives the bound when Def lives in UseBlock itself
-  /// (phase 2: values decoded so far; ~0 => use final counts, phase 3).
+  /// Emits the (l, r) reference for \p Def used from \p UseBlock. The
+  /// reference plane is Def's result plane (the module is verified, so
+  /// operand and result planes agree); its interned id indexes the flat
+  /// per-block counters directly. \p Running gives same-block bounds in
+  /// phase 2 (values emitted so far); null => final counts (phase 3).
   void encodeRef(const Instruction *Def, const BasicBlock *UseBlock,
-                 const PlaneKey &Plane,
-                 const std::map<PlaneKey, unsigned> *Running) {
+                 const std::vector<unsigned> *Running) {
     const BasicBlock *D = Def->Parent;
     assert(UseBlock->DomDepth >= D->DomDepth && "operand does not dominate");
     uint64_t L = UseBlock->DomDepth - D->DomDepth;
     S.sym(L, UseBlock->DomDepth + 1);
+    uint32_t Plane = Def->PlaneId;
+    assert(Plane != PlaneInterner::None && "reference to a value-less def");
     uint64_t Bound;
-    if (Running && D == UseBlock) {
-      auto It = Running->find(Plane);
-      Bound = It == Running->end() ? 0 : It->second;
-    } else {
-      auto It = D->PlaneCounts.find(Plane);
-      Bound = It == D->PlaneCounts.end() ? 0 : It->second;
-    }
+    if (Running && D == UseBlock)
+      Bound = Plane < Running->size() ? (*Running)[Plane] : 0;
+    else
+      Bound = D->planeCount(Plane);
     assert(Def->PlaneIndex < Bound && "register number out of range");
     S.sym(Def->PlaneIndex, Bound);
   }
@@ -358,13 +367,14 @@ private:
   void encodeBody(TSAMethod &M) {
     encodeSeq(M.Root, 0);
 
+    std::vector<unsigned> Running;
     for (const auto &BB : M.Blocks) {
       S.varuint(BB->Insts.size());
-      std::map<PlaneKey, unsigned> Running;
+      Running.assign(M.Planes.size(), 0);
       for (const auto &I : BB->Insts) {
         encodeInstruction(M, *BB, *I, Running);
-        if (auto Plane = resultPlane(*I, Ctx))
-          ++Running[*Plane];
+        if (I->PlaneId != PlaneInterner::None)
+          ++Running[I->PlaneId];
       }
     }
 
@@ -373,7 +383,7 @@ private:
 
   void encodeInstruction(TSAMethod &M, const BasicBlock &BB,
                          const Instruction &I,
-                         const std::map<PlaneKey, unsigned> &Running) {
+                         const std::vector<unsigned> &Running) {
     S.sym(static_cast<uint64_t>(I.Op), NumOpcodes);
     switch (I.Op) {
     case Opcode::Const:
@@ -419,19 +429,10 @@ private:
       break;
     }
     case Opcode::GetStatic:
-    case Opcode::SetStatic: {
+    case Opcode::SetStatic:
       S.sym(ClassIdx.at(I.Field->Owner), numClasses());
-      unsigned Idx = 0, Count = 0;
-      for (const auto &Cand : I.Field->Owner->Fields) {
-        if (!Cand->IsStatic)
-          continue;
-        if (Cand.get() == I.Field)
-          Idx = Count;
-        ++Count;
-      }
-      S.sym(Idx, Count);
+      S.sym(StaticFieldIdx.at(I.Field), NumStatics.at(I.Field->Owner));
       break;
-    }
     case Opcode::New:
       S.sym(ClassIdx.at(I.OpType->getClassSymbol()), numClasses());
       break;
@@ -442,9 +443,13 @@ private:
     }
 
     for (unsigned K = 0; K != I.Operands.size(); ++K) {
+#ifndef NDEBUG
       std::optional<PlaneKey> Plane = operandPlane(I, K, Ctx, nullptr);
       assert(Plane && "encoding an ill-typed instruction");
-      encodeRef(I.Operands[K], &BB, *Plane, &Running);
+      assert(M.Planes.find(*Plane) == I.Operands[K]->PlaneId &&
+             "operand plane disagrees with its definition");
+#endif
+      encodeRef(I.Operands[K], &BB, &Running);
     }
   }
 
@@ -457,10 +462,9 @@ private:
       for (const auto &I : BB->Insts) {
         if (!I->isPhi())
           continue;
-        std::optional<PlaneKey> Plane = resultPlane(*I, Ctx);
         assert(I->Operands.size() == BB->Preds.size());
         for (size_t K = 0; K != I->Operands.size(); ++K)
-          encodeRef(I->Operands[K], BB->Preds[K], *Plane, nullptr);
+          encodeRef(I->Operands[K], BB->Preds[K], nullptr);
       }
     }
     encodeCSTRefs(M, M.Root, nullptr);
@@ -474,8 +478,7 @@ private:
         Cur = Node->BB;
         break;
       case CSTNode::Kind::If:
-        encodeRef(Node->Cond, Cur, PlaneKey::base(Types.getBoolean()),
-                  nullptr);
+        encodeRef(Node->Cond, Cur, nullptr);
         encodeCSTRefs(M, Node->Then, Cur);
         if (!Node->Else.empty())
           encodeCSTRefs(M, Node->Else, Cur);
@@ -483,8 +486,7 @@ private:
         break;
       case CSTNode::Kind::Loop: {
         const BasicBlock *Decision = encodeCSTRefs(M, Node->Header, Cur);
-        encodeRef(Node->Cond, Decision, PlaneKey::base(Types.getBoolean()),
-                  nullptr);
+        encodeRef(Node->Cond, Decision, nullptr);
         encodeCSTRefs(M, Node->Body, Decision);
         Cur = nullptr;
         break;
@@ -496,8 +498,7 @@ private:
         break;
       case CSTNode::Kind::Return:
         if (Node->RetVal)
-          encodeRef(Node->RetVal, Cur,
-                    PlaneKey::base(M.Symbol->RetTy), nullptr);
+          encodeRef(Node->RetVal, Cur, nullptr);
         break;
       case CSTNode::Kind::Break:
       case CSTNode::Kind::Continue:
@@ -587,6 +588,9 @@ private:
   ClassTable *Table = nullptr;
   std::unique_ptr<PlaneContext> Ctx;
   std::vector<ClassSymbol *> AllClasses;
+  /// Static fields per class, aligned with AllClasses; precomputed once
+  /// so static-field wire references are O(1), not a member scan.
+  std::vector<std::vector<FieldSymbol *>> StaticsByClass;
   DiagnosticEngine ScratchDiags;
 
   uint64_t numClasses() const { return AllClasses.size(); }
@@ -773,6 +777,12 @@ private:
         S.fail("illegal override in class declarations");
         return false;
       }
+
+    StaticsByClass.resize(AllClasses.size());
+    for (size_t I = 0; I != AllClasses.size(); ++I)
+      for (const auto &F : AllClasses[I]->Fields)
+        if (F->IsStatic)
+          StaticsByClass[I].push_back(F.get());
     return true;
   }
 
@@ -786,11 +796,7 @@ private:
       uint64_t CIdx = S.sym(numClasses());
       if (S.failed())
         return false;
-      ClassSymbol *C = AllClasses[CIdx];
-      std::vector<FieldSymbol *> Statics;
-      for (const auto &F : C->Fields)
-        if (F->IsStatic)
-          Statics.push_back(F.get());
+      const std::vector<FieldSymbol *> &Statics = StaticsByClass[CIdx];
       uint64_t FIdx = S.sym(Statics.size());
       ConstantValue Val;
       Type *ConstTy = nullptr;
@@ -937,10 +943,21 @@ private:
   //===--------------------------------------------------------------------===//
 
   /// Per-block registers: the decoded value list of every plane, in
-  /// definition order. Grown during phase 2; read by all phases.
-  std::unordered_map<const BasicBlock *,
-                     std::map<PlaneKey, std::vector<Instruction *>>>
-      Registers;
+  /// definition order, indexed [block id][interned plane id]. Grown
+  /// during phase 2; read by all phases. Plane ids come from the
+  /// decoder's own interner (reset per method body); they are assigned in
+  /// decode order, never read from the wire.
+  std::vector<std::vector<std::vector<Instruction *>>> Registers;
+  PlaneInterner DecPlanes;
+
+  void recordRegister(const BasicBlock *BB, const PlaneKey &Plane,
+                      Instruction *Def) {
+    uint32_t Id = DecPlanes.intern(Plane);
+    auto &Block = Registers[BB->Id];
+    if (Id >= Block.size())
+      Block.resize(Id + 1);
+    Block[Id].push_back(Def);
+  }
 
   Instruction *decodeRef(const BasicBlock *UseBlock, const PlaneKey &Plane) {
     if (!UseBlock) {
@@ -953,13 +970,13 @@ private:
     const BasicBlock *D = UseBlock;
     for (uint64_t I = 0; I != L; ++I)
       D = D->IDom;
-    auto &Plane2Regs = Registers[D];
-    auto It = Plane2Regs.find(Plane);
-    uint64_t Bound = It == Plane2Regs.end() ? 0 : It->second.size();
+    uint32_t Id = DecPlanes.find(Plane);
+    auto &Block = Registers[D->Id];
+    uint64_t Bound = Id < Block.size() ? Block[Id].size() : 0;
     uint64_t R = S.sym(Bound);
     if (S.failed())
       return nullptr;
-    return It->second[R];
+    return Block[Id][R];
   }
 
   //===--------------------------------------------------------------------===//
@@ -980,7 +997,8 @@ private:
 
     M->deriveCFG();
 
-    Registers.clear();
+    Registers.assign(M->Blocks.size(), {});
+    DecPlanes.clear();
 
     // Phase 2.
     for (auto &BB : M->Blocks) {
@@ -989,6 +1007,7 @@ private:
         S.fail("implausible instruction count");
         return nullptr;
       }
+      BB->Insts.reserve(NumInsts <= 1024 ? NumInsts : 1024);
       bool SeenNonPhi = false;
       for (uint64_t I = 0; I != NumInsts; ++I) {
         auto Inst = decodeInstruction(*M, *BB, SeenNonPhi);
@@ -996,7 +1015,7 @@ private:
           return nullptr;
         Instruction *Raw = BB->append(std::move(Inst));
         if (auto Plane = resultPlane(*Raw, *Ctx))
-          Registers[BB.get()][*Plane].push_back(Raw);
+          recordRegister(BB.get(), *Plane, Raw);
       }
     }
 
@@ -1218,16 +1237,12 @@ private:
       uint64_t CIdx = S.sym(numClasses());
       if (S.failed())
         return nullptr;
-      ClassSymbol *C = AllClasses[CIdx];
-      std::vector<FieldSymbol *> Statics;
-      for (const auto &F : C->Fields)
-        if (F->IsStatic)
-          Statics.push_back(F.get());
+      const std::vector<FieldSymbol *> &Statics = StaticsByClass[CIdx];
       uint64_t Idx = S.sym(Statics.size());
       if (S.failed())
         return nullptr;
       I->Field = Statics[Idx];
-      I->OpType = Types->getClass(C);
+      I->OpType = Types->getClass(AllClasses[CIdx]);
       break;
     }
     case Opcode::New: {

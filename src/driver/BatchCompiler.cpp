@@ -1,0 +1,76 @@
+//===- driver/BatchCompiler.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchCompiler.h"
+
+#include "opt/Optimizer.h"
+#include "support/ThreadPool.h"
+#include "tsa/Verifier.h"
+
+using namespace safetsa;
+
+BatchCompiler::BatchCompiler(BatchOptions Opts)
+    : Opts(Opts),
+      Threads(Opts.Threads == 0 ? ThreadPool::defaultThreadCount()
+                                : Opts.Threads) {}
+
+BatchResult BatchCompiler::runOne(const BatchJob &Job,
+                                  const BatchOptions &Opts) {
+  BatchResult R;
+  R.Name = Job.Name;
+
+  R.Program = compileMJ(Job.Name, Job.Source);
+  if (!R.Program->ok() || !R.Program->TSA) {
+    R.Error = "compile failed: " + R.Program->renderDiagnostics();
+    return R;
+  }
+  R.CompileOk = true;
+
+  if (Opts.Optimize)
+    optimizeModule(*R.Program->TSA);
+
+  R.Wire = encodeModule(*R.Program->TSA, Opts.Mode);
+
+  if (!Opts.DecodeAndVerify)
+    return R;
+
+  std::string Err;
+  R.Unit = decodeModule(R.Wire, &Err, Opts.Mode);
+  if (!R.Unit) {
+    R.Error = "decode failed: " + Err;
+    return R;
+  }
+  R.DecodeOk = true;
+
+  TSAVerifier V(*R.Unit->Module);
+  if (!V.verify()) {
+    R.Error = V.getErrors().empty() ? "verification failed"
+                                    : V.getErrors().front();
+    return R;
+  }
+  if (!counterCheckModule(*R.Unit->Module)) {
+    R.Error = "counter check failed";
+    return R;
+  }
+  R.VerifyOk = true;
+  return R;
+}
+
+std::vector<BatchResult> BatchCompiler::run(
+    const std::vector<BatchJob> &Jobs) {
+  std::vector<BatchResult> Results(Jobs.size());
+  // Deterministic input-order results: each worker writes only its own
+  // pre-allocated slot, so interleaving cannot reorder or race anything.
+  ThreadPool Pool(Jobs.size() < Threads
+                      ? static_cast<unsigned>(Jobs.size())
+                      : Threads);
+  for (size_t I = 0; I != Jobs.size(); ++I)
+    Pool.submit([this, &Jobs, &Results, I] {
+      Results[I] = runOne(Jobs[I], Opts);
+    });
+  Pool.wait();
+  return Results;
+}

@@ -1,0 +1,87 @@
+//===- driver/BatchCompiler.h - Parallel batch pipeline -------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch front door: run compile -> optimize -> encode (producer side)
+/// and decode -> verify (consumer side) for N compilation units across a
+/// fixed-size thread pool.
+///
+/// The unit of parallelism is the compilation unit: each CompiledProgram
+/// owns its own SourceManager, DiagnosticEngine, TypeContext, and
+/// ClassTable, and each decoded unit rebuilds a private type table, so
+/// jobs share no mutable state. Results come back in input order and are
+/// byte-identical to the sequential compileMJ + encodeModule path
+/// regardless of thread count (asserted by tests/batch_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_DRIVER_BATCHCOMPILER_H
+#define SAFETSA_DRIVER_BATCHCOMPILER_H
+
+#include "codec/Codec.h"
+#include "driver/Compiler.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safetsa {
+
+/// One compilation unit to push through the pipeline.
+struct BatchJob {
+  std::string Name;
+  std::string Source;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 => one per hardware thread. 1 still uses a single
+  /// worker thread (use the sequential path for a no-thread baseline).
+  unsigned Threads = 0;
+  /// Run the optimizer between generation and encoding.
+  bool Optimize = false;
+  CodecMode Mode = CodecMode::Prefix;
+  /// Consumer side: decode the wire bytes back and run the verifier plus
+  /// the paper's counter check on the decoded module.
+  bool DecodeAndVerify = true;
+};
+
+/// Everything produced for one job. Producer artifacts stay alive so
+/// callers can inspect diagnostics or reuse the module.
+struct BatchResult {
+  std::string Name;
+  std::unique_ptr<CompiledProgram> Program; ///< Producer artifacts.
+  std::vector<uint8_t> Wire;                ///< Encoded module bytes.
+  std::unique_ptr<DecodedUnit> Unit;        ///< Consumer artifacts.
+  bool CompileOk = false;
+  bool DecodeOk = false;
+  bool VerifyOk = false;
+  std::string Error; ///< First failure reason, empty on success.
+
+  /// True when every requested stage succeeded.
+  bool ok() const { return Error.empty(); }
+};
+
+class BatchCompiler {
+public:
+  explicit BatchCompiler(BatchOptions Opts = {});
+
+  /// Runs every job across the pool; results are returned in input order
+  /// and are independent of the thread count.
+  std::vector<BatchResult> run(const std::vector<BatchJob> &Jobs);
+
+  /// The full pipeline for a single unit; what each worker executes.
+  static BatchResult runOne(const BatchJob &Job, const BatchOptions &Opts);
+
+  unsigned getNumThreads() const { return Threads; }
+
+private:
+  BatchOptions Opts;
+  unsigned Threads;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_DRIVER_BATCHCOMPILER_H

@@ -1395,6 +1395,7 @@ private:
 
   Instruction *genCall(const CallExpr &E) {
     std::vector<Instruction *> Args;
+    Args.reserve(E.Args.size());
     for (const ExprPtr &A : E.Args)
       Args.push_back(genExpr(*A));
 
@@ -1427,6 +1428,7 @@ private:
 
     auto I = make(Opcode::Dispatch);
     I->Method = Callee;
+    I->Operands.reserve(Args.size() + 1);
     I->Operands.push_back(Safe);
     for (Instruction *A : Args)
       I->Operands.push_back(A);
@@ -1435,6 +1437,7 @@ private:
 
   Instruction *genNewObject(const NewObjectExpr &E) {
     std::vector<Instruction *> Args;
+    Args.reserve(E.Args.size());
     for (const ExprPtr &A : E.Args)
       Args.push_back(genExpr(*A));
 
@@ -1475,6 +1478,7 @@ private:
     if (E.ResolvedCtor) {
       auto CallI = make(Opcode::Call);
       CallI->Method = E.ResolvedCtor;
+      CallI->Operands.reserve(Args.size() + 1);
       CallI->Operands.push_back(Obj);
       for (Instruction *A : Args)
         CallI->Operands.push_back(A);
@@ -1494,6 +1498,13 @@ std::unique_ptr<TSAModule> TSAGenerator::generate(const Program &P) {
   auto Module = std::make_unique<TSAModule>();
   Module->Table = &Table;
   Module->Types = &Types;
+
+  size_t NumBodies = 0;
+  for (const auto &Class : P.Classes)
+    for (const auto &Method : Class->Methods)
+      if (Method->Symbol && Method->Body)
+        ++NumBodies;
+  Module->Methods.reserve(NumBodies);
 
   for (const auto &Class : P.Classes) {
     if (!Class->Symbol)

@@ -56,6 +56,10 @@ public:
   /// Pads to a byte boundary with zero bits and returns the buffer.
   std::vector<uint8_t> take();
 
+  /// Pre-sizes the output buffer for an expected payload of \p NumBytes,
+  /// avoiding reallocation churn on the hot encode path.
+  void reserve(size_t NumBytes) { Bytes.reserve(NumBytes); }
+
   /// Number of bits written so far.
   size_t getBitCount() const { return Bytes.size() * 8 + BitCount; }
 

@@ -1,0 +1,79 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO work queue, used by the batch
+/// compilation pipeline. Tasks are arbitrary callables; async() wraps a
+/// callable in a std::future for result retrieval. The pool is inert
+/// (runs everything inline in submit) when constructed with 0 workers,
+/// so callers can express "sequential" without a second code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_THREADPOOL_H
+#define SAFETSA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace safetsa {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. 0 => inline execution (no threads).
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; runs it inline when the pool has no workers.
+  void submit(std::function<void()> Task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename Fn>
+  auto async(Fn &&F) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    submit([Task] { (*Task)(); });
+    return Fut;
+  }
+
+  /// Blocks until every submitted task (queued or running) has finished.
+  void wait();
+
+  unsigned getNumThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Reasonable worker count for this machine (>= 1).
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< Signals workers.
+  std::condition_variable AllDone;       ///< Signals wait().
+  unsigned InFlight = 0;                 ///< Queued + currently running.
+  bool Stopping = false;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_THREADPOOL_H

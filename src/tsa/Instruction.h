@@ -27,8 +27,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 namespace safetsa {
@@ -65,6 +67,47 @@ struct PlaneKey {
   }
 
   std::string str() const;
+};
+
+struct PlaneKeyHash {
+  size_t operator()(const PlaneKey &K) const {
+    size_t H = std::hash<const void *>()(K.Ty);
+    H ^= std::hash<const void *>()(K.Anchor) + 0x9e3779b97f4a7c15ull +
+         (H << 6) + (H >> 2);
+    return H ^ (static_cast<size_t>(K.K) << 1);
+  }
+};
+
+/// Interns PlaneKeys into dense uint32_t ids so per-operand plane
+/// accounting is one array index instead of an ordered-map walk. Ids are
+/// assigned in first-touch order (block order x instruction order), which
+/// is deterministic; they never appear on the wire, so producer and
+/// consumer interners need not agree.
+class PlaneInterner {
+public:
+  static constexpr uint32_t None = ~0u;
+
+  uint32_t intern(const PlaneKey &K) {
+    auto [It, New] = Ids.try_emplace(K, static_cast<uint32_t>(Keys.size()));
+    if (New)
+      Keys.push_back(K);
+    return It->second;
+  }
+  /// Id of \p K, or None when the plane holds no values in this method.
+  uint32_t find(const PlaneKey &K) const {
+    auto It = Ids.find(K);
+    return It == Ids.end() ? None : It->second;
+  }
+  const PlaneKey &key(uint32_t Id) const { return Keys[Id]; }
+  uint32_t size() const { return static_cast<uint32_t>(Keys.size()); }
+  void clear() {
+    Ids.clear();
+    Keys.clear();
+  }
+
+private:
+  std::unordered_map<PlaneKey, uint32_t, PlaneKeyHash> Ids;
+  std::vector<PlaneKey> Keys;
 };
 
 /// SafeTSA opcodes. `primitive`/`xprimitive` carry a PrimOp selecting the
@@ -252,6 +295,10 @@ public:
   /// Register number (r) on the result plane within the parent block;
   /// assigned by TSAMethod::finalize().
   unsigned PlaneIndex = 0;
+  /// Interned id of the result plane in the owning method's interner
+  /// (TSAMethod::Planes); PlaneInterner::None when the instruction
+  /// produces no value. Assigned by TSAMethod::finalize().
+  uint32_t PlaneId = ~0u;
 
   bool isPhi() const { return Op == Opcode::Phi; }
   bool isPreload() const {

@@ -204,13 +204,20 @@ void TSAMethod::deriveCFG() {
 }
 
 void TSAMethod::finalize(PlaneContext &Ctx) {
+  Planes.clear();
   for (auto &BB : Blocks) {
     BB->PlaneCounts.clear();
     for (auto &I : BB->Insts) {
       std::optional<PlaneKey> Plane = resultPlane(*I, Ctx);
-      if (!Plane)
+      if (!Plane) {
+        I->PlaneId = PlaneInterner::None;
         continue;
-      I->PlaneIndex = BB->PlaneCounts[*Plane]++;
+      }
+      uint32_t Id = Planes.intern(*Plane);
+      I->PlaneId = Id;
+      if (Id >= BB->PlaneCounts.size())
+        BB->PlaneCounts.resize(Id + 1, 0);
+      I->PlaneIndex = BB->PlaneCounts[Id]++;
     }
   }
 }

@@ -32,7 +32,6 @@
 #include "tsa/Instruction.h"
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 
@@ -53,8 +52,16 @@ public:
   BasicBlock *IDom = nullptr;
   unsigned DomDepth = 0;
 
-  // Derived by finalize(): number of values per plane in this block.
-  std::map<PlaneKey, unsigned> PlaneCounts;
+  // Derived by finalize(): number of values per plane in this block,
+  // indexed by the owning method's interned plane id (TSAMethod::Planes).
+  // Ragged: a block's vector only extends to the highest id it defines.
+  std::vector<unsigned> PlaneCounts;
+
+  /// Values this block holds on interned plane \p Id (0 when the block
+  /// defines nothing on that plane).
+  unsigned planeCount(uint32_t Id) const {
+    return Id < PlaneCounts.size() ? PlaneCounts[Id] : 0;
+  }
 
   Instruction *append(std::unique_ptr<Instruction> I) {
     I->Parent = this;
@@ -133,6 +140,11 @@ public:
   /// holds the preloaded parameters and constants followed by code.
   CSTSeq Root;
 
+  /// Dense plane ids for this method, rebuilt by finalize(). Codec and
+  /// counter check index flat per-block count vectors with these ids
+  /// instead of walking an ordered map per operand.
+  PlaneInterner Planes;
+
   BasicBlock *getEntry() const {
     assert(!Blocks.empty() && "method has no blocks");
     return Blocks.front().get();
@@ -150,9 +162,10 @@ public:
   /// Blocks into CST walk order. Must be called after structural changes.
   void deriveCFG();
 
-  /// Assigns PlaneIndex to every instruction and fills per-block
-  /// PlaneCounts. Requires deriveCFG() to have run. \p Ctx supplies the
-  /// type context used to compute result planes.
+  /// Assigns PlaneIndex/PlaneId to every instruction, rebuilds the plane
+  /// interner, and fills per-block PlaneCounts. Requires deriveCFG() to
+  /// have run. \p Ctx supplies the type context used to compute result
+  /// planes.
   void finalize(struct PlaneContext &Ctx);
 
   /// Replaces every use of \p Old (instruction operands, phi inputs, CST

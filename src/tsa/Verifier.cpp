@@ -52,18 +52,22 @@ bool TSAVerifier::verifyMethod(TSAMethod &M) {
 //===----------------------------------------------------------------------===//
 
 bool safetsa::counterCheckMethod(const TSAMethod &M, PlaneContext &Ctx) {
-  std::map<PlaneKey, unsigned> Running;
+  // Plane typing is assumed intact (see header); finalize() cached each
+  // value's interned plane id, so the per-operand cost is one array index
+  // — the paper's "simple counters", literally.
+  (void)Ctx;
+  std::vector<unsigned> Running(M.Planes.size(), 0);
   for (const auto &BB : M.Blocks) {
-    Running.clear();
+    Running.assign(Running.size(), 0);
     for (const auto &I : BB->Insts) {
       for (size_t K = 0; K != I->Operands.size(); ++K) {
         const Instruction *Op = I->Operands[K];
         if (!Op || !Op->Parent)
           return false;
         const BasicBlock *D = Op->Parent;
-        std::optional<PlaneKey> Plane = resultPlane(*Op, Ctx);
-        if (!Plane)
-          return false;
+        uint32_t Plane = Op->PlaneId;
+        if (Plane >= Running.size())
+          return false; // No result value or a foreign interner's id.
         // Phi operand k is checked against the end of predecessor k.
         const BasicBlock *Use =
             I->isPhi() ? (K < BB->Preds.size() ? BB->Preds[K] : nullptr)
@@ -71,19 +75,17 @@ bool safetsa::counterCheckMethod(const TSAMethod &M, PlaneContext &Ctx) {
         if (!Use)
           return false;
         if (D == BB.get() && !I->isPhi()) {
-          auto It = Running.find(*Plane);
-          if (It == Running.end() || Op->PlaneIndex >= It->second)
+          if (Op->PlaneIndex >= Running[Plane])
             return false;
         } else {
           if (!BasicBlock::dominates(D, Use))
             return false;
-          auto It = D->PlaneCounts.find(*Plane);
-          if (It == D->PlaneCounts.end() || Op->PlaneIndex >= It->second)
+          if (Op->PlaneIndex >= D->planeCount(Plane))
             return false;
         }
       }
-      if (std::optional<PlaneKey> Plane = resultPlane(*I, Ctx))
-        ++Running[*Plane];
+      if (I->PlaneId != PlaneInterner::None)
+        ++Running[I->PlaneId];
     }
   }
   return true;
