@@ -1,0 +1,142 @@
+//===- bench/bench_load.cpp - Consumer-side load throughput ---*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the consumer-side load path over the corpus wire bytes
+/// (google-benchmark): how fast a receiving system turns SafeTSA mobile
+/// code into a verified in-memory module.
+///
+///   - Fused: one pass — decodeModule with FusedVerify, where the
+///     residual semantic checks ride along the phase-2/phase-3 walks and
+///     a successful decode is a verified module.
+///   - LegacyTwoPass: the pre-fusion pipeline — structural-only decode,
+///     then a standalone TSAVerifier pass plus the paper's counter check.
+///
+/// Both report bytes_per_second over the total wire size and a methods/s
+/// counter, so the speedup and absolute load rate read off directly.
+/// A batch variant exercises BatchCompiler::load, the span-based
+/// pre-allocated-slot entry point the embedding driver uses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "driver/BatchCompiler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace safetsa;
+
+namespace {
+
+struct Encoded {
+  std::vector<uint8_t> Wire;
+  size_t NumMethods = 0;
+};
+
+const std::vector<Encoded> &corpusWires() {
+  static std::vector<Encoded> Wires = [] {
+    std::vector<Encoded> Out;
+    for (const CorpusProgram &P : getCorpus()) {
+      auto C = compileMJ(P.Name, P.Source);
+      if (!C->ok())
+        std::abort();
+      Encoded E;
+      E.Wire = encodeModule(*C->TSA);
+      E.NumMethods = C->TSA->Methods.size();
+      Out.push_back(std::move(E));
+    }
+    return Out;
+  }();
+  return Wires;
+}
+
+size_t totalWireBytes() {
+  size_t N = 0;
+  for (const Encoded &E : corpusWires())
+    N += E.Wire.size();
+  return N;
+}
+
+size_t totalMethods() {
+  size_t N = 0;
+  for (const Encoded &E : corpusWires())
+    N += E.NumMethods;
+  return N;
+}
+
+void reportThroughput(benchmark::State &State) {
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(totalWireBytes()));
+  State.counters["methods_per_s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()) *
+          static_cast<double>(totalMethods()),
+      benchmark::Counter::kIsRate);
+}
+
+/// The fused load path: decode success == verified module.
+void BM_LoadFused(benchmark::State &State) {
+  const auto &Wires = corpusWires();
+  for (auto _ : State) {
+    for (const Encoded &E : Wires) {
+      std::string Err;
+      auto Unit = decodeModule(ByteSpan(E.Wire), &Err,
+                               DecodeOptions{CodecMode::Prefix, true});
+      if (!Unit)
+        std::abort();
+      benchmark::DoNotOptimize(Unit);
+    }
+  }
+  reportThroughput(State);
+}
+BENCHMARK(BM_LoadFused);
+
+/// The pre-fusion pipeline: structural decode with the scalar
+/// bit-at-a-time reader, then the standalone verifier and the counter
+/// check as separate consumer passes.
+void BM_LoadLegacyTwoPass(benchmark::State &State) {
+  const auto &Wires = corpusWires();
+  for (auto _ : State) {
+    for (const Encoded &E : Wires) {
+      std::string Err;
+      auto Unit =
+          decodeModule(ByteSpan(E.Wire), &Err,
+                       DecodeOptions{CodecMode::Prefix, false, false});
+      if (!Unit)
+        std::abort();
+      TSAVerifier V(*Unit->Module);
+      if (!V.verify())
+        std::abort();
+      if (!counterCheckModule(*Unit->Module))
+        std::abort();
+      benchmark::DoNotOptimize(Unit);
+    }
+  }
+  reportThroughput(State);
+}
+BENCHMARK(BM_LoadLegacyTwoPass);
+
+/// The batch driver's consumer entry point: spans into shared buffers,
+/// results in pre-allocated slots, pool-parallel across units.
+void BM_LoadBatch(benchmark::State &State) {
+  const auto &Wires = corpusWires();
+  std::vector<ByteSpan> Spans;
+  for (const Encoded &E : Wires)
+    Spans.emplace_back(E.Wire);
+  BatchCompiler BC;
+  for (auto _ : State) {
+    auto Results = BC.load(Spans);
+    for (const BatchLoadResult &R : Results)
+      if (!R.ok())
+        std::abort();
+    benchmark::DoNotOptimize(Results);
+  }
+  reportThroughput(State);
+}
+BENCHMARK(BM_LoadBatch);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -86,8 +86,8 @@ private:
 /// Symbol reader with a sticky failure flag.
 class SymSource {
 public:
-  SymSource(const std::vector<uint8_t> &Bytes, CodecMode Mode)
-      : Mode(Mode), R(Bytes) {}
+  SymSource(ByteSpan Bytes, CodecMode Mode, bool TableDecode)
+      : Mode(Mode), R(Bytes, TableDecode) {}
 
   bool failed() const { return Failed || R.hasOverrun(); }
   void fail(const char *Why) {
@@ -515,8 +515,8 @@ private:
 
 class Decoder {
 public:
-  Decoder(const std::vector<uint8_t> &Bytes, CodecMode Mode)
-      : S(Bytes, Mode) {}
+  Decoder(ByteSpan Bytes, const DecodeOptions &Opts)
+      : S(Bytes, Opts.Mode, Opts.TableDecode), Fused(Opts.FusedVerify) {}
 
   std::unique_ptr<DecodedUnit> decode(std::string *Err) {
     auto Fail = [&](const char *Why) -> std::unique_ptr<DecodedUnit> {
@@ -584,6 +584,10 @@ public:
 
 private:
   SymSource S;
+  /// Fused decode+verify: enforce the residual verifier-only rules
+  /// (downcast legality, return-value presence) during decoding, making a
+  /// successful decode equivalent to decode + TSAVerifier.
+  bool Fused;
   TypeContext *Types = nullptr;
   ClassTable *Table = nullptr;
   std::unique_ptr<PlaneContext> Ctx;
@@ -838,7 +842,7 @@ private:
       }
       First = false;
 
-      auto Node = std::make_unique<CSTNode>();
+      CSTNode *Node = M.createNode();
       switch (Sym) {
       case SymBasic:
         Node->K = CSTNode::Kind::Basic;
@@ -928,7 +932,7 @@ private:
         S.fail("bad CST production");
         return false;
       }
-      Seq.push_back(std::move(Node));
+      Seq.push_back(Node);
     }
     if (First) {
       S.fail("empty CST sequence");
@@ -946,20 +950,38 @@ private:
   /// definition order, indexed [block id][interned plane id]. Grown
   /// during phase 2; read by all phases. Plane ids come from the
   /// decoder's own interner (reset per method body); they are assigned in
-  /// decode order, never read from the wire.
-  std::vector<std::vector<std::vector<Instruction *>>> Registers;
+  /// decode order, never read from the wire. Inline capacities cover the
+  /// typical handful of planes and values per block without touching the
+  /// heap.
+  std::vector<SmallVector<SmallVector<Instruction *, 4>, 8>> Registers;
   PlaneInterner DecPlanes;
 
-  void recordRegister(const BasicBlock *BB, const PlaneKey &Plane,
+  void recordRegister(BasicBlock *BB, const PlaneKey &Plane,
                       Instruction *Def) {
     uint32_t Id = DecPlanes.intern(Plane);
     auto &Block = Registers[BB->Id];
     if (Id >= Block.size())
       Block.resize(Id + 1);
+    // The phase-2 walk visits blocks and instructions in exactly
+    // finalize()'s order, so the interned ids and per-plane indices match
+    // what finalize() would assign; writing them here lets the fused path
+    // skip that whole second pass over the method.
+    Def->PlaneId = Id;
+    Def->PlaneIndex = static_cast<unsigned>(Block[Id].size());
+    if (Id >= BB->PlaneCounts.size())
+      BB->PlaneCounts.resize(Id + 1, 0);
+    ++BB->PlaneCounts[Id];
     Block[Id].push_back(Def);
   }
 
   Instruction *decodeRef(const BasicBlock *UseBlock, const PlaneKey &Plane) {
+    return decodeRefById(UseBlock, DecPlanes.find(Plane));
+  }
+
+  /// Variant for callers that already know the interned plane id (phi
+  /// operand decoding reuses the id recorded on the phi in phase 2),
+  /// skipping the plane-table probe per operand.
+  Instruction *decodeRefById(const BasicBlock *UseBlock, uint32_t Id) {
     if (!UseBlock) {
       S.fail("value reference with no context block");
       return nullptr;
@@ -970,7 +992,6 @@ private:
     const BasicBlock *D = UseBlock;
     for (uint64_t I = 0; I != L; ++I)
       D = D->IDom;
-    uint32_t Id = DecPlanes.find(Plane);
     auto &Block = Registers[D->Id];
     uint64_t Bound = Id < Block.size() ? Block[Id].size() : 0;
     uint64_t R = S.sym(Bound);
@@ -997,11 +1018,19 @@ private:
 
     M->deriveCFG();
 
-    Registers.assign(M->Blocks.size(), {});
+    // Reuse the register storage across the module's methods: clear the
+    // per-plane value lists but keep their buffers, so steady-state
+    // decoding allocates nothing here. Stale lists beyond this method's
+    // block count are unreachable (block ids are dense from zero).
+    if (Registers.size() < M->Blocks.size())
+      Registers.resize(M->Blocks.size());
+    for (size_t I = 0, E = M->Blocks.size(); I != E; ++I)
+      for (auto &PlaneVals : Registers[I])
+        PlaneVals.clear();
     DecPlanes.clear();
 
     // Phase 2.
-    for (auto &BB : M->Blocks) {
+    for (BasicBlock *BB : M->Blocks) {
       uint64_t NumInsts = S.varuint();
       if (NumInsts > MaxInstsPerBlock || S.failed()) {
         S.fail("implausible instruction count");
@@ -1010,12 +1039,12 @@ private:
       BB->Insts.reserve(NumInsts <= 1024 ? NumInsts : 1024);
       bool SeenNonPhi = false;
       for (uint64_t I = 0; I != NumInsts; ++I) {
-        auto Inst = decodeInstruction(*M, *BB, SeenNonPhi);
+        Instruction *Inst = decodeInstruction(*M, *BB, SeenNonPhi);
         if (!Inst)
           return nullptr;
-        Instruction *Raw = BB->append(std::move(Inst));
-        if (auto Plane = resultPlane(*Raw, *Ctx))
-          recordRegister(BB.get(), *Plane, Raw);
+        BB->append(Inst);
+        if (auto Plane = resultPlane(*Inst, *Ctx))
+          recordRegister(BB, *Plane, Inst);
       }
     }
 
@@ -1027,14 +1056,16 @@ private:
       return nullptr;
     }
 
-    // Phase 3: phi operands.
+    // Phase 3: phi operands. Phase 2 recorded each phi's interned plane
+    // id, so the operand alphabet needs no plane recomputation here.
+    // Phase 2 also rejected any phi after a non-phi, so phis form a
+    // prefix of each block's instruction list.
     for (auto &BB : M->Blocks) {
       for (auto &I : BB->Insts) {
         if (!I->isPhi())
-          continue;
-        std::optional<PlaneKey> Plane = resultPlane(*I, *Ctx);
+          break;
         for (BasicBlock *Pred : BB->Preds) {
-          Instruction *Op = decodeRef(Pred, *Plane);
+          Instruction *Op = decodeRefById(Pred, I->PlaneId);
           if (!Op)
             return nullptr;
           I->Operands.push_back(Op);
@@ -1046,7 +1077,14 @@ private:
     if (!decodeCSTRefs(*M, M->Root, nullptr).second)
       return nullptr;
 
-    M->finalize(*Ctx);
+    if (Fused) {
+      // recordRegister already assigned PlaneId/PlaneIndex/PlaneCounts in
+      // finalize()'s first-touch order; adopt the interner instead of
+      // recomputing every instruction's result plane in a second pass.
+      M->Planes = std::move(DecPlanes);
+    } else {
+      M->finalize(*Ctx);
+    }
     return S.failed() ? nullptr : std::move(M);
   }
 
@@ -1097,6 +1135,9 @@ private:
           Node->RetVal = decodeRef(Cur, PlaneKey::base(M.Symbol->RetTy));
           if (!Node->RetVal)
             return {nullptr, false};
+        } else if (Fused && !M.Symbol->RetTy->isVoid()) {
+          S.fail("non-void method returns without a value");
+          return {nullptr, false};
         }
         break;
       case CSTNode::Kind::Break:
@@ -1107,14 +1148,12 @@ private:
     return {Cur, true};
   }
 
-  std::unique_ptr<Instruction> decodeInstruction(TSAMethod &M,
-                                                 const BasicBlock &BB,
-                                                 bool &SeenNonPhi) {
+  Instruction *decodeInstruction(TSAMethod &M, const BasicBlock &BB,
+                                 bool &SeenNonPhi) {
     uint64_t OpSym = S.sym(NumOpcodes);
     if (S.failed())
       return nullptr;
-    auto I = std::make_unique<Instruction>();
-    I->Op = static_cast<Opcode>(OpSym);
+    Instruction *I = M.createInst(static_cast<Opcode>(OpSym));
     I->Parent = const_cast<BasicBlock *>(&BB);
 
     if (I->isPreload() && &BB != M.getEntry()) {
@@ -1209,12 +1248,33 @@ private:
       I->DstSafe = S.bit();
       if (!I->AuxType || !I->OpType)
         return nullptr;
-      // Full legality (widening only, no safety introduction) is the
-      // verifier's job; shape-check here.
       if (!(I->AuxType->isClass() || I->AuxType->isArray()) ||
           !(I->OpType->isClass() || I->OpType->isArray())) {
         S.fail("downcast of non-reference types");
         return nullptr;
+      }
+      // Full legality, mirroring TSAVerifier::checkDowncast: widening
+      // along the class hierarchy only (arrays widen only to Object), and
+      // safety may be erased or preserved but never introduced — that is
+      // nullcheck's exclusive privilege.
+      if (Fused) {
+        Type *Src = I->AuxType, *Dst = I->OpType;
+        bool Widens = false;
+        if (Src == Dst)
+          Widens = true;
+        else if (Dst->isClass() && Src->isClass())
+          Widens =
+              Src->getClassSymbol()->isSubclassOf(Dst->getClassSymbol());
+        else if (Dst->isClass() && Src->isArray())
+          Widens = Dst->getClassSymbol()->Super == nullptr; // Object only.
+        if (!Widens) {
+          S.fail("downcast does not widen");
+          return nullptr;
+        }
+        if (I->DstSafe && !I->SrcSafe) {
+          S.fail("downcast cannot introduce safety");
+          return nullptr;
+        }
       }
       break;
     }
@@ -1268,8 +1328,7 @@ private:
 
     unsigned NumOps = expectedOperandCount(*I);
     for (unsigned K = 0; K != NumOps; ++K) {
-      std::string PlaneErr;
-      std::optional<PlaneKey> Plane = operandPlane(*I, K, *Ctx, &PlaneErr);
+      std::optional<PlaneKey> Plane = operandPlane(*I, K, *Ctx, nullptr);
       if (!Plane) {
         S.fail("ill-typed instruction");
         return nullptr;
@@ -1290,7 +1349,8 @@ std::vector<uint8_t> safetsa::encodeModule(TSAModule &Module,
   return Encoder(Module, Mode).encode();
 }
 
-std::unique_ptr<DecodedUnit> safetsa::decodeModule(
-    const std::vector<uint8_t> &Bytes, std::string *Err, CodecMode Mode) {
-  return Decoder(Bytes, Mode).decode(Err);
+std::unique_ptr<DecodedUnit> safetsa::decodeModule(ByteSpan Bytes,
+                                                   std::string *Err,
+                                                   const DecodeOptions &Opts) {
+  return Decoder(Bytes, Opts).decode(Err);
 }

@@ -33,6 +33,7 @@
 #define SAFETSA_CODEC_CODEC_H
 
 #include "sema/ClassTable.h"
+#include "support/BitStream.h"
 #include "tsa/Method.h"
 
 #include <memory>
@@ -57,14 +58,40 @@ struct DecodedUnit {
   std::unique_ptr<TSAModule> Module;
 };
 
-/// Decodes a mobile-code unit. Returns nullptr and sets \p Err on any
-/// malformed, truncated, or tampered input; never crashes on hostile
-/// bytes. Decoded modules still pass through TSAVerifier in the driver
-/// path as defense in depth, but decode success already implies
-/// referential integrity.
-std::unique_ptr<DecodedUnit> decodeModule(const std::vector<uint8_t> &Bytes,
-                                          std::string *Err,
-                                          CodecMode Mode = CodecMode::Prefix);
+struct DecodeOptions {
+  CodecMode Mode = CodecMode::Prefix;
+  /// Fused decode+verify (the default): the decoder enforces the complete
+  /// verifier rule set during its phase-2/phase-3 walks, so a successful
+  /// decode implies the module is verified — no TSAVerifier pass is
+  /// needed. Most rules hold by construction of the (l, r) reference
+  /// scheme; this flag gates only the residual semantic checks (downcast
+  /// legality, return-value presence). Setting it false reproduces the
+  /// legacy structural-only decoder, for differential testing against the
+  /// decode-then-TSAVerifier pipeline and for benchmarking; legacy callers
+  /// must run TSAVerifier + counterCheckModule themselves.
+  bool FusedVerify = true;
+  /// Decode bounded symbols through the precomputed per-alphabet tables.
+  /// Setting it false forces the scalar bit-at-a-time reader — the
+  /// pre-table decoder, kept as the legacy benchmark baseline and as a
+  /// differential oracle for the table path (identical symbols and bit
+  /// positions on every stream, hostile ones included).
+  bool TableDecode = true;
+};
+
+/// Decodes a mobile-code unit from a non-owning byte span (batch drivers
+/// decode straight out of a shared receive buffer). Returns nullptr and
+/// sets \p Err on any malformed, truncated, or tampered input; never
+/// crashes on hostile bytes. With Opts.FusedVerify (the default), decode
+/// success means the module is fully verified.
+std::unique_ptr<DecodedUnit> decodeModule(ByteSpan Bytes, std::string *Err,
+                                          const DecodeOptions &Opts);
+
+/// Convenience overload for owning buffers; decodes fused.
+inline std::unique_ptr<DecodedUnit>
+decodeModule(const std::vector<uint8_t> &Bytes, std::string *Err,
+             CodecMode Mode = CodecMode::Prefix) {
+  return decodeModule(ByteSpan(Bytes), Err, DecodeOptions{Mode, true});
+}
 
 } // namespace safetsa
 

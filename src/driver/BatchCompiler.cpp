@@ -10,12 +10,35 @@
 #include "support/ThreadPool.h"
 #include "tsa/Verifier.h"
 
+#include <cstdlib>
+#include <cstring>
+
 using namespace safetsa;
 
 BatchCompiler::BatchCompiler(BatchOptions Opts)
     : Opts(Opts),
       Threads(Opts.Threads == 0 ? ThreadPool::defaultThreadCount()
                                 : Opts.Threads) {}
+
+static bool paranoidEnv() {
+  const char *V = std::getenv("SAFETSA_PARANOID");
+  return V && *V && std::strcmp(V, "0") != 0;
+}
+
+/// Re-runs the standalone verifier and counter check on a module the fused
+/// decoder already accepted. Any failure here is a bug in one of the two
+/// verification paths, so the message says so.
+static std::string runParanoidOracle(TSAModule &M) {
+  TSAVerifier V(M);
+  if (!V.verify())
+    return "paranoid oracle disagrees with fused decode: " +
+           (V.getErrors().empty() ? std::string("verification failed")
+                                  : V.getErrors().front());
+  if (!counterCheckModule(M))
+    return "paranoid oracle disagrees with fused decode: counter check "
+           "failed";
+  return {};
+}
 
 BatchResult BatchCompiler::runOne(const BatchJob &Job,
                                   const BatchOptions &Opts) {
@@ -37,25 +60,37 @@ BatchResult BatchCompiler::runOne(const BatchJob &Job,
   if (!Opts.DecodeAndVerify)
     return R;
 
+  // Fused decode+verify: a non-null result is a verified module, so the
+  // legacy mandatory TSAVerifier + counter-check second pass is gone from
+  // the hot path.
   std::string Err;
-  R.Unit = decodeModule(R.Wire, &Err, Opts.Mode);
+  R.Unit = decodeModule(ByteSpan(R.Wire), &Err, DecodeOptions{Opts.Mode, true});
   if (!R.Unit) {
     R.Error = "decode failed: " + Err;
     return R;
   }
   R.DecodeOk = true;
 
-  TSAVerifier V(*R.Unit->Module);
-  if (!V.verify()) {
-    R.Error = V.getErrors().empty() ? "verification failed"
-                                    : V.getErrors().front();
-    return R;
-  }
-  if (!counterCheckModule(*R.Unit->Module)) {
-    R.Error = "counter check failed";
-    return R;
+  if (Opts.Paranoid || paranoidEnv()) {
+    R.Error = runParanoidOracle(*R.Unit->Module);
+    if (!R.Error.empty())
+      return R;
   }
   R.VerifyOk = true;
+  return R;
+}
+
+BatchLoadResult BatchCompiler::loadOne(ByteSpan Wire,
+                                       const BatchOptions &Opts) {
+  BatchLoadResult R;
+  std::string Err;
+  R.Unit = decodeModule(Wire, &Err, DecodeOptions{Opts.Mode, true});
+  if (!R.Unit) {
+    R.Error = "decode failed: " + Err;
+    return R;
+  }
+  if (Opts.Paranoid || paranoidEnv())
+    R.Error = runParanoidOracle(*R.Unit->Module);
   return R;
 }
 
@@ -70,6 +105,20 @@ std::vector<BatchResult> BatchCompiler::run(
   for (size_t I = 0; I != Jobs.size(); ++I)
     Pool.submit([this, &Jobs, &Results, I] {
       Results[I] = runOne(Jobs[I], Opts);
+    });
+  Pool.wait();
+  return Results;
+}
+
+std::vector<BatchLoadResult> BatchCompiler::load(
+    const std::vector<ByteSpan> &Wires) {
+  std::vector<BatchLoadResult> Results(Wires.size());
+  ThreadPool Pool(Wires.size() < Threads
+                      ? static_cast<unsigned>(Wires.size())
+                      : Threads);
+  for (size_t I = 0; I != Wires.size(); ++I)
+    Pool.submit([this, &Wires, &Results, I] {
+      Results[I] = loadOne(Wires[I], Opts);
     });
   Pool.wait();
   return Results;

@@ -43,9 +43,25 @@ struct BatchOptions {
   /// Run the optimizer between generation and encoding.
   bool Optimize = false;
   CodecMode Mode = CodecMode::Prefix;
-  /// Consumer side: decode the wire bytes back and run the verifier plus
-  /// the paper's counter check on the decoded module.
+  /// Consumer side: decode the wire bytes back with the fused
+  /// decode+verify path (decode success implies a verified module).
   bool DecodeAndVerify = true;
+  /// Differential oracle: after a fused decode, additionally run the
+  /// standalone TSAVerifier and the paper's counter check and fail the
+  /// unit if they disagree with the fused verdict. Redundant in normal
+  /// operation; exists to cross-check the fused decoder. Also enabled by
+  /// setting the SAFETSA_PARANOID environment variable to a non-empty,
+  /// non-"0" value.
+  bool Paranoid = false;
+};
+
+/// Consumer-side artifacts for one wire buffer pushed through the batch
+/// load path (decode + fused verify only, no producer stages).
+struct BatchLoadResult {
+  std::unique_ptr<DecodedUnit> Unit;
+  std::string Error; ///< Empty on success.
+
+  bool ok() const { return Error.empty(); }
 };
 
 /// Everything produced for one job. Producer artifacts stay alive so
@@ -72,8 +88,18 @@ public:
   /// and are independent of the thread count.
   std::vector<BatchResult> run(const std::vector<BatchJob> &Jobs);
 
+  /// Consumer-only batch entry point: decodes (and, fused, verifies) each
+  /// wire buffer across the pool. The spans are non-owning — workers
+  /// decode straight out of the caller's receive buffers with no per-unit
+  /// copy — and each worker writes only its own pre-allocated result
+  /// slot, so results come back in input order.
+  std::vector<BatchLoadResult> load(const std::vector<ByteSpan> &Wires);
+
   /// The full pipeline for a single unit; what each worker executes.
   static BatchResult runOne(const BatchJob &Job, const BatchOptions &Opts);
+
+  /// The consumer-side pipeline for a single wire buffer.
+  static BatchLoadResult loadOne(ByteSpan Wire, const BatchOptions &Opts);
 
   unsigned getNumThreads() const { return Threads; }
 

@@ -28,6 +28,8 @@ class Lexer {
 public:
   Lexer(const std::string &Text, DiagnosticEngine &Diags)
       : Text(Text), Diags(Diags) {}
+  /// The buffer is held by reference and must outlive the Lexer.
+  Lexer(std::string &&, DiagnosticEngine &) = delete;
 
   /// Lexes the whole buffer. The result always ends with an Eof token.
   std::vector<Token> lexAll();

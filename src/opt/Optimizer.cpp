@@ -22,14 +22,13 @@ namespace {
 Instruction *findOrCreateConst(TSAMethod &M, const ConstantValue &C,
                                Type *Ty) {
   BasicBlock *Entry = M.getEntry();
-  for (auto &I : Entry->Insts)
+  for (Instruction *I : Entry->Insts)
     if (I->Op == Opcode::Const && I->OpType == Ty && I->C == C)
-      return I.get();
-  auto I = std::make_unique<Instruction>();
-  I->Op = Opcode::Const;
+      return I;
+  Instruction *I = M.createInst(Opcode::Const);
   I->C = C;
   I->OpType = Ty;
-  return Entry->append(std::move(I));
+  return Entry->append(I);
 }
 
 //===----------------------------------------------------------------------===//
@@ -224,12 +223,12 @@ unsigned runConstantPropagation(TSAMethod &M, PlaneContext &Ctx) {
     Changed = false;
     for (auto &BB : M.Blocks) {
       for (auto &IPtr : BB->Insts) {
-        Instruction *I = IPtr.get();
+        Instruction *I = IPtr;
         if (Dead.count(I))
           continue;
         if (I->Op != Opcode::Primitive && I->Op != Opcode::XPrimitive)
           continue;
-        if (I->mayRaise() && TryBlocks.count(BB.get()))
+        if (I->mayRaise() && TryBlocks.count(BB))
           continue; // Keep the exception edge intact.
         bool AllConst = true;
         for (Instruction *Op : I->Operands)
@@ -328,12 +327,12 @@ private:
         switch (I->Op) {
         case Opcode::GetField:
         case Opcode::GetStatic:
-          LoadStates[I.get()] =
+          LoadStates[I] =
               S.idFor(FieldSensitive ? static_cast<const void *>(I->Field)
                                      : nullptr);
           break;
         case Opcode::GetElt:
-          LoadStates[I.get()] =
+          LoadStates[I] =
               S.idFor(FieldSensitive ? arraysKey() : nullptr);
           break;
         case Opcode::SetField:
@@ -360,8 +359,8 @@ private:
           break;
         }
       }
-      Out[BB.get()] = S;
-      Done.insert(BB.get());
+      Out[BB] = S;
+      Done.insert(BB);
     }
   }
 
@@ -401,7 +400,7 @@ public:
     Children.assign(M.Blocks.size(), {});
     for (const auto &BB : M.Blocks)
       if (BB->IDom)
-        Children[BB->IDom->Id].push_back(BB.get());
+        Children[BB->IDom->Id].push_back(BB);
     dfs(M.getEntry());
     if (!Dead.empty())
       M.eraseIf([&](const Instruction &I) {
@@ -472,7 +471,7 @@ private:
   void dfs(BasicBlock *BB) {
     std::vector<CSEKey> Inserted;
     for (auto &IPtr : BB->Insts) {
-      Instruction *I = IPtr.get();
+      Instruction *I = IPtr;
       if (Dead.count(I))
         continue;
       // Raising instructions inside try bodies anchor exception edges and
@@ -546,7 +545,7 @@ unsigned runCheckTransport(TSAMethod &M, PlaneContext &Ctx,
   unsigned Removed = 0;
   for (auto &BB : M.Blocks) {
     for (size_t PI = 0; PI != BB->Insts.size(); ++PI) {
-      Instruction *P = BB->Insts[PI].get();
+      Instruction *P = BB->Insts[PI];
       if (!P->isPhi() || P->DstSafe || !P->OpType ||
           !(P->OpType->isClass() || P->OpType->isArray()))
         continue;
@@ -556,7 +555,7 @@ unsigned runCheckTransport(TSAMethod &M, PlaneContext &Ctx,
       std::vector<Instruction *> Rechecks;
       for (Instruction *D : ChecksOf[P])
         if (D->OpType == P->OpType &&
-            BasicBlock::dominates(BB.get(), D->Parent) &&
+            BasicBlock::dominates(BB, D->Parent) &&
             !TryBlocks.count(D->Parent))
           Rechecks.push_back(D);
       if (Rechecks.empty())
@@ -583,16 +582,15 @@ unsigned runCheckTransport(TSAMethod &M, PlaneContext &Ctx,
       if (!AllCovered)
         continue;
 
-      auto Safe = std::make_unique<Instruction>();
-      Safe->Op = Opcode::Phi;
-      Safe->OpType = P->OpType;
-      Safe->DstSafe = true;
-      Instruction *SafeRaw = Safe.get();
+      Instruction *SafeRaw = M.createInst(Opcode::Phi);
+      SafeRaw->OpType = P->OpType;
+      SafeRaw->DstSafe = true;
       for (size_t K = 0; K != P->Operands.size(); ++K)
-        Safe->Operands.push_back(P->Operands[K] == P ? SafeRaw : Certs[K]);
-      Safe->Parent = BB.get();
+        SafeRaw->Operands.push_back(P->Operands[K] == P ? SafeRaw
+                                                        : Certs[K]);
+      SafeRaw->Parent = BB;
       // Insert right after P so the phi prefix stays contiguous.
-      BB->Insts.insert(BB->Insts.begin() + PI + 1, std::move(Safe));
+      BB->Insts.insert(BB->Insts.begin() + PI + 1, SafeRaw);
 
       for (Instruction *D : Rechecks) {
         M.replaceAllUsesWith(D, SafeRaw);
@@ -626,7 +624,7 @@ void runDCE(TSAMethod &M, OptStats &Stats) {
     Changed = false;
     for (auto &BB : M.Blocks) {
       for (auto &IPtr : BB->Insts) {
-        Instruction *I = IPtr.get();
+        Instruction *I = IPtr;
         if (!I->isPhi() || Dead.count(I))
           continue;
         Instruction *Unique = nullptr;

@@ -390,7 +390,7 @@ public:
     M->Symbol = Decl.Symbol;
 
     Entry = M->createBlock();
-    M->Root.push_back(CSTNode::makeBasic(Entry));
+    M->Root.push_back(M->createBasicNode(Entry));
 
     // Preload `this` and the declared parameters (paper §5).
     bool IsInstance = !Decl.Symbol->IsStatic;
@@ -413,7 +413,7 @@ public:
     if (Reach) {
       assert(Decl.Symbol->RetTy->isVoid() &&
              "sema guarantees non-void methods always return");
-      auto Ret = std::make_unique<CSTNode>();
+      CSTNode *Ret = M->createNode();
       Ret->K = CSTNode::Kind::Return;
       CurSeq->push_back(std::move(Ret));
     }
@@ -448,9 +448,9 @@ private:
   // Emission helpers
   //===--------------------------------------------------------------------===//
 
-  Instruction *emit(std::unique_ptr<Instruction> I) {
+  Instruction *emit(Instruction *I) {
     assert(CurBlock && "no current block");
-    Instruction *Raw = CurBlock->append(std::move(I));
+    Instruction *Raw = CurBlock->append(I);
     // The paper's exception translation (§7): inside a try region, every
     // potentially-raising instruction ends its subblock, the subblock is
     // flagged with an exception edge to the innermost handler, and the
@@ -468,11 +468,7 @@ private:
     return Raw;
   }
 
-  static std::unique_ptr<Instruction> make(Opcode Op) {
-    auto I = std::make_unique<Instruction>();
-    I->Op = Op;
-    return I;
-  }
+  Instruction *make(Opcode Op) { return M->createInst(Op); }
 
   Instruction *preloadParam(unsigned Index, Type *Ty) {
     auto I = make(Opcode::Param);
@@ -516,7 +512,7 @@ private:
     return getNullConst(Ty);
   }
 
-  Instruction *prim(PrimOp Op, std::vector<Instruction *> Ops,
+  Instruction *prim(PrimOp Op, SmallVector<Instruction *, 3> Ops,
                     Type *Aux = nullptr) {
     auto I = make(primOpMayRaise(Op) ? Opcode::XPrimitive
                                      : Opcode::Primitive);
@@ -553,7 +549,7 @@ private:
     return downcast(V, From, false, Ctx.objectType(), false);
   }
 
-  Instruction *makePhi(Type *Ty, std::vector<Instruction *> Ops,
+  Instruction *makePhi(Type *Ty, SmallVector<Instruction *, 3> Ops,
                        BasicBlock *Block) {
     auto I = make(Opcode::Phi);
     I->OpType = Ty;
@@ -563,8 +559,8 @@ private:
 
   void startBlock() {
     CurBlock = M->createBlock();
-    auto Node = CSTNode::makeBasic(CurBlock);
-    CurBasicNode = Node.get();
+    auto Node = M->createBasicNode(CurBlock);
+    CurBasicNode = Node;
     CurSeq->push_back(std::move(Node));
   }
 
@@ -588,7 +584,7 @@ private:
     for (const auto &[Idx, First] : *Incoming[0]) {
       bool InAll = true;
       bool Same = true;
-      std::vector<Instruction *> Ops;
+      SmallVector<Instruction *, 3> Ops;
       Ops.push_back(First);
       for (size_t K = 1; K < Incoming.size() && InAll; ++K) {
         auto It = Incoming[K]->find(Idx);
@@ -684,7 +680,7 @@ private:
     }
     case StmtKind::Return: {
       const auto &R = static_cast<const ReturnStmt &>(S);
-      auto Node = std::make_unique<CSTNode>();
+      CSTNode *Node = M->createNode();
       Node->K = CSTNode::Kind::Return;
       if (R.Value)
         Node->RetVal = genExpr(*R.Value);
@@ -695,7 +691,7 @@ private:
     case StmtKind::Break: {
       assert(!Loops.empty() && "sema guarantees break inside a loop");
       Loops.back()->BreakDefs.push_back(Defs);
-      auto Node = std::make_unique<CSTNode>();
+      CSTNode *Node = M->createNode();
       Node->K = CSTNode::Kind::Break;
       CurSeq->push_back(std::move(Node));
       Reach = false;
@@ -732,7 +728,7 @@ private:
         TC.CatchPhis.push_back({Idx, Phi});
       }
 
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::Try;
 
     Tries.push_back(&TC);
@@ -743,9 +739,8 @@ private:
     if (TC.NumEdges == 0) {
       // All potential raisers turned out unreachable: drop the handler
       // and splice the body into the enclosing sequence.
-      std::erase_if(M->Blocks, [&](const std::unique_ptr<BasicBlock> &B) {
-        return B.get() == TC.CatchEntry;
-      });
+      std::erase_if(M->Blocks,
+                    [&](const BasicBlock *B) { return B == TC.CatchEntry; });
       for (auto &Child : Node->Then)
         CurSeq->push_back(std::move(Child));
       if (!Node->Then.empty()) {
@@ -753,7 +748,7 @@ private:
         for (auto It = CurSeq->rbegin(); It != CurSeq->rend(); ++It)
           if ((*It)->K == CSTNode::Kind::Basic) {
             CurBlock = (*It)->BB;
-            CurBasicNode = It->get();
+            CurBasicNode = *It;
             break;
           }
       }
@@ -775,8 +770,8 @@ private:
       bool SavedReach = Reach;
       CurSeq = &Node->Else;
       Reach = true;
-      auto EntryNode = CSTNode::makeBasic(TC.CatchEntry);
-      CurBasicNode = EntryNode.get();
+      auto EntryNode = M->createBasicNode(TC.CatchEntry);
+      CurBasicNode = EntryNode;
       CurBlock = TC.CatchEntry;
       CurSeq->push_back(std::move(EntryNode));
       genStmt(*S.Handler);
@@ -805,7 +800,7 @@ private:
 
   void genIf(const IfStmt &S) {
     Instruction *CondV = genExpr(*S.Cond);
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::If;
     Node->Cond = CondV;
 
@@ -852,7 +847,7 @@ private:
     if (DoWhileCond)
       collectAssignedExpr(*DoWhileCond, Assigned);
 
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::Loop;
 
     LoopCtx LC;
@@ -907,13 +902,13 @@ private:
   void genCondBreak(const Expr &Cond) {
     Instruction *CondV = genExpr(Cond);
     Instruction *NotV = prim(PrimOp::NotB, {CondV});
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::If;
     Node->Cond = NotV;
     genArm(Node->Then, [&] {
       assert(!Loops.empty());
       Loops.back()->BreakDefs.push_back(Defs);
-      auto Brk = std::make_unique<CSTNode>();
+      CSTNode *Brk = M->createNode();
       Brk->K = CSTNode::Kind::Break;
       CurSeq->push_back(std::move(Brk));
       Reach = false;
@@ -936,7 +931,7 @@ private:
       return;
     for (auto &[Idx, Phi] : LC.HeaderPhis)
       Phi->Operands.push_back(Defs.at(Idx));
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::Continue;
     CurSeq->push_back(std::move(Node));
     Reach = false;
@@ -1089,7 +1084,7 @@ private:
                           const std::function<Instruction *()> &GenThen,
                           const std::function<Instruction *()> &GenElse,
                           Type *Ty) {
-    auto Node = std::make_unique<CSTNode>();
+    CSTNode *Node = M->createNode();
     Node->K = CSTNode::Kind::If;
     Node->Cond = CondV;
 
@@ -1394,7 +1389,7 @@ private:
   }
 
   Instruction *genCall(const CallExpr &E) {
-    std::vector<Instruction *> Args;
+    SmallVector<Instruction *, 3> Args;
     Args.reserve(E.Args.size());
     for (const ExprPtr &A : E.Args)
       Args.push_back(genExpr(*A));
@@ -1436,7 +1431,7 @@ private:
   }
 
   Instruction *genNewObject(const NewObjectExpr &E) {
-    std::vector<Instruction *> Args;
+    SmallVector<Instruction *, 3> Args;
     Args.reserve(E.Args.size());
     for (const ExprPtr &A : E.Args)
       Args.push_back(genExpr(*A));

@@ -1,0 +1,120 @@
+//===- support/Arena.h - Bump-pointer arena allocation --------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for the SafeTSA IR (Instruction, BasicBlock,
+/// CSTNode). The consumer load path allocates tens of thousands of IR
+/// nodes per module; per-node `new` was the dominant allocator traffic.
+/// The arena hands out objects from large slabs, so allocation is a
+/// pointer bump and teardown is one pass over the slab list instead of
+/// one `free` per node.
+///
+/// Objects are never individually freed: passes that unlink nodes (DCE,
+/// CSE) simply drop the pointers and the memory is reclaimed when the
+/// owning method dies. Destructors of non-trivially-destructible types
+/// are recorded and run at arena teardown, newest first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_ARENA_H
+#define SAFETSA_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace safetsa {
+
+/// Monotonic slab allocator. Not thread-safe; each owner (one TSAMethod)
+/// is confined to one thread at a time by the batch pipeline's design.
+class BumpArena {
+public:
+  BumpArena() = default;
+  BumpArena(BumpArena &&) = default;
+  BumpArena &operator=(BumpArena &&) = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+
+  ~BumpArena() { reset(); }
+
+  /// Allocates \p Size bytes aligned to \p Align from the current slab,
+  /// starting a new slab when it does not fit.
+  void *allocate(size_t Size, size_t Align) {
+    uintptr_t P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) &
+                  ~(uintptr_t(Align) - 1);
+    if (P + Size > reinterpret_cast<uintptr_t>(End)) {
+      newSlab(Size + Align);
+      P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) &
+          ~(uintptr_t(Align) - 1);
+    }
+    Cur = reinterpret_cast<char *>(P + Size);
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Constructs a T in the arena. The object lives until reset() or the
+  /// arena is destroyed; there is no per-object destroy.
+  template <typename T, typename... Args> T *create(Args &&...A) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(A)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  /// Runs pending destructors and releases every slab.
+  void reset() {
+    for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+      It->Destroy(It->Obj);
+    Dtors.clear();
+    Slabs.clear();
+    Cur = End = nullptr;
+  }
+
+  /// Total bytes reserved across slabs (capacity, not live objects).
+  size_t bytesReserved() const {
+    size_t N = 0;
+    for (const auto &S : Slabs)
+      N += S.Size;
+    return N;
+  }
+
+private:
+  struct Slab {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+  struct DtorEntry {
+    void *Obj;
+    void (*Destroy)(void *);
+  };
+
+  void newSlab(size_t AtLeast) {
+    // Slabs double up to a cap so small methods stay small and large
+    // modules amortize to a handful of mmaps.
+    size_t Size = Slabs.empty() ? 4096 : Slabs.back().Size * 2;
+    if (Size > MaxSlab)
+      Size = MaxSlab;
+    if (Size < AtLeast)
+      Size = AtLeast;
+    Slabs.push_back({std::make_unique<char[]>(Size), Size});
+    Cur = Slabs.back().Mem.get();
+    End = Cur + Size;
+  }
+
+  static constexpr size_t MaxSlab = 256 * 1024;
+
+  std::vector<Slab> Slabs;
+  std::vector<DtorEntry> Dtors;
+  char *Cur = nullptr;
+  char *End = nullptr;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_ARENA_H

@@ -59,28 +59,83 @@ std::vector<uint8_t> BitWriter::take() {
   return std::move(Bytes);
 }
 
-bool BitReader::readBit() {
-  if (BitPos >= Bytes.size() * 8) {
-    Overrun = true;
-    return false;
+namespace {
+
+/// Full decode table for one truncated-binary alphabet: an entry for every
+/// possible window of MaxLen upcoming stream bits, giving the symbol that
+/// window starts with and its code length. Truncated-binary codes are
+/// complete, so every window is covered.
+struct PrefixTable {
+  unsigned MaxLen = 0;
+  std::vector<uint32_t> Entries; ///< Symbol << 8 | code length.
+};
+
+void buildPrefixTable(uint64_t Bound, PrefixTable &T) {
+  unsigned K = floorLog2(Bound);
+  uint64_t Short = (uint64_t(1) << (K + 1)) - Bound;
+  // A power-of-two alphabet has only short (K-bit) codes.
+  T.MaxLen = Short >= Bound ? K : K + 1;
+  T.Entries.assign(uint64_t(1) << T.MaxLen, 0);
+  for (uint64_t V = 0; V != Bound; ++V) {
+    uint64_t Code = V < Short ? V : V + Short;
+    unsigned Len = V < Short ? K : K + 1;
+    // writeBounded emits code bits MSB-first into an LSB-first-packed
+    // stream, so in the reader's peek window the code's MSB is bit 0.
+    // Mirror the code into window order, then replicate the entry across
+    // every completion of the unused high window bits.
+    uint64_t Pattern = 0;
+    for (unsigned J = 0; J != Len; ++J)
+      Pattern |= ((Code >> (Len - 1 - J)) & 1) << J;
+    uint32_t Entry = static_cast<uint32_t>(V) << 8 | Len;
+    for (uint64_t Hi = 0; Hi != (uint64_t(1) << (T.MaxLen - Len)); ++Hi)
+      T.Entries[Pattern | (Hi << Len)] = Entry;
   }
-  bool Bit = (Bytes[BitPos / 8] >> (BitPos % 8)) & 1;
-  ++BitPos;
-  return Bit;
 }
+
+/// Tables depend only on the alphabet size and are immutable once built,
+/// so they are shared by every reader on the thread (a batch consumer
+/// decodes many modules over the same few dozen alphabet sizes).
+std::vector<PrefixTable> &tableCache() {
+  static thread_local std::vector<PrefixTable> Cache(BitReader::kMaxTableBound +
+                                                     1);
+  return Cache;
+}
+
+} // namespace
+
+void BitReader::initTables() { Tables = &tableCache(); }
 
 uint64_t BitReader::readFixed(unsigned NumBits) {
   assert(NumBits <= 64 && "too many bits");
-  uint64_t Value = 0;
-  for (unsigned I = 0; I != NumBits; ++I)
-    Value |= static_cast<uint64_t>(readBit()) << I;
-  return Value;
+  if (NumBits == 0)
+    return 0;
+  if (NumBits <= 32) {
+    uint64_t Value = peek(NumBits);
+    consume(NumBits);
+    return Value;
+  }
+  uint64_t Lo = peek(32);
+  consume(32);
+  uint64_t Hi = peek(NumBits - 32);
+  consume(NumBits - 32);
+  return Lo | (Hi << 32);
 }
 
 uint64_t BitReader::readBounded(uint64_t Bound) {
   assert(Bound >= 1 && "empty alphabet");
   if (Bound == 1)
     return 0;
+  if (UseTables && Bound <= kMaxTableBound) {
+    PrefixTable &T = (*static_cast<std::vector<PrefixTable> *>(Tables))[Bound];
+    if (T.Entries.empty())
+      buildPrefixTable(Bound, T);
+    uint32_t Entry = T.Entries[peek(T.MaxLen)];
+    consume(Entry & 0xff);
+    return Entry >> 8;
+  }
+  // Scalar path: rare large alphabets (deep dominator chains, huge
+  // blocks) and readers constructed with UseTables off take the direct
+  // MSB-first accumulation walk.
   unsigned K = floorLog2(Bound);
   uint64_t Short = (uint64_t(1) << (K + 1)) - Bound;
   uint64_t Value = 0;
@@ -94,6 +149,13 @@ uint64_t BitReader::readBounded(uint64_t Bound) {
 }
 
 uint64_t BitReader::readVarUint() {
+  // Fast path: most wire varuints (operand counts, small lengths) fit one
+  // 8-bit group — continuation bit clear, 7 value bits.
+  uint64_t First = peek(8);
+  if ((First & 1) == 0) {
+    consume(8);
+    return First >> 1;
+  }
   uint64_t Value = 0;
   unsigned Shift = 0;
   bool More = true;
@@ -109,7 +171,7 @@ std::string BitReader::readString() {
   uint64_t Size = readVarUint();
   // Clamp against hostile length fields; the overrun flag will fire anyway
   // on truncated input, but avoid attempting a huge allocation first.
-  if (Size > Bytes.size() * 8) {
+  if (Size > NumBits) {
     Overrun = true;
     return std::string();
   }

@@ -16,13 +16,21 @@
 /// readBounded implement: floor(log2 N) bits for the first few symbols and
 /// one more for the rest, zero bits when N == 1.
 ///
+/// The reader is built for the consumer load path: it keeps up to 64 bits
+/// buffered in a register and decodes bounded symbols through precomputed
+/// per-alphabet-size tables (one lookup per symbol) instead of one shift
+/// per bit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SAFETSA_SUPPORT_BITSTREAM_H
 #define SAFETSA_SUPPORT_BITSTREAM_H
 
+#include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -75,20 +83,56 @@ private:
   unsigned BitCount = 0;
 };
 
+/// A non-owning view of wire bytes. Batch drivers hand the decoder a span
+/// into a shared receive buffer; nothing is copied.
+struct ByteSpan {
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  /*implicit*/ ByteSpan(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+};
+
 /// Decodes a bit stream produced by BitWriter.
 ///
 /// Reads past the end of the buffer set a sticky overrun flag and yield
 /// zeros; decoders check hasOverrun() instead of aborting, since truncated
 /// input is an expected failure mode for mobile code.
+///
+/// Up to 64 bits of the stream are buffered in a register; refills load a
+/// byte at a time, so the input needs no padding and truncation semantics
+/// are exact. The reader does not own the bytes: the caller keeps the
+/// buffer alive for the reader's lifetime.
 class BitReader {
 public:
-  explicit BitReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+  /// \p UseTables selects table-driven bounded-symbol decoding; pass
+  /// false to force the scalar bit-at-a-time path (the pre-table decoder,
+  /// kept as a benchmark baseline and as a differential oracle for the
+  /// tables). Both paths consume identical bit counts and produce
+  /// identical symbols on every stream, truncated ones included.
+  explicit BitReader(ByteSpan Bytes, bool UseTables = true)
+      : Data(Bytes.Data), NumBytes(Bytes.Size), NumBits(Bytes.Size * 8),
+        UseTables(UseTables) {
+    if (UseTables)
+      initTables();
+  }
 
-  bool readBit();
+  bool readBit() {
+    bool Bit = peek(1) != 0;
+    consume(1);
+    return Bit;
+  }
+
   uint64_t readFixed(unsigned NumBits);
 
   /// Reads a symbol from the alphabet {0, ..., Bound-1}; inverse of
   /// BitWriter::writeBounded. Returns 0 immediately when Bound == 1.
+  /// Alphabets up to kMaxTableBound decode with one table lookup.
   uint64_t readBounded(uint64_t Bound);
 
   uint64_t readVarUint();
@@ -96,13 +140,79 @@ public:
 
   bool hasOverrun() const { return Overrun; }
 
-  /// Bits consumed so far.
-  size_t getBitPos() const { return BitPos; }
+  /// Bits consumed so far (including zero bits synthesized past the end).
+  size_t getBitPos() const { return Consumed; }
+
+  /// Largest alphabet decoded through a table; larger bounds fall back to
+  /// the bit loop. Bounds this size need 2*Bound table entries, so the
+  /// cap keeps the per-alphabet tables in cache.
+  static constexpr uint64_t kMaxTableBound = 1024;
 
 private:
-  const std::vector<uint8_t> &Bytes;
-  size_t BitPos = 0;
+  /// Returns the next \p N stream bits (LSB = next bit) without consuming
+  /// them; bits past the end of the buffer read as zero. N <= 57.
+  uint64_t peek(unsigned N) {
+    if (BufBits < N)
+      refill();
+    return Buf & ((uint64_t(1) << N) - 1);
+  }
+
+  /// Advances by \p N bits; sets the sticky overrun flag if this crosses
+  /// the end of the buffer.
+  void consume(unsigned N) {
+    Consumed += N;
+    if (Consumed > NumBits)
+      Overrun = true;
+    if (N >= BufBits) {
+      // Only reachable when the stream is exhausted (refill tops the
+      // buffer to >= 57 bits otherwise); the zero fill stands in for the
+      // missing bits.
+      Buf = 0;
+      BufBits = 0;
+    } else {
+      Buf >>= N;
+      BufBits -= N;
+    }
+  }
+
+  void refill() {
+    // Fast path: splat the next eight bytes over the buffer in one load.
+    // Bits above BufBits that were already present are re-ORed with the
+    // same stream bytes (BytePos only advances by whole bytes actually
+    // accounted for), so the OR is idempotent and the buffer may hold a
+    // few valid-but-uncounted bits — peek() masks them off.
+    if constexpr (std::endian::native == std::endian::little) {
+      if (BytePos + 8 <= NumBytes) {
+        uint64_t Word;
+        std::memcpy(&Word, Data + BytePos, 8);
+        Buf |= Word << BufBits;
+        BytePos += (63 - BufBits) >> 3;
+        BufBits |= 56;
+        return;
+      }
+    }
+    while (BufBits <= 56 && BytePos != NumBytes) {
+      Buf |= uint64_t(Data[BytePos++]) << BufBits;
+      BufBits += 8;
+    }
+  }
+
+  /// Binds this reader to the thread's shared prefix-table cache so the
+  /// hot symbol loop avoids a thread-local lookup per symbol.
+  void initTables();
+
+  const uint8_t *Data = nullptr;
+  size_t NumBytes = 0;
+  size_t NumBits = 0;
+  size_t BytePos = 0;   ///< Next byte to load into the buffer.
+  uint64_t Buf = 0;     ///< Unconsumed stream bits, next bit in the LSB.
+  unsigned BufBits = 0; ///< Valid bits in Buf.
+  size_t Consumed = 0;
   bool Overrun = false;
+  bool UseTables = true;
+  /// Thread-local decode-table cache (opaque here; see BitStream.cpp),
+  /// resolved once at construction instead of per readBounded call.
+  void *Tables = nullptr;
 };
 
 /// Returns floor(log2(X)) for X >= 1.

@@ -1,0 +1,272 @@
+//===- support/SmallVector.h - Inline-storage vector ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with N elements of inline storage, used for the small lists
+/// the IR is made of (instruction operands, block edges, CST children).
+///
+/// The consumer load path allocates whole methods out of a bump arena, but
+/// std::vector members still cost one heap round trip each — and a decoded
+/// module is mostly such lists, almost all of length <= 4. Keeping the
+/// common case inline removes the dominant allocation traffic from both
+/// decode and teardown; long lists spill to the heap transparently.
+///
+/// Deliberately a subset of std::vector: contiguous T* iterators, no
+/// allocator parameter, no shrink_to_fit. Spilled storage is released by
+/// the destructor, so arena-owned IR nodes still need their destructor run
+/// (BumpArena does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_SMALLVECTOR_H
+#define SAFETSA_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace safetsa {
+
+template <typename T, unsigned N> class SmallVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+  using size_type = size_t;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> IL) { append(IL.begin(), IL.end()); }
+  SmallVector(const SmallVector &O) { append(O.begin(), O.end()); }
+  SmallVector(SmallVector &&O) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    takeFrom(O);
+  }
+  ~SmallVector() {
+    destroyRange(Begin, Begin + Sz);
+    if (!isInline())
+      ::operator delete(Begin);
+  }
+
+  SmallVector &operator=(const SmallVector &O) {
+    if (this != &O)
+      assign(O.begin(), O.end());
+    return *this;
+  }
+  SmallVector &operator=(SmallVector &&O) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this == &O)
+      return *this;
+    destroyRange(Begin, Begin + Sz);
+    if (!isInline())
+      ::operator delete(Begin);
+    Begin = inlineData();
+    Sz = 0;
+    Cap = N;
+    takeFrom(O);
+    return *this;
+  }
+  SmallVector &operator=(std::initializer_list<T> IL) {
+    assign(IL.begin(), IL.end());
+    return *this;
+  }
+
+  iterator begin() { return Begin; }
+  iterator end() { return Begin + Sz; }
+  const_iterator begin() const { return Begin; }
+  const_iterator end() const { return Begin + Sz; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+  size_t capacity() const { return Cap; }
+  T *data() { return Begin; }
+  const T *data() const { return Begin; }
+
+  T &operator[](size_t I) {
+    assert(I < Sz && "index out of range");
+    return Begin[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Sz && "index out of range");
+    return Begin[I];
+  }
+  T &front() { return (*this)[0]; }
+  const T &front() const { return (*this)[0]; }
+  T &back() { return (*this)[Sz - 1]; }
+  const T &back() const { return (*this)[Sz - 1]; }
+
+  void reserve(size_t MinCap) {
+    if (MinCap > Cap)
+      grow(MinCap);
+  }
+
+  void clear() {
+    destroyRange(Begin, Begin + Sz);
+    Sz = 0;
+  }
+
+  void push_back(const T &V) {
+    if (Sz == Cap) {
+      T Tmp(V); // V may live in this vector; copy before growing.
+      grow(Sz + 1);
+      ::new (Begin + Sz) T(std::move(Tmp));
+    } else {
+      ::new (Begin + Sz) T(V);
+    }
+    ++Sz;
+  }
+  void push_back(T &&V) {
+    if (Sz == Cap) {
+      T Tmp(std::move(V));
+      grow(Sz + 1);
+      ::new (Begin + Sz) T(std::move(Tmp));
+    } else {
+      ::new (Begin + Sz) T(std::move(V));
+    }
+    ++Sz;
+  }
+  template <typename... ArgTys> T &emplace_back(ArgTys &&...Args) {
+    if (Sz == Cap)
+      grow(Sz + 1);
+    ::new (Begin + Sz) T(std::forward<ArgTys>(Args)...);
+    return Begin[Sz++];
+  }
+
+  void pop_back() {
+    assert(Sz && "pop from empty vector");
+    Begin[--Sz].~T();
+  }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Sz) {
+      destroyRange(Begin + NewSize, Begin + Sz);
+    } else {
+      reserve(NewSize);
+      for (size_t I = Sz; I != NewSize; ++I)
+        ::new (Begin + I) T();
+    }
+    Sz = NewSize;
+  }
+  void resize(size_t NewSize, const T &V) {
+    if (NewSize < Sz) {
+      destroyRange(Begin + NewSize, Begin + Sz);
+    } else {
+      reserve(NewSize);
+      for (size_t I = Sz; I != NewSize; ++I)
+        ::new (Begin + I) T(V);
+    }
+    Sz = NewSize;
+  }
+
+  void assign(size_t Count, const T &V) {
+    clear();
+    resize(Count, V);
+  }
+  template <typename It> void assign(It First, It Last) {
+    clear();
+    append(First, Last);
+  }
+
+  template <typename It> void append(It First, It Last) {
+    reserve(Sz + static_cast<size_t>(std::distance(First, Last)));
+    for (; First != Last; ++First)
+      ::new (Begin + Sz++) T(*First);
+  }
+
+  /// Inserts a range; the common Pos == end() case is a plain append.
+  template <typename It> iterator insert(iterator Pos, It First, It Last) {
+    size_t Idx = static_cast<size_t>(Pos - Begin);
+    size_t OldSz = Sz;
+    append(First, Last);
+    std::rotate(Begin + Idx, Begin + OldSz, Begin + Sz);
+    return Begin + Idx;
+  }
+
+  iterator insert(iterator Pos, const T &V) {
+    size_t Idx = static_cast<size_t>(Pos - Begin);
+    push_back(V);
+    std::rotate(Begin + Idx, Begin + Sz - 1, Begin + Sz);
+    return Begin + Idx;
+  }
+
+  iterator erase(iterator First, iterator Last) {
+    iterator NewEnd = std::move(Last, Begin + Sz, First);
+    destroyRange(NewEnd, Begin + Sz);
+    Sz = static_cast<size_t>(NewEnd - Begin);
+    return First;
+  }
+  iterator erase(iterator Pos) { return erase(Pos, Pos + 1); }
+
+  friend bool operator==(const SmallVector &A, const SmallVector &B) {
+    return std::equal(A.begin(), A.end(), B.begin(), B.end());
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+  bool isInline() const {
+    return Begin == reinterpret_cast<const T *>(Inline);
+  }
+
+  static void destroyRange(T *First, T *Last) {
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      for (; First != Last; ++First)
+        First->~T();
+  }
+
+  void grow(size_t MinCap) {
+    size_t NewCap = Cap * 2 > MinCap ? Cap * 2 : MinCap;
+    T *NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I != Sz; ++I) {
+      ::new (NewData + I) T(std::move(Begin[I]));
+      Begin[I].~T();
+    }
+    if (!isInline())
+      ::operator delete(Begin);
+    Begin = NewData;
+    Cap = NewCap;
+  }
+
+  /// Steals \p O's heap buffer, or element-moves its inline contents.
+  /// Leaves \p O empty. *this must be empty and inline on entry.
+  void takeFrom(SmallVector &O) {
+    if (O.isInline()) {
+      for (size_t I = 0; I != O.Sz; ++I)
+        ::new (Begin + I) T(std::move(O.Begin[I]));
+      Sz = O.Sz;
+      destroyRange(O.Begin, O.Begin + O.Sz);
+    } else {
+      Begin = O.Begin;
+      Sz = O.Sz;
+      Cap = O.Cap;
+      O.Begin = O.inlineData();
+      O.Cap = N;
+    }
+    O.Sz = 0;
+  }
+
+  T *Begin = inlineData();
+  size_t Sz = 0;
+  size_t Cap = N;
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_SMALLVECTOR_H

@@ -24,13 +24,14 @@
 #define SAFETSA_TSA_INSTRUCTION_H
 
 #include "sema/Symbols.h"
+#include "support/SmallVector.h"
 
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <tuple>
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
 namespace safetsa {
@@ -83,31 +84,75 @@ struct PlaneKeyHash {
 /// assigned in first-touch order (block order x instruction order), which
 /// is deterministic; they never appear on the wire, so producer and
 /// consumer interners need not agree.
+///
+/// Lookups sit on the per-operand decode/encode hot path, so the table is
+/// a flat open-addressing probe array (no per-node allocation, one cache
+/// line for the common hit) rather than a node-based hash map; clear()
+/// keeps the storage so a reused interner allocates nothing in steady
+/// state.
 class PlaneInterner {
 public:
   static constexpr uint32_t None = ~0u;
 
   uint32_t intern(const PlaneKey &K) {
-    auto [It, New] = Ids.try_emplace(K, static_cast<uint32_t>(Keys.size()));
-    if (New)
-      Keys.push_back(K);
-    return It->second;
+    if ((Keys.size() + 1) * 4 > Slots.size() * 3)
+      grow();
+    size_t I = probeStart(K);
+    size_t Mask = Slots.size() - 1;
+    while (true) {
+      uint32_t Id = Slots[I];
+      if (Id == None) {
+        Id = static_cast<uint32_t>(Keys.size());
+        Slots[I] = Id;
+        Keys.push_back(K);
+        return Id;
+      }
+      if (Keys[Id] == K)
+        return Id;
+      I = (I + 1) & Mask;
+    }
   }
   /// Id of \p K, or None when the plane holds no values in this method.
   uint32_t find(const PlaneKey &K) const {
-    auto It = Ids.find(K);
-    return It == Ids.end() ? None : It->second;
+    if (Slots.empty())
+      return None;
+    size_t I = probeStart(K);
+    size_t Mask = Slots.size() - 1;
+    while (true) {
+      uint32_t Id = Slots[I];
+      if (Id == None || Keys[Id] == K)
+        return Id;
+      I = (I + 1) & Mask;
+    }
   }
   const PlaneKey &key(uint32_t Id) const { return Keys[Id]; }
   uint32_t size() const { return static_cast<uint32_t>(Keys.size()); }
   void clear() {
-    Ids.clear();
+    std::fill(Slots.begin(), Slots.end(), None);
     Keys.clear();
   }
 
 private:
-  std::unordered_map<PlaneKey, uint32_t, PlaneKeyHash> Ids;
-  std::vector<PlaneKey> Keys;
+  size_t probeStart(const PlaneKey &K) const {
+    // Fibonacci scatter: Ty/Anchor are aligned pointers whose low bits
+    // are mostly zero, so take the mixed high bits for the mask index.
+    uint64_t H = PlaneKeyHash()(K) * 0x9e3779b97f4a7c15ull;
+    return (H >> 32) & (Slots.size() - 1);
+  }
+
+  void grow() {
+    size_t NewSize = Slots.empty() ? 16 : Slots.size() * 2;
+    Slots.assign(NewSize, None);
+    for (uint32_t Id = 0; Id != Keys.size(); ++Id) {
+      size_t I = probeStart(Keys[Id]);
+      while (Slots[I] != None)
+        I = (I + 1) & (NewSize - 1);
+      Slots[I] = Id;
+    }
+  }
+
+  std::vector<uint32_t> Slots; ///< Probe table of ids; None = empty slot.
+  std::vector<PlaneKey> Keys;  ///< Id -> key, in first-touch order.
 };
 
 /// SafeTSA opcodes. `primitive`/`xprimitive` carry a PrimOp selecting the
@@ -289,7 +334,9 @@ public:
   FieldSymbol *Field = nullptr;     // Get/SetField, Get/SetStatic.
   MethodSymbol *Method = nullptr;   // Call / Dispatch.
 
-  std::vector<Instruction *> Operands;
+  /// Three inline slots cover every fixed-arity opcode (SetElt is the
+  /// widest); only calls with several arguments spill to the heap.
+  SmallVector<Instruction *, 3> Operands;
 
   BasicBlock *Parent = nullptr;
   /// Register number (r) on the result plane within the parent block;

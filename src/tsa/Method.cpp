@@ -16,7 +16,7 @@
 #include "tsa/Signature.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <unordered_set>
 
 using namespace safetsa;
 
@@ -32,12 +32,14 @@ public:
   /// Innermost active exception handler entry (null outside any try).
   BasicBlock *CatchTarget = nullptr;
 
+  /// A fall-out set: the blocks control may leave a sequence from. Almost
+  /// always 1-2 blocks, so it lives inline.
+  using BlockSet = SmallVector<BasicBlock *, 4>;
+
   /// Processes \p Seq with control arriving from \p Incoming; returns the
   /// set of blocks whose control falls out of the sequence.
-  std::vector<BasicBlock *> processSeq(const CSTSeq &Seq,
-                                       std::vector<BasicBlock *> Incoming,
-                                       BasicBlock *LoopHeader,
-                                       std::vector<BasicBlock *> *LoopBreaks) {
+  BlockSet processSeq(const CSTSeq &Seq, BlockSet Incoming,
+                      BasicBlock *LoopHeader, BlockSet *LoopBreaks) {
     for (const auto &Node : Seq) {
       switch (Node->K) {
       case CSTNode::Kind::Basic:
@@ -60,10 +62,11 @@ public:
                "try handler must start with a basic block");
         BasicBlock *SavedCatch = CatchTarget;
         CatchTarget = Node->Else.front()->BB;
-        std::vector<BasicBlock *> BodyOut =
-            processSeq(Node->Then, Incoming, LoopHeader, LoopBreaks);
+        BlockSet BodyOut =
+            processSeq(Node->Then, std::move(Incoming), LoopHeader,
+                       LoopBreaks);
         CatchTarget = SavedCatch;
-        std::vector<BasicBlock *> HandlerOut =
+        BlockSet HandlerOut =
             processSeq(Node->Else, {}, LoopHeader, LoopBreaks);
         Incoming = std::move(BodyOut);
         Incoming.insert(Incoming.end(), HandlerOut.begin(),
@@ -73,12 +76,13 @@ public:
 
       case CSTNode::Kind::If: {
         // The decision block is the current block; both arms start from it.
-        std::vector<BasicBlock *> ThenOut =
+        BlockSet ThenOut =
             processSeq(Node->Then, Incoming, LoopHeader, LoopBreaks);
-        std::vector<BasicBlock *> ElseOut =
+        BlockSet ElseOut =
             Node->Else.empty()
-                ? Incoming
-                : processSeq(Node->Else, Incoming, LoopHeader, LoopBreaks);
+                ? std::move(Incoming)
+                : processSeq(Node->Else, std::move(Incoming), LoopHeader,
+                             LoopBreaks);
         Incoming = std::move(ThenOut);
         Incoming.insert(Incoming.end(), ElseOut.begin(), ElseOut.end());
         break;
@@ -93,15 +97,15 @@ public:
                Node->Header.front()->K == CSTNode::Kind::Basic &&
                "loop header must start with a basic block");
         BasicBlock *HeaderEntry = Node->Header.front()->BB;
-        std::vector<BasicBlock *> Decision =
-            processSeq(Node->Header, Incoming, nullptr, nullptr);
-        std::vector<BasicBlock *> Breaks;
-        std::vector<BasicBlock *> BodyOut =
+        BlockSet Decision =
+            processSeq(Node->Header, std::move(Incoming), nullptr, nullptr);
+        BlockSet Breaks;
+        BlockSet BodyOut =
             processSeq(Node->Body, Decision, HeaderEntry, &Breaks);
         for (BasicBlock *Latch : BodyOut)
           addEdge(Latch, HeaderEntry); // Back edges.
         // Control leaves via the decision block's false branch and breaks.
-        Incoming = Decision;
+        Incoming = std::move(Decision);
         Incoming.insert(Incoming.end(), Breaks.begin(), Breaks.end());
         break;
       }
@@ -143,19 +147,22 @@ void TSAMethod::deriveCFG() {
          "CST does not cover every block exactly once");
 
   // Renumber blocks into CST walk order (== dominator-tree pre-order).
-  std::unordered_map<BasicBlock *, std::unique_ptr<BasicBlock>> Owned;
-  for (auto &BB : Blocks)
-    Owned.emplace(BB.get(), std::move(BB));
-  Blocks.clear();
-  for (BasicBlock *BB : Deriver.Order) {
-    auto It = Owned.find(BB);
-    assert(It != Owned.end() && "CST references an unowned block");
-    BB->Id = static_cast<unsigned>(Blocks.size());
+  // Blocks are arena-owned, so reordering is pointer shuffling.
+#ifndef NDEBUG
+  {
+    std::unordered_set<BasicBlock *> Known(Blocks.begin(), Blocks.end());
+    for (BasicBlock *BB : Deriver.Order)
+      assert(Known.count(BB) && "CST references an unowned block");
+  }
+#endif
+  Blocks = Deriver.Order;
+  for (size_t I = 0; I != Blocks.size(); ++I) {
+    BasicBlock *BB = Blocks[I];
+    BB->Id = static_cast<unsigned>(I);
     BB->Preds.clear();
     BB->Succs.clear();
     BB->IDom = nullptr;
     BB->DomDepth = 0;
-    Blocks.push_back(std::move(It->second));
   }
 
   for (auto [From, To] : Deriver.Edges) {
@@ -167,7 +174,7 @@ void TSAMethod::deriveCFG() {
   // a reverse-postorder-compatible order for structured CFGs.
   if (Blocks.empty())
     return;
-  BasicBlock *Entry = Blocks.front().get();
+  BasicBlock *Entry = Blocks.front();
   Entry->IDom = nullptr;
 
   auto Intersect = [](BasicBlock *A, BasicBlock *B) {
@@ -184,7 +191,7 @@ void TSAMethod::deriveCFG() {
   while (Changed) {
     Changed = false;
     for (size_t I = 1; I < Blocks.size(); ++I) {
-      BasicBlock *BB = Blocks[I].get();
+      BasicBlock *BB = Blocks[I];
       BasicBlock *NewIDom = nullptr;
       for (BasicBlock *P : BB->Preds) {
         if (P != Entry && !P->IDom)
@@ -269,11 +276,13 @@ bool TSAMethod::hasUses(const Instruction *I) const {
 }
 
 void TSAMethod::eraseIf(const std::function<bool(const Instruction &)> &Pred) {
+  // Unlinked instructions stay in the arena until the method dies.
   for (auto &BB : Blocks)
-    std::erase_if(BB->Insts,
-                  [&](const std::unique_ptr<Instruction> &I) {
-                    return Pred(*I);
-                  });
+    BB->Insts.erase(std::remove_if(BB->Insts.begin(), BB->Insts.end(),
+                                   [&](const Instruction *I) {
+                                     return Pred(*I);
+                                   }),
+                    BB->Insts.end());
 }
 
 unsigned TSAMethod::countInstructions() const {

@@ -29,6 +29,7 @@
 #define SAFETSA_TSA_METHOD_H
 
 #include "sema/ClassTable.h"
+#include "support/Arena.h"
 #include "tsa/Instruction.h"
 
 #include <functional>
@@ -41,21 +42,24 @@ class TSAMethod;
 
 /// A basic block: a straight-line instruction list plus derived CFG and
 /// dominator links. Phi instructions, when present, precede all others.
+///
+/// Blocks and their instructions are allocated from the owning method's
+/// arena (see TSAMethod); the pointers here are non-owning.
 class BasicBlock {
 public:
   unsigned Id = 0; ///< Position in TSAMethod::Blocks (dominator pre-order).
-  std::vector<std::unique_ptr<Instruction>> Insts;
+  SmallVector<Instruction *, 8> Insts;
 
   // Derived by deriveCFG():
-  std::vector<BasicBlock *> Preds; ///< Order defines phi operand order.
-  std::vector<BasicBlock *> Succs;
+  SmallVector<BasicBlock *, 2> Preds; ///< Order defines phi operand order.
+  SmallVector<BasicBlock *, 2> Succs;
   BasicBlock *IDom = nullptr;
   unsigned DomDepth = 0;
 
   // Derived by finalize(): number of values per plane in this block,
   // indexed by the owning method's interned plane id (TSAMethod::Planes).
   // Ragged: a block's vector only extends to the highest id it defines.
-  std::vector<unsigned> PlaneCounts;
+  SmallVector<unsigned, 8> PlaneCounts;
 
   /// Values this block holds on interned plane \p Id (0 when the block
   /// defines nothing on that plane).
@@ -63,10 +67,10 @@ public:
     return Id < PlaneCounts.size() ? PlaneCounts[Id] : 0;
   }
 
-  Instruction *append(std::unique_ptr<Instruction> I) {
+  Instruction *append(Instruction *I) {
     I->Parent = this;
-    Insts.push_back(std::move(I));
-    return Insts.back().get();
+    Insts.push_back(I);
+    return I;
   }
 
   /// True when \p A dominates \p B (reflexive).
@@ -112,29 +116,28 @@ public:
   /// and has an exception edge to the innermost enclosing handler.
   bool RaisesToCatch = false;
 
-  std::vector<std::unique_ptr<CSTNode>> Then;   ///< If / Try body.
-  std::vector<std::unique_ptr<CSTNode>> Else;   ///< If else / Try handler.
-  std::vector<std::unique_ptr<CSTNode>> Header; ///< Loop only.
-  std::vector<std::unique_ptr<CSTNode>> Body;   ///< Loop only.
-
-  static std::unique_ptr<CSTNode> makeBasic(BasicBlock *BB) {
-    auto N = std::make_unique<CSTNode>();
-    N->K = Kind::Basic;
-    N->BB = BB;
-    return N;
-  }
+  SmallVector<CSTNode *, 2> Then;   ///< If / Try body.
+  SmallVector<CSTNode *, 2> Else;   ///< If else / Try handler.
+  SmallVector<CSTNode *, 2> Header; ///< Loop only.
+  SmallVector<CSTNode *, 2> Body;   ///< Loop only.
 };
 
-using CSTSeq = std::vector<std::unique_ptr<CSTNode>>;
+using CSTSeq = SmallVector<CSTNode *, 2>;
 
 /// One method in SafeTSA form.
+///
+/// Owns every IR node (Instruction, BasicBlock, CSTNode) through a bump
+/// arena: creation is a pointer bump, teardown is one slab sweep. Passes
+/// that unlink nodes just drop the pointers — the memory is reclaimed when
+/// the method dies, never individually. All node creation goes through the
+/// create* helpers below so nothing outlives its method.
 class TSAMethod {
 public:
   MethodSymbol *Symbol = nullptr;
 
   /// All blocks in creation order == CST walk order == dominator-tree
   /// pre-order (paper §7 phase 2 transmits blocks in exactly this order).
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<BasicBlock *> Blocks;
 
   /// Top-level statement sequence. Blocks[0] is the entry block, which
   /// holds the preloaded parameters and constants followed by code.
@@ -147,15 +150,31 @@ public:
 
   BasicBlock *getEntry() const {
     assert(!Blocks.empty() && "method has no blocks");
-    return Blocks.front().get();
+    return Blocks.front();
   }
 
   BasicBlock *createBlock() {
-    auto BB = std::make_unique<BasicBlock>();
+    BasicBlock *BB = Arena.create<BasicBlock>();
     BB->Id = static_cast<unsigned>(Blocks.size());
-    BasicBlock *Raw = BB.get();
-    Blocks.push_back(std::move(BB));
-    return Raw;
+    Blocks.push_back(BB);
+    return BB;
+  }
+
+  /// Creates a detached instruction; append it to a block to link it in.
+  Instruction *createInst(Opcode Op) {
+    Instruction *I = Arena.create<Instruction>();
+    I->Op = Op;
+    return I;
+  }
+
+  /// Creates a detached CST node (defaults to Basic; callers set K).
+  CSTNode *createNode() { return Arena.create<CSTNode>(); }
+
+  CSTNode *createBasicNode(BasicBlock *BB) {
+    CSTNode *N = Arena.create<CSTNode>();
+    N->K = CSTNode::Kind::Basic;
+    N->BB = BB;
+    return N;
   }
 
   /// Recomputes Preds/Succs/IDom/DomDepth from the CST and renumbers
@@ -192,11 +211,9 @@ public:
   unsigned countOpcode(Opcode Op) const;
 
 private:
-  void walkCST(const CSTSeq &Seq, BasicBlock *&Cur,
-               std::vector<BasicBlock *> &Order,
-               std::vector<std::pair<BasicBlock *, BasicBlock *>> &Edges,
-               BasicBlock *LoopHeader, BasicBlock *LoopExit,
-               BasicBlock *&SeqExit);
+  /// Backing store for every Instruction, BasicBlock, and CSTNode of this
+  /// method; the containers above hold raw pointers into it.
+  BumpArena Arena;
 };
 
 /// A compiled SafeTSA module: the unit of mobile-code distribution.

@@ -39,7 +39,7 @@ bool TSAVerifier::verifyMethod(TSAMethod &M) {
   Pos.clear();
   for (auto &BB : M.Blocks)
     for (unsigned I = 0; I != BB->Insts.size(); ++I)
-      Pos[BB->Insts[I].get()] = {BB.get(), I};
+      Pos[BB->Insts[I]] = {BB, I};
 
   checkBlocks(M);
   checkCSTValueRefs(M);
@@ -71,10 +71,10 @@ bool safetsa::counterCheckMethod(const TSAMethod &M, PlaneContext &Ctx) {
         // Phi operand k is checked against the end of predecessor k.
         const BasicBlock *Use =
             I->isPhi() ? (K < BB->Preds.size() ? BB->Preds[K] : nullptr)
-                       : BB.get();
+                       : BB;
         if (!Use)
           return false;
-        if (D == BB.get() && !I->isPhi()) {
+        if (D == BB && !I->isPhi()) {
           if (Op->PlaneIndex >= Running[Plane])
             return false;
         } else {
@@ -108,10 +108,62 @@ bool safetsa::counterCheckModule(const TSAModule &Module) {
 /// instruction may raise; inside a try body every raising instruction is
 /// last-in-block and flagged (subblock splitting); every handler has at
 /// least one incoming edge (otherwise it would be unreachable).
+///
+/// Allocation-free predicate form; the decoder runs it on every method,
+/// so the happy path builds no strings.
 static bool checkExceptionEdges(const CSTSeq &Seq, bool InTryBody,
-                                unsigned &EdgeCount,
-                                std::vector<std::string> &Errors,
-                                const std::string &Name) {
+                                unsigned &EdgeCount) {
+  for (const auto &Node : Seq) {
+    switch (Node->K) {
+    case CSTNode::Kind::Basic: {
+      const BasicBlock *BB = Node->BB;
+      bool LastRaises =
+          BB && !BB->Insts.empty() && BB->Insts.back()->mayRaise();
+      if (Node->RaisesToCatch) {
+        if (!InTryBody || !LastRaises)
+          return false;
+        ++EdgeCount;
+      } else if (InTryBody && LastRaises) {
+        return false;
+      }
+      if (InTryBody && BB) {
+        for (size_t I = 0; I + 1 < BB->Insts.size(); ++I)
+          if (BB->Insts[I]->mayRaise())
+            return false;
+      }
+      break;
+    }
+    case CSTNode::Kind::If:
+      if (!checkExceptionEdges(Node->Then, InTryBody, EdgeCount) ||
+          !checkExceptionEdges(Node->Else, InTryBody, EdgeCount))
+        return false;
+      break;
+    case CSTNode::Kind::Loop:
+      if (!checkExceptionEdges(Node->Header, InTryBody, EdgeCount) ||
+          !checkExceptionEdges(Node->Body, InTryBody, EdgeCount))
+        return false;
+      break;
+    case CSTNode::Kind::Try: {
+      unsigned Inner = 0;
+      if (!checkExceptionEdges(Node->Then, /*InTryBody=*/true, Inner))
+        return false;
+      if (Inner == 0)
+        return false;
+      if (!checkExceptionEdges(Node->Else, InTryBody, EdgeCount))
+        return false;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return true;
+}
+
+static bool checkExceptionEdgesVerbose(const CSTSeq &Seq, bool InTryBody,
+                                       unsigned &EdgeCount,
+                                       std::vector<std::string> &Errors,
+                                       const std::string &Name) {
   for (const auto &Node : Seq) {
     switch (Node->K) {
     case CSTNode::Kind::Basic: {
@@ -146,23 +198,23 @@ static bool checkExceptionEdges(const CSTSeq &Seq, bool InTryBody,
       break;
     }
     case CSTNode::Kind::If:
-      if (!checkExceptionEdges(Node->Then, InTryBody, EdgeCount, Errors,
-                               Name) ||
-          !checkExceptionEdges(Node->Else, InTryBody, EdgeCount, Errors,
-                               Name))
+      if (!checkExceptionEdgesVerbose(Node->Then, InTryBody, EdgeCount,
+                                      Errors, Name) ||
+          !checkExceptionEdgesVerbose(Node->Else, InTryBody, EdgeCount,
+                                      Errors, Name))
         return false;
       break;
     case CSTNode::Kind::Loop:
-      if (!checkExceptionEdges(Node->Header, InTryBody, EdgeCount, Errors,
-                               Name) ||
-          !checkExceptionEdges(Node->Body, InTryBody, EdgeCount, Errors,
-                               Name))
+      if (!checkExceptionEdgesVerbose(Node->Header, InTryBody, EdgeCount,
+                                      Errors, Name) ||
+          !checkExceptionEdgesVerbose(Node->Body, InTryBody, EdgeCount,
+                                      Errors, Name))
         return false;
       break;
     case CSTNode::Kind::Try: {
       unsigned Inner = 0;
-      if (!checkExceptionEdges(Node->Then, /*InTryBody=*/true, Inner,
-                               Errors, Name))
+      if (!checkExceptionEdgesVerbose(Node->Then, /*InTryBody=*/true, Inner,
+                                      Errors, Name))
         return false;
       if (Inner == 0) {
         Errors.push_back(Name + ": try handler is unreachable (no "
@@ -170,8 +222,8 @@ static bool checkExceptionEdges(const CSTSeq &Seq, bool InTryBody,
         return false;
       }
       // The handler's own exceptions route to the enclosing context.
-      if (!checkExceptionEdges(Node->Else, InTryBody, EdgeCount, Errors,
-                               Name))
+      if (!checkExceptionEdgesVerbose(Node->Else, InTryBody, EdgeCount,
+                                      Errors, Name))
         return false;
       break;
     }
@@ -184,16 +236,21 @@ static bool checkExceptionEdges(const CSTSeq &Seq, bool InTryBody,
 
 bool safetsa::checkExceptionDiscipline(const TSAMethod &M,
                                        std::string *Err) {
-  std::vector<std::string> Errors;
   unsigned TopEdges = 0;
-  std::string Name = M.Symbol ? M.Symbol->signature() : "<method>";
-  if (!checkExceptionEdges(M.Root, /*InTryBody=*/false, TopEdges, Errors,
-                           Name)) {
-    if (Err && !Errors.empty())
+  if (checkExceptionEdges(M.Root, /*InTryBody=*/false, TopEdges))
+    return true;
+  // Re-walk with error collection; the happy path (every decode of a
+  // well-formed module) allocates no strings.
+  if (Err) {
+    std::vector<std::string> Errors;
+    unsigned Edges = 0;
+    std::string Name = M.Symbol ? M.Symbol->signature() : "<method>";
+    checkExceptionEdgesVerbose(M.Root, /*InTryBody=*/false, Edges, Errors,
+                               Name);
+    if (!Errors.empty())
       *Err = Errors.front();
-    return false;
   }
-  return true;
+  return false;
 }
 
 bool TSAVerifier::checkCSTStructure(TSAMethod &M) {
@@ -214,7 +271,7 @@ bool TSAVerifier::checkCSTStructure(TSAMethod &M) {
   }
   std::unordered_set<const BasicBlock *> Owned;
   for (auto &BB : M.Blocks)
-    Owned.insert(BB.get());
+    Owned.insert(BB);
   std::unordered_set<const BasicBlock *> Seen;
   for (BasicBlock *BB : Covered) {
     if (!Owned.count(BB)) {

@@ -370,4 +370,100 @@ TEST_P(DifferentialFuzz, AllPipelinesAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          ::testing::Range(1000u, 1060u));
 
+//===----------------------------------------------------------------------===//
+// Fused-verify differential harness
+//===----------------------------------------------------------------------===//
+//
+// The fused decoder claims to enforce the complete verifier rule set
+// during decode. The claim is checked by brute force: every byte stream —
+// a valid encoding or any mutation of one — must get the identical
+// accept/reject verdict from the fused path and from the legacy pipeline
+// (structural-only decode, then TSAVerifier, then the counter check).
+// A stream only one path rejects is either a verifier rule the fused
+// decoder dropped or a bogus rejection it invented.
+
+/// Legacy three-stage verdict for one byte stream. Uses the scalar
+/// bit-at-a-time reader, so one mismatch-free run also proves the decode
+/// tables bit-equivalent to the scalar walk on hostile input.
+bool legacyAccepts(const std::vector<uint8_t> &Bytes) {
+  std::string Err;
+  auto Unit = decodeModule(ByteSpan(Bytes), &Err,
+                           DecodeOptions{CodecMode::Prefix, false, false});
+  if (!Unit)
+    return false;
+  TSAVerifier V(*Unit->Module);
+  return V.verify() && counterCheckModule(*Unit->Module);
+}
+
+/// Fused single-pass verdict for the same stream.
+bool fusedAccepts(const std::vector<uint8_t> &Bytes) {
+  std::string Err;
+  auto Unit = decodeModule(ByteSpan(Bytes), &Err,
+                           DecodeOptions{CodecMode::Prefix, true});
+  return Unit != nullptr;
+}
+
+class FusedVerdictFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FusedVerdictFuzz, FusedAndLegacyVerdictsMatch) {
+  ProgramGen Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE("seed " + std::to_string(GetParam()));
+
+  auto P = compileMJ("fuzz.mj", Source);
+  ASSERT_TRUE(P->ok()) << P->renderDiagnostics() << "\n" << Source;
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+
+  auto CheckVerdict = [&](const std::vector<uint8_t> &Bytes,
+                          const std::string &What) {
+    bool Fused = fusedAccepts(Bytes);
+    bool Legacy = legacyAccepts(Bytes);
+    EXPECT_EQ(Fused, Legacy)
+        << What << ": fused says " << (Fused ? "accept" : "reject")
+        << ", legacy says " << (Legacy ? "accept" : "reject") << "\n"
+        << Source;
+  };
+
+  // The untampered encoding must be accepted by both.
+  EXPECT_TRUE(fusedAccepts(Wire)) << Source;
+  CheckVerdict(Wire, "untampered");
+
+  std::mt19937 Rng(GetParam() * 7919 + 17);
+  auto Pick = [&](size_t N) { return Rng() % N; };
+
+  // Single-bit flips at random positions.
+  for (unsigned I = 0; I != 40; ++I) {
+    std::vector<uint8_t> M = Wire;
+    size_t Byte = Pick(M.size());
+    M[Byte] ^= uint8_t(1) << Pick(8);
+    CheckVerdict(M, "bit flip at byte " + std::to_string(Byte));
+  }
+
+  // Whole-byte substitutions.
+  for (unsigned I = 0; I != 20; ++I) {
+    std::vector<uint8_t> M = Wire;
+    size_t Byte = Pick(M.size());
+    M[Byte] = static_cast<uint8_t>(Rng());
+    CheckVerdict(M, "byte substitution at " + std::to_string(Byte));
+  }
+
+  // Truncations at random lengths (including the empty stream).
+  for (unsigned I = 0; I != 10; ++I) {
+    std::vector<uint8_t> M = Wire;
+    M.resize(Pick(M.size() + 1));
+    CheckVerdict(M, "truncation to " + std::to_string(M.size()));
+  }
+
+  // Random garbage appended past the end.
+  {
+    std::vector<uint8_t> M = Wire;
+    for (unsigned I = 0; I != 8; ++I)
+      M.push_back(static_cast<uint8_t>(Rng()));
+    CheckVerdict(M, "trailing garbage");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedVerdictFuzz,
+                         ::testing::Range(2000u, 2030u));
+
 } // namespace

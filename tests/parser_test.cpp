@@ -257,7 +257,8 @@ TEST(Parser, AssignToNonLValueRejected) {
 
 TEST(Parser, RecoveryProducesMultipleErrors) {
   DiagnosticEngine Diags;
-  Lexer L("class C { void f() { @ } void g() { # } }", Diags);
+  std::string Src = "class C { void f() { @ } void g() { # } }";
+  Lexer L(Src, Diags);
   Parser P(L.lexAll(), Diags);
   P.parseProgram();
   EXPECT_GE(Diags.getNumErrors(), 2u);

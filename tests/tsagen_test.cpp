@@ -50,7 +50,7 @@ TEST_P(GenProperty, EveryOperandDominatesItsUse) {
     std::unordered_map<const Instruction *, unsigned> Ordinal;
     for (const auto &BB : M->Blocks)
       for (unsigned I = 0; I != BB->Insts.size(); ++I)
-        Ordinal[BB->Insts[I].get()] = I;
+        Ordinal[BB->Insts[I]] = I;
     for (const auto &BB : M->Blocks) {
       for (const auto &I : BB->Insts) {
         for (size_t K = 0; K != I->Operands.size(); ++K) {
@@ -59,11 +59,11 @@ TEST_P(GenProperty, EveryOperandDominatesItsUse) {
           if (I->isPhi()) {
             ASSERT_LT(K, BB->Preds.size());
             EXPECT_TRUE(BasicBlock::dominates(Op->Parent, BB->Preds[K]));
-          } else if (Op->Parent == BB.get()) {
-            EXPECT_LT(Ordinal[Op], Ordinal[I.get()])
+          } else if (Op->Parent == BB) {
+            EXPECT_LT(Ordinal[Op], Ordinal[I])
                 << "same-block use before def";
           } else {
-            EXPECT_TRUE(BasicBlock::dominates(Op->Parent, BB.get()))
+            EXPECT_TRUE(BasicBlock::dominates(Op->Parent, BB))
                 << "operand block does not dominate use";
           }
         }
@@ -79,7 +79,7 @@ TEST_P(GenProperty, PreloadsOnlyInEntryAndPhisFirst) {
       bool SeenNonPhi = false;
       for (const auto &I : BB->Insts) {
         if (I->isPreload()) {
-          EXPECT_EQ(BB.get(), M->getEntry());
+          EXPECT_EQ(BB, M->getEntry());
         }
         if (I->isPhi()) {
           EXPECT_FALSE(SeenNonPhi) << "phi after non-phi";
@@ -228,7 +228,7 @@ TEST(TSAGen, WhileLoopHeaderHoldsPhis) {
   const CSTNode *Loop = nullptr;
   for (const auto &N : F->Root)
     if (N->K == CSTNode::Kind::Loop)
-      Loop = N.get();
+      Loop = N;
   ASSERT_NE(Loop, nullptr);
   ASSERT_FALSE(Loop->Header.empty());
   const BasicBlock *Header = Loop->Header.front()->BB;

@@ -83,11 +83,11 @@ TEST(Verifier, UseBeforeDefInSameBlockRejected) {
   bool Tampered = false;
   for (auto &BB : F->Blocks) {
     for (size_t I = 0; I + 1 < BB->Insts.size() && !Tampered; ++I) {
-      Instruction *Early = BB->Insts[I].get();
+      Instruction *Early = BB->Insts[I];
       if (Early->isPhi())
         continue; // Loop-carried phi references are legal SSA.
       for (size_t J = I + 1; J < BB->Insts.size() && !Tampered; ++J) {
-        Instruction *Late = BB->Insts[J].get();
+        Instruction *Late = BB->Insts[J];
         if (Late->isPhi())
           continue;
         for (Instruction *&Op : Early->Operands)
@@ -128,16 +128,16 @@ TEST(Verifier, CrossBranchReferenceRejected) {
     for (auto &BB2 : F->Blocks)
       if (BB->IDom && BB->IDom == BB2->IDom && BB->Id < BB2->Id &&
           !BB->Insts.empty() && !BB2->Insts.empty() && !HasPhi(*BB) &&
-          !HasPhi(*BB2) && !BasicBlock::dominates(BB.get(), BB2.get())) {
-        Then = BB.get();
-        Else = BB2.get();
+          !HasPhi(*BB2) && !BasicBlock::dominates(BB, BB2)) {
+        Then = BB;
+        Else = BB2;
       }
   ASSERT_NE(Then, nullptr);
   ASSERT_NE(Else, nullptr);
   Instruction *Stolen = nullptr;
   for (auto &I : Then->Insts)
     if (!I->isPhi() && I->hasResult() && I->OpType && I->OpType->isInt())
-      Stolen = I.get();
+      Stolen = I;
   ASSERT_NE(Stolen, nullptr);
   bool Tampered = false;
   for (auto &I : Else->Insts)
@@ -293,13 +293,12 @@ TEST(Verifier, PrimitiveDivMustBeXPrimitive) {
 TEST(Verifier, PreloadOutsideEntryRejected) {
   auto P = compile(LoopSrc);
   TSAMethod *F = methodNamed(*P->TSA, "f");
-  auto Const = std::make_unique<Instruction>();
-  Const->Op = Opcode::Const;
+  Instruction *Const = F->createInst(Opcode::Const);
   Const->C = ConstantValue::makeInt(7);
   Const->OpType = P->Types.getInt();
   // Push into a non-entry block.
   ASSERT_GT(F->Blocks.size(), 1u);
-  F->Blocks[1]->append(std::move(Const));
+  F->Blocks[1]->append(Const);
   expectReject(*P->TSA, "outside of the entry block");
 }
 
@@ -357,11 +356,11 @@ TEST(Verifier, NewOfBuiltinRejected) {
 TEST(Verifier, BreakOutsideLoopRejected) {
   auto P = compile(LoopSrc);
   TSAMethod *F = methodNamed(*P->TSA, "f");
-  auto Break = std::make_unique<CSTNode>();
+  CSTNode *Break = F->createNode();
   Break->K = CSTNode::Kind::Break;
   // Insert at top level, where no loop is active (after the first Basic
   // so the sequence still starts correctly).
-  F->Root.insert(F->Root.end() - 1, std::move(Break));
+  F->Root.insert(F->Root.end() - 1, Break);
   expectReject(*P->TSA, "outside of a loop");
 }
 
@@ -374,7 +373,7 @@ TEST(Verifier, NonBooleanConditionRejected) {
       [&](CSTSeq &Seq) -> CSTNode * {
     for (auto &N : Seq) {
       if (N->K == CSTNode::Kind::If)
-        return N.get();
+        return N;
       for (auto *Sub : {&N->Then, &N->Else, &N->Header, &N->Body})
         if (CSTNode *R = FindIf(*Sub))
           return R;
@@ -400,7 +399,7 @@ TEST(Verifier, ReturnValueOnWrongPlaneRejected) {
       [&](CSTSeq &Seq) -> CSTNode * {
     for (auto &N : Seq) {
       if (N->K == CSTNode::Kind::Return && N->RetVal)
-        return N.get();
+        return N;
       for (auto *Sub : {&N->Then, &N->Else, &N->Header, &N->Body})
         if (CSTNode *R = FindRet(*Sub))
           return R;
