@@ -1,0 +1,144 @@
+//===- bench/bench_serve.cpp - Distribution-layer throughput --*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput of the src/serve distribution layer over the corpus
+/// (google-benchmark), at 1/4/8 client threads:
+///
+///   - FetchWire: the framed FETCH path over per-thread pipe connections
+///     dispatched onto the server's pool — raw byte-serving rate.
+///   - LoadCold: cache-backed consumer loads with the verified-module
+///     cache cleared every iteration — every load pays the fused
+///     decode+verify.
+///   - LoadWarm: the same loads against a primed cache — zero decodes,
+///     the paid-once-per-digest verification amortized to nothing.
+///
+/// Warm throughput dwarfing cold is the subsystem's reason to exist: a
+/// server can hand out verified modules at memory speed because the
+/// cache keys on content digests (same digest, same bytes, same
+/// verdict).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "serve/CodeClient.h"
+#include "serve/CodeServer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace safetsa;
+
+namespace {
+
+struct ServeFixture {
+  CodeServer Server;
+  std::vector<Digest> Digests;
+  size_t WireBytes = 0;
+
+  ServeFixture()
+      : Server(CodeServerOptions{/*CacheBytes=*/256u << 20,
+                                 /*CacheShards=*/8,
+                                 /*Threads=*/16,
+                                 /*VerifyOnPublish=*/true,
+                                 /*StoreDir=*/""}) {
+    for (const CorpusProgram &P : getCorpus()) {
+      auto C = compileMJ(P.Name, P.Source);
+      if (!C->ok())
+        std::abort();
+      std::vector<uint8_t> Wire = encodeModule(*C->TSA);
+      WireBytes += Wire.size();
+      std::string Err;
+      Digests.push_back(Server.publish(ByteSpan(Wire), &Err));
+      if (!Err.empty())
+        std::abort();
+    }
+  }
+};
+
+ServeFixture &fixture() {
+  static ServeFixture F;
+  return F;
+}
+
+/// Framed FETCH over the protocol, one pipe connection per client
+/// thread, connections served by the server's dispatch pool.
+void BM_ServeFetchWire(benchmark::State &State) {
+  ServeFixture &F = fixture();
+  TransportPair Pair = makePipePair();
+  F.Server.attach(std::move(Pair.Server));
+  CodeClient Client(*Pair.Client);
+  for (auto _ : State) {
+    for (const Digest &D : F.Digests) {
+      std::vector<uint8_t> Out;
+      std::string Err;
+      if (!Client.fetch(D, Out, &Err))
+        std::abort();
+      benchmark::DoNotOptimize(Out);
+    }
+  }
+  Client.close();
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(F.WireBytes));
+  State.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()) *
+          static_cast<double>(F.Digests.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeFetchWire)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void reportLoad(benchmark::State &State, const ServeFixture &F) {
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(F.WireBytes));
+  State.counters["modules_per_s"] = benchmark::Counter(
+      static_cast<double>(State.iterations()) *
+          static_cast<double>(F.Digests.size()),
+      benchmark::Counter::kIsRate);
+}
+
+void loadAll(ServeFixture &F) {
+  for (const Digest &D : F.Digests) {
+    std::string Err;
+    auto Unit = F.Server.load(D, &Err);
+    if (!Unit)
+      std::abort();
+    benchmark::DoNotOptimize(Unit);
+  }
+}
+
+/// Cold cache: thread 0 clears the verified-module cache each iteration,
+/// so loads keep paying the fused decode+verify (exactly cold at 1
+/// thread, a decode-dominated mix at 4/8).
+void BM_ServeLoadCold(benchmark::State &State) {
+  ServeFixture &F = fixture();
+  for (auto _ : State) {
+    if (State.thread_index() == 0)
+      F.Server.getCache().clear();
+    loadAll(F);
+  }
+  reportLoad(State, F);
+}
+BENCHMARK(BM_ServeLoadCold)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+/// Warm cache: primed by publish; every load is a hit and no decode
+/// runs. The gap to LoadCold is the per-fetch verification cost the
+/// content-addressed cache eliminates.
+void BM_ServeLoadWarm(benchmark::State &State) {
+  ServeFixture &F = fixture();
+  if (State.thread_index() == 0)
+    loadAll(F); // Prime (publish already decoded; this covers clears).
+  for (auto _ : State)
+    loadAll(F);
+  reportLoad(State, F);
+}
+BENCHMARK(BM_ServeLoadWarm)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

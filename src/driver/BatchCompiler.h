@@ -23,6 +23,7 @@
 
 #include "codec/Codec.h"
 #include "driver/Compiler.h"
+#include "serve/CodeServer.h"
 
 #include <memory>
 #include <string>
@@ -53,12 +54,28 @@ struct BatchOptions {
   /// setting the SAFETSA_PARANOID environment variable to a non-empty,
   /// non-"0" value.
   bool Paranoid = false;
+  /// Publish-after-encode: when set, each successfully encoded module is
+  /// PUBLISHed to this server (verified once per content digest through
+  /// the server's module cache) and BatchResult::Dig carries its digest.
+  /// The server is shared by all workers; its layers are thread-safe.
+  CodeServer *PublishTo = nullptr;
 };
 
 /// Consumer-side artifacts for one wire buffer pushed through the batch
 /// load path (decode + fused verify only, no producer stages).
 struct BatchLoadResult {
   std::unique_ptr<DecodedUnit> Unit;
+  std::string Error; ///< Empty on success.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Consumer-side artifacts for one digest pulled through the cache-backed
+/// load path. The unit is shared: a warm server cache hands every caller
+/// the same decoded+verified module without re-decoding.
+struct BatchServeLoadResult {
+  Digest Dig;
+  std::shared_ptr<const DecodedUnit> Unit;
   std::string Error; ///< Empty on success.
 
   bool ok() const { return Error.empty(); }
@@ -71,7 +88,9 @@ struct BatchResult {
   std::unique_ptr<CompiledProgram> Program; ///< Producer artifacts.
   std::vector<uint8_t> Wire;                ///< Encoded module bytes.
   std::unique_ptr<DecodedUnit> Unit;        ///< Consumer artifacts.
+  Digest Dig;                               ///< Set when published.
   bool CompileOk = false;
+  bool Published = false; ///< Publish-after-encode succeeded.
   bool DecodeOk = false;
   bool VerifyOk = false;
   std::string Error; ///< First failure reason, empty on success.
@@ -94,6 +113,14 @@ public:
   /// copy — and each worker writes only its own pre-allocated result
   /// slot, so results come back in input order.
   std::vector<BatchLoadResult> load(const std::vector<ByteSpan> &Wires);
+
+  /// Cache-backed consumer batch: resolves each digest through
+  /// \p Server's verified-module cache across the pool. Duplicate digests
+  /// in one batch decode once (single-flight) and a warm cache serves
+  /// every entry with zero decodes — the counters in Server.stats() tell
+  /// the story. Results come back in input order.
+  std::vector<BatchServeLoadResult>
+  loadCached(const std::vector<Digest> &Digests, CodeServer &Server);
 
   /// The full pipeline for a single unit; what each worker executes.
   static BatchResult runOne(const BatchJob &Job, const BatchOptions &Opts);

@@ -1,0 +1,100 @@
+//===- serve/CodeClient.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CodeClient.h"
+
+using namespace safetsa;
+
+static void setErr(std::string *Err, std::string Msg) {
+  if (Err)
+    *Err = std::move(Msg);
+}
+
+bool CodeClient::roundTrip(MsgType Request, ByteSpan Payload, Frame &Response,
+                           std::string *Err) {
+  if (!writeFrame(T, Request, Payload)) {
+    setErr(Err, "transport write failed");
+    return false;
+  }
+  FrameError E = readFrame(T, Response);
+  if (E != FrameError::None) {
+    setErr(Err, std::string("response framing: ") + frameErrorName(E));
+    return false;
+  }
+  if (Response.Type == MsgType::Error) {
+    setErr(Err, "server error: " + std::string(Response.Payload.begin(),
+                                               Response.Payload.end()));
+    return false;
+  }
+  return true;
+}
+
+bool CodeClient::publish(ByteSpan Module, Digest &Out, std::string *Err) {
+  Frame R;
+  if (!roundTrip(MsgType::Publish, Module, R, Err))
+    return false;
+  if (R.Type != MsgType::PublishOk || !readDigest(ByteSpan(R.Payload), Out)) {
+    setErr(Err, "malformed PUBLISH response");
+    return false;
+  }
+  // The server names content, it does not get to choose names: a digest
+  // disagreeing with the local hash of the very bytes we sent is a
+  // protocol violation, not a value to trust.
+  if (Out != digestOf(Module)) {
+    setErr(Err, "server returned a digest that does not match the "
+                "published bytes");
+    return false;
+  }
+  return true;
+}
+
+bool CodeClient::fetch(const Digest &D, std::vector<uint8_t> &Out,
+                       std::string *Err) {
+  std::vector<uint8_t> Payload;
+  appendDigest(Payload, D);
+  Frame R;
+  if (!roundTrip(MsgType::Fetch, ByteSpan(Payload), R, Err))
+    return false;
+  if (R.Type == MsgType::NotFound) {
+    setErr(Err, "not found: " + D.hex());
+    return false;
+  }
+  if (R.Type != MsgType::FetchOk) {
+    setErr(Err, "malformed FETCH response");
+    return false;
+  }
+  Out = std::move(R.Payload);
+  return true;
+}
+
+std::unique_ptr<DecodedUnit> CodeClient::fetchAndLoad(const Digest &D,
+                                                      std::string *Err) {
+  std::vector<uint8_t> Bytes;
+  if (!fetch(D, Bytes, Err))
+    return nullptr;
+  // Content addressing end to end: bytes that do not hash to the digest
+  // we asked for are a substitution, whatever they decode to.
+  if (digestOf(ByteSpan(Bytes)) != D) {
+    setErr(Err, "fetched bytes do not match requested digest");
+    return nullptr;
+  }
+  std::string DecErr;
+  auto Unit = decodeModule(ByteSpan(Bytes), &DecErr, DecodeOptions{});
+  if (!Unit)
+    setErr(Err, "fetched module failed fused decode+verify: " + DecErr);
+  return Unit;
+}
+
+bool CodeClient::stats(ServeStats &Out, std::string *Err) {
+  Frame R;
+  if (!roundTrip(MsgType::Stats, ByteSpan(), R, Err))
+    return false;
+  if (R.Type != MsgType::StatsOk || !decodeStats(ByteSpan(R.Payload), Out)) {
+    setErr(Err, "malformed STATS response");
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,129 @@
+//===- serve/Frame.cpp - Frame encode/decode ------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cstring>
+
+using namespace safetsa;
+
+bool safetsa::isValidMsgType(uint8_t Byte) {
+  switch (static_cast<MsgType>(Byte)) {
+  case MsgType::Publish:
+  case MsgType::Fetch:
+  case MsgType::Stats:
+  case MsgType::PublishOk:
+  case MsgType::FetchOk:
+  case MsgType::StatsOk:
+  case MsgType::NotFound:
+  case MsgType::Error:
+    return true;
+  }
+  return false;
+}
+
+const char *safetsa::frameErrorName(FrameError E) {
+  switch (E) {
+  case FrameError::None:
+    return "none";
+  case FrameError::Closed:
+    return "closed";
+  case FrameError::Truncated:
+    return "truncated frame";
+  case FrameError::Oversized:
+    return "oversized frame";
+  case FrameError::BadType:
+    return "bad frame type";
+  }
+  return "unknown";
+}
+
+static void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+static uint32_t getU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+void safetsa::appendFrame(std::vector<uint8_t> &Out, MsgType Type,
+                          ByteSpan Payload) {
+  putU32(Out, static_cast<uint32_t>(Payload.Size));
+  Out.push_back(static_cast<uint8_t>(Type));
+  Out.insert(Out.end(), Payload.Data, Payload.Data + Payload.Size);
+}
+
+bool safetsa::writeFrame(Transport &T, MsgType Type, ByteSpan Payload) {
+  // One buffered write per frame so a frame is never interleaved with
+  // another thread's on a shared transport by accident.
+  std::vector<uint8_t> Buf;
+  Buf.reserve(5 + Payload.Size);
+  appendFrame(Buf, Type, Payload);
+  return T.writeAll(Buf.data(), Buf.size());
+}
+
+FrameError safetsa::readFrame(Transport &T, Frame &Out) {
+  uint8_t Header[5];
+  size_t Got = T.readAll(Header, sizeof(Header));
+  if (Got == 0)
+    return FrameError::Closed;
+  if (Got != sizeof(Header))
+    return FrameError::Truncated;
+  uint32_t Len = getU32(Header);
+  // Bounds-check the attacker-controlled length BEFORE allocating.
+  if (Len > kMaxFramePayload)
+    return FrameError::Oversized;
+  if (!isValidMsgType(Header[4]))
+    return FrameError::BadType;
+  Out.Type = static_cast<MsgType>(Header[4]);
+  Out.Payload.resize(Len);
+  if (Len != 0 && T.readAll(Out.Payload.data(), Len) != Len)
+    return FrameError::Truncated;
+  return FrameError::None;
+}
+
+FrameError safetsa::decodeFrame(ByteSpan Bytes, Frame &Out,
+                                size_t *Consumed) {
+  if (Bytes.Size == 0)
+    return FrameError::Closed;
+  if (Bytes.Size < 5)
+    return FrameError::Truncated;
+  uint32_t Len = getU32(Bytes.Data);
+  if (Len > kMaxFramePayload)
+    return FrameError::Oversized;
+  if (!isValidMsgType(Bytes.Data[4]))
+    return FrameError::BadType;
+  if (Bytes.Size - 5 < Len)
+    return FrameError::Truncated;
+  Out.Type = static_cast<MsgType>(Bytes.Data[4]);
+  Out.Payload.assign(Bytes.Data + 5, Bytes.Data + 5 + Len);
+  if (Consumed)
+    *Consumed = 5 + static_cast<size_t>(Len);
+  return FrameError::None;
+}
+
+void safetsa::appendDigest(std::vector<uint8_t> &Out, const Digest &D) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(D.Hi >> (8 * I)));
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(D.Lo >> (8 * I)));
+}
+
+bool safetsa::readDigest(ByteSpan Bytes, Digest &Out) {
+  if (Bytes.Size != 16)
+    return false;
+  Out.Hi = Out.Lo = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    Out.Hi |= static_cast<uint64_t>(Bytes.Data[I]) << (8 * I);
+  for (unsigned I = 0; I != 8; ++I)
+    Out.Lo |= static_cast<uint64_t>(Bytes.Data[8 + I]) << (8 * I);
+  return true;
+}

@@ -1,0 +1,155 @@
+//===- serve/ModuleCache.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ModuleCache.h"
+
+#include <algorithm>
+
+using namespace safetsa;
+
+/// One cached (or in-flight) module. Waiters hold the shared_ptr, so an
+/// entry outlives its eviction or a cache clear without dangling.
+struct ModuleCache::Entry {
+  size_t Charge = 0;
+  std::shared_ptr<const DecodedUnit> Unit; ///< Null until ready / on failure.
+  std::string Error;
+  bool Ready = false;
+  bool InLru = false;
+  std::list<Digest>::iterator LruIt; ///< Valid iff InLru.
+};
+
+struct ModuleCache::Shard {
+  std::mutex M;
+  std::condition_variable ReadyCV;
+  std::unordered_map<Digest, std::shared_ptr<Entry>, DigestHash> Map;
+  std::list<Digest> Lru; ///< Front = most recently used.
+  size_t Bytes = 0;
+  CacheStats Stats; ///< Entries/Bytes are recomputed at read time.
+};
+
+ModuleCache::ModuleCache(size_t CapacityBytes, unsigned NumShards)
+    : NumShards(std::max(1u, NumShards)),
+      ShardCapacity(std::max<size_t>(1, CapacityBytes / this->NumShards)) {
+  Shards.reserve(this->NumShards);
+  for (unsigned I = 0; I != this->NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ModuleCache::~ModuleCache() = default;
+
+ModuleCache::Shard &ModuleCache::shardFor(const Digest &D) {
+  // The digest is already uniformly mixed; any fold spreads shards well.
+  return *Shards[static_cast<size_t>(D.Hi ^ D.Lo) % NumShards];
+}
+
+std::shared_ptr<const DecodedUnit>
+ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
+                 std::string *Err) {
+  Shard &S = shardFor(D);
+  std::shared_ptr<Entry> E;
+  {
+    std::unique_lock<std::mutex> Lock(S.M);
+    auto It = S.Map.find(D);
+    if (It != S.Map.end()) {
+      E = It->second;
+      if (E->Ready) {
+        // Only successful entries stay mapped, so Unit is non-null here.
+        ++S.Stats.Hits;
+        if (E->InLru)
+          S.Lru.splice(S.Lru.begin(), S.Lru, E->LruIt);
+        return E->Unit;
+      }
+      // Single-flight: another thread is decoding this digest right now.
+      // Wait for its verdict instead of decoding redundantly.
+      ++S.Stats.Coalesced;
+      S.ReadyCV.wait(Lock, [&] { return E->Ready; });
+      if (!E->Unit && Err)
+        *Err = E->Error;
+      return E->Unit;
+    }
+    // Miss: claim the flight while still under the lock, then decode
+    // outside it so other shard traffic keeps flowing.
+    ++S.Stats.Misses;
+    E = std::make_shared<Entry>();
+    S.Map.emplace(D, E);
+  }
+
+  std::string DecodeErr;
+  std::unique_ptr<DecodedUnit> Unit = Decode(&DecodeErr);
+
+  std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Stats.Decodes;
+  // clear() may have dropped our in-flight mapping; re-inserting would
+  // resurrect cleared state, so only admit while still the mapped flight.
+  auto It = S.Map.find(D);
+  bool StillMapped = It != S.Map.end() && It->second == E;
+
+  if (!Unit) {
+    ++S.Stats.DecodeFailures;
+    E->Error = DecodeErr.empty() ? "decode failed" : DecodeErr;
+    E->Ready = true;
+    // Failures are not cached: the next fetch of this digest retries.
+    if (StillMapped)
+      S.Map.erase(It);
+    S.ReadyCV.notify_all();
+    if (Err)
+      *Err = E->Error;
+    return nullptr;
+  }
+
+  E->Unit = std::shared_ptr<const DecodedUnit>(Unit.release());
+  E->Charge = Charge;
+  E->Ready = true;
+  if (StillMapped) {
+    S.Lru.push_front(D);
+    E->LruIt = S.Lru.begin();
+    E->InLru = true;
+    S.Bytes += Charge;
+    // Evict least-recently-used until back under budget; the entry just
+    // admitted (front) is never evicted even when alone over budget.
+    while (S.Bytes > ShardCapacity && S.Lru.size() > 1) {
+      const Digest Victim = S.Lru.back();
+      auto VIt = S.Map.find(Victim);
+      S.Bytes -= VIt->second->Charge;
+      VIt->second->InLru = false;
+      S.Map.erase(VIt);
+      S.Lru.pop_back();
+      ++S.Stats.Evictions;
+    }
+  }
+  S.ReadyCV.notify_all();
+  return E->Unit;
+}
+
+CacheStats ModuleCache::stats() const {
+  CacheStats Out;
+  for (const auto &SP : Shards) {
+    Shard &S = *SP;
+    std::lock_guard<std::mutex> Lock(S.M);
+    Out.Hits += S.Stats.Hits;
+    Out.Misses += S.Stats.Misses;
+    Out.Coalesced += S.Stats.Coalesced;
+    Out.Evictions += S.Stats.Evictions;
+    Out.Decodes += S.Stats.Decodes;
+    Out.DecodeFailures += S.Stats.DecodeFailures;
+    Out.Entries += S.Lru.size();
+    Out.Bytes += S.Bytes;
+  }
+  return Out;
+}
+
+void ModuleCache::clear() {
+  for (const auto &SP : Shards) {
+    Shard &S = *SP;
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (auto &KV : S.Map)
+      KV.second->InLru = false;
+    S.Map.clear(); // In-flight owners see themselves unmapped and skip
+                   // admission; their waiters still get the result.
+    S.Lru.clear();
+    S.Bytes = 0;
+  }
+}

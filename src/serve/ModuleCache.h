@@ -1,0 +1,110 @@
+//===- serve/ModuleCache.h - Sharded verified-module cache ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An N-way sharded LRU cache of *decoded+verified* modules, keyed by
+/// content digest. Because the fused codec makes decode success mean
+/// verified (DESIGN.md §8), and because the key is the digest of the
+/// exact encoded bytes, a cache hit soundly skips both decoding and
+/// verification: same digest, same bytes, same verdict. Verification is
+/// paid once per distinct module, not once per fetch — the economics the
+/// distribution layer is built on.
+///
+/// Concurrency:
+///  - Shards: the digest picks a shard; each shard has its own mutex,
+///    LRU list, and byte budget (Capacity / NumShards), so unrelated
+///    fetches never contend.
+///  - Single-flight admission: the first fetcher of a digest inserts an
+///    in-flight entry and decodes OUTSIDE the shard lock; concurrent
+///    fetchers of the same digest block on the shard's condvar until the
+///    entry is ready instead of redundantly decoding (getDecodes() counts
+///    exactly one decode per storm; tests assert it under TSan).
+///  - Failed decodes are not cached: the entry is removed after waiters
+///    are released, so a transiently missing/corrupt byte provider does
+///    not poison the digest forever.
+///
+/// Eviction is LRU by charged bytes (callers charge the wire size — a
+/// stable, cheap proxy for decoded footprint). In-flight entries are not
+/// evictable; the most-recently-inserted entry survives even when it
+/// alone exceeds the shard budget (an oversized module still serves, it
+/// just evicts everything else in its shard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SERVE_MODULECACHE_H
+#define SAFETSA_SERVE_MODULECACHE_H
+
+#include "codec/Codec.h"
+#include "support/Digest.h"
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace safetsa {
+
+struct CacheStats {
+  uint64_t Hits = 0;      ///< Ready entry found.
+  uint64_t Misses = 0;    ///< Absent; the caller's thread decoded.
+  uint64_t Coalesced = 0; ///< Waited on another thread's in-flight decode.
+  uint64_t Evictions = 0;
+  uint64_t Decodes = 0;        ///< Decode attempts actually run.
+  uint64_t DecodeFailures = 0; ///< Attempts that returned null.
+  size_t Entries = 0;          ///< Resident modules right now.
+  size_t Bytes = 0;            ///< Charged bytes right now.
+};
+
+class ModuleCache {
+public:
+  /// Produces the decoded unit for the digest being admitted; called at
+  /// most once per digest per flight, outside all cache locks. Returns
+  /// null and sets the error string on failure.
+  using DecodeFn =
+      std::function<std::unique_ptr<DecodedUnit>(std::string *Err)>;
+
+  /// \p CapacityBytes is split evenly across \p NumShards (each shard at
+  /// least 1 byte so a zero/low capacity still admits-and-evicts sanely).
+  explicit ModuleCache(size_t CapacityBytes, unsigned NumShards = 8);
+  ~ModuleCache();
+
+  ModuleCache(const ModuleCache &) = delete;
+  ModuleCache &operator=(const ModuleCache &) = delete;
+
+  /// The cache's only read path: returns the decoded+verified module for
+  /// \p D, decoding via \p Decode on a miss (charging \p Charge bytes).
+  /// Null only when the decode failed, with *Err set. Safe from any
+  /// number of threads; concurrent calls for one digest decode once.
+  std::shared_ptr<const DecodedUnit> get(const Digest &D, size_t Charge,
+                                         const DecodeFn &Decode,
+                                         std::string *Err);
+
+  /// Aggregated over all shards.
+  CacheStats stats() const;
+
+  /// Drops every resident entry (in-flight decodes complete and are then
+  /// dropped by their own admission path finding the generation moved).
+  void clear();
+
+  unsigned getNumShards() const { return NumShards; }
+
+private:
+  struct Entry;
+  struct Shard;
+
+  Shard &shardFor(const Digest &D);
+
+  const unsigned NumShards;
+  const size_t ShardCapacity;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SERVE_MODULECACHE_H

@@ -1,0 +1,104 @@
+//===- serve/Protocol.h - Framed PUBLISH/FETCH wire protocol --*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distribution protocol's framing: every message is
+///
+///   [u32 payload length, little-endian] [u8 type] [payload bytes]
+///
+/// Request types (client -> server):
+///   Publish : payload = encoded .stsa module bytes
+///   Fetch   : payload = 16-byte digest (Hi then Lo, little-endian)
+///   Stats   : empty payload
+///
+/// Response types (server -> client):
+///   PublishOk : payload = 16-byte digest of the stored bytes
+///   FetchOk   : payload = the exact bytes previously published
+///   StatsOk   : payload = fixed array of little-endian u64 counters
+///   NotFound  : empty (unknown digest)
+///   Error     : payload = human-readable reason
+///
+/// Robustness contract (the attacker holds the channel): the length
+/// prefix is bounds-checked against kMaxFramePayload BEFORE any
+/// allocation sized by it, a truncated header/payload is a typed error
+/// rather than a blocking read of garbage, and an unknown type byte is
+/// rejected without consuming the payload into a structure. All failures
+/// are values (FrameError), never exceptions or aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SERVE_PROTOCOL_H
+#define SAFETSA_SERVE_PROTOCOL_H
+
+#include "serve/Transport.h"
+#include "support/BitStream.h"
+#include "support/Digest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace safetsa {
+
+enum class MsgType : uint8_t {
+  // Requests.
+  Publish = 0x01,
+  Fetch = 0x02,
+  Stats = 0x03,
+  // Responses.
+  PublishOk = 0x81,
+  FetchOk = 0x82,
+  StatsOk = 0x83,
+  NotFound = 0x84,
+  Error = 0x85,
+};
+
+/// True for any type byte the protocol defines (request or response).
+bool isValidMsgType(uint8_t Byte);
+
+/// Hard ceiling on one frame's payload. Nothing the system ships comes
+/// near it; anything above is a corrupt or hostile length prefix and is
+/// rejected before allocation.
+constexpr size_t kMaxFramePayload = 64u << 20; // 64 MiB
+
+enum class FrameError {
+  None,      ///< Frame decoded.
+  Closed,    ///< Clean EOF at a frame boundary (normal end of session).
+  Truncated, ///< Stream ended inside a header or payload.
+  Oversized, ///< Length prefix exceeds kMaxFramePayload.
+  BadType,   ///< Type byte outside the protocol.
+};
+
+const char *frameErrorName(FrameError E);
+
+struct Frame {
+  MsgType Type = MsgType::Error;
+  std::vector<uint8_t> Payload;
+};
+
+/// Appends one framed message to \p Out.
+void appendFrame(std::vector<uint8_t> &Out, MsgType Type, ByteSpan Payload);
+
+/// Frames and writes one message; false when the transport is gone.
+bool writeFrame(Transport &T, MsgType Type, ByteSpan Payload);
+
+/// Reads one frame, blocking. The length prefix is validated before the
+/// payload buffer is sized, so a hostile 4 GiB prefix costs nothing.
+FrameError readFrame(Transport &T, Frame &Out);
+
+/// Non-blocking structural decode of one frame from an in-memory buffer
+/// (the negative-path tests drive this directly). On success *Consumed is
+/// the total frame size.
+FrameError decodeFrame(ByteSpan Bytes, Frame &Out, size_t *Consumed);
+
+/// 16-byte wire form of a digest (Hi then Lo, little-endian).
+void appendDigest(std::vector<uint8_t> &Out, const Digest &D);
+
+/// Parses the 16-byte wire form; false when \p Bytes is the wrong size.
+bool readDigest(ByteSpan Bytes, Digest &Out);
+
+} // namespace safetsa
+
+#endif // SAFETSA_SERVE_PROTOCOL_H

@@ -1,0 +1,202 @@
+//===- serve/Transport.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace safetsa;
+
+//===----------------------------------------------------------------------===//
+// In-process pipe
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One direction of the pipe: a byte queue with blocking reads. Writers
+/// never block (the queue is unbounded; protocol messages are bounded by
+/// the frame size limit, enforced above this layer).
+struct PipeQueue {
+  std::mutex M;
+  std::condition_variable DataAvailable;
+  std::deque<uint8_t> Bytes;
+  bool Closed = false;
+
+  bool write(const uint8_t *Data, size_t Size) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Closed)
+      return false;
+    Bytes.insert(Bytes.end(), Data, Data + Size);
+    DataAvailable.notify_all();
+    return true;
+  }
+
+  size_t read(uint8_t *Data, size_t Size) {
+    std::unique_lock<std::mutex> Lock(M);
+    size_t Got = 0;
+    while (Got != Size) {
+      DataAvailable.wait(Lock, [&] { return !Bytes.empty() || Closed; });
+      if (Bytes.empty())
+        break; // Closed and drained.
+      while (Got != Size && !Bytes.empty()) {
+        Data[Got++] = Bytes.front();
+        Bytes.pop_front();
+      }
+    }
+    return Got;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+    DataAvailable.notify_all();
+  }
+};
+
+/// One end of the pipe: reads from one queue, writes the other.
+class PipeTransport : public Transport {
+public:
+  PipeTransport(std::shared_ptr<PipeQueue> In, std::shared_ptr<PipeQueue> Out)
+      : In(std::move(In)), Out(std::move(Out)) {}
+  ~PipeTransport() override { Out->close(); }
+
+  bool writeAll(const uint8_t *Data, size_t Size) override {
+    return Out->write(Data, Size);
+  }
+  size_t readAll(uint8_t *Data, size_t Size) override {
+    return In->read(Data, Size);
+  }
+  void closeSend() override { Out->close(); }
+
+private:
+  std::shared_ptr<PipeQueue> In;
+  std::shared_ptr<PipeQueue> Out;
+};
+
+} // namespace
+
+TransportPair safetsa::makePipePair() {
+  auto AtoB = std::make_shared<PipeQueue>();
+  auto BtoA = std::make_shared<PipeQueue>();
+  TransportPair P;
+  P.Client = std::make_unique<PipeTransport>(BtoA, AtoB);
+  P.Server = std::make_unique<PipeTransport>(AtoB, BtoA);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// POSIX sockets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class SocketTransport : public Transport {
+public:
+  explicit SocketTransport(int Fd) : Fd(Fd) {}
+  ~SocketTransport() override {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool writeAll(const uint8_t *Data, size_t Size) override {
+    while (Size != 0) {
+      // MSG_NOSIGNAL: a vanished peer must surface as a failed write,
+      // not a process-killing SIGPIPE.
+      ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      Data += N;
+      Size -= static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  size_t readAll(uint8_t *Data, size_t Size) override {
+    size_t Got = 0;
+    while (Got != Size) {
+      ssize_t N = ::recv(Fd, Data + Got, Size - Got, 0);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (N == 0)
+        break; // EOF.
+      Got += static_cast<size_t>(N);
+    }
+    return Got;
+  }
+
+  void closeSend() override { ::shutdown(Fd, SHUT_WR); }
+
+private:
+  int Fd;
+};
+
+} // namespace
+
+TransportPair safetsa::makeSocketPair() {
+  int Fds[2];
+  TransportPair P;
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    return P;
+  P.Client = std::make_unique<SocketTransport>(Fds[0]);
+  P.Server = std::make_unique<SocketTransport>(Fds[1]);
+  return P;
+}
+
+TransportPair safetsa::makeLoopbackTcpPair() {
+  TransportPair P;
+  int Listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Listener < 0)
+    return P;
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0; // Ephemeral port; read it back for connect.
+  socklen_t Len = sizeof(Addr);
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), Len) != 0 ||
+      ::listen(Listener, 1) != 0 ||
+      ::getsockname(Listener, reinterpret_cast<sockaddr *>(&Addr), &Len) !=
+          0) {
+    ::close(Listener);
+    return P;
+  }
+
+  int ClientFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ClientFd < 0) {
+    ::close(Listener);
+    return P;
+  }
+  if (::connect(ClientFd, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    ::close(ClientFd);
+    ::close(Listener);
+    return P;
+  }
+  int ServerFd = ::accept(Listener, nullptr, nullptr);
+  ::close(Listener);
+  if (ServerFd < 0) {
+    ::close(ClientFd);
+    return P;
+  }
+  P.Client = std::make_unique<SocketTransport>(ClientFd);
+  P.Server = std::make_unique<SocketTransport>(ServerFd);
+  return P;
+}

@@ -1,0 +1,70 @@
+//===- serve/Transport.h - Byte-stream transports -------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream abstraction the PUBLISH/FETCH protocol runs over, and
+/// its two implementations:
+///
+///  - an in-process pipe (two mutex+condvar byte queues), used by tests
+///    and benches because it is deterministic and needs no OS resources;
+///  - a POSIX stream socket wrapper, with factories for a socketpair and
+///    for a genuine TCP loopback accept/connect pair, so the framing is
+///    exercised against real kernel short reads/writes.
+///
+/// A Transport is one *end* of a full-duplex connection; makeXxxPair()
+/// returns both ends. Each end may be used by one thread at a time (the
+/// protocol is strictly request/response per connection; concurrency
+/// comes from opening more connections).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SERVE_TRANSPORT_H
+#define SAFETSA_SERVE_TRANSPORT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace safetsa {
+
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Writes all \p Size bytes; false when the peer is gone.
+  virtual bool writeAll(const uint8_t *Data, size_t Size) = 0;
+
+  /// Reads exactly \p Size bytes unless the stream ends first; returns
+  /// the number of bytes actually read (0 = clean EOF before any byte,
+  /// short = truncated mid-object).
+  virtual size_t readAll(uint8_t *Data, size_t Size) = 0;
+
+  /// Half-close: the peer's next readAll() beyond buffered data sees
+  /// EOF. Further writes on this end fail.
+  virtual void closeSend() = 0;
+};
+
+/// Both ends of one connection. Naming is by role: Client is handed to a
+/// CodeClient, Server to CodeServer::serveConnection / attach.
+struct TransportPair {
+  std::unique_ptr<Transport> Client;
+  std::unique_ptr<Transport> Server;
+};
+
+/// Deterministic in-process pipe pair (no file descriptors).
+TransportPair makePipePair();
+
+/// AF_UNIX SOCK_STREAM socketpair. Returns empty pointers on failure
+/// (resource-limited sandboxes).
+TransportPair makeSocketPair();
+
+/// Real loopback TCP: listen on 127.0.0.1:0, connect, accept. Returns
+/// empty pointers when loopback networking is unavailable.
+TransportPair makeLoopbackTcpPair();
+
+} // namespace safetsa
+
+#endif // SAFETSA_SERVE_TRANSPORT_H

@@ -1,0 +1,76 @@
+//===- support/Digest.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Digest.h"
+
+using namespace safetsa;
+
+namespace {
+
+// FNV-1a 128 parameters (draft-eastlake-fnv): the prime is
+// 2^88 + 2^8 + 0x3b, the offset basis the standard 128-bit one.
+constexpr uint64_t kPrimeHi = 0x0000000001000000ull; // 2^88 >> 64
+constexpr uint64_t kPrimeLo = 0x000000000000013bull;
+constexpr uint64_t kBasisHi = 0x6c62272e07bb0142ull;
+constexpr uint64_t kBasisLo = 0x62b821756295c58dull;
+
+/// High 64 bits of a 64x64 multiply, via 32-bit limbs so the code has no
+/// compiler-extension dependence (__int128) and stays constant-behaviour
+/// everywhere.
+uint64_t mulHi64(uint64_t A, uint64_t B) {
+  uint64_t ALo = A & 0xffffffffull, AHi = A >> 32;
+  uint64_t BLo = B & 0xffffffffull, BHi = B >> 32;
+  uint64_t LoLo = ALo * BLo;
+  uint64_t HiLo = AHi * BLo + (LoLo >> 32);
+  uint64_t LoHi = ALo * BHi + (HiLo & 0xffffffffull);
+  return AHi * BHi + (HiLo >> 32) + (LoHi >> 32);
+}
+
+} // namespace
+
+Digest safetsa::digestOf(ByteSpan Bytes) {
+  uint64_t Hi = kBasisHi, Lo = kBasisLo;
+  for (size_t I = 0; I != Bytes.Size; ++I) {
+    Lo ^= Bytes.Data[I];
+    // (Hi,Lo) *= prime, mod 2^128. The cross terms Hi*primeHi and the
+    // carries out of bit 127 vanish mod 2^128.
+    uint64_t NewLo = Lo * kPrimeLo;
+    uint64_t NewHi = mulHi64(Lo, kPrimeLo) + Lo * kPrimeHi + Hi * kPrimeLo;
+    Hi = NewHi;
+    Lo = NewLo;
+  }
+  return Digest{Hi, Lo};
+}
+
+std::string Digest::hex() const {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Hex[(Hi >> (4 * I)) & 0xf];
+  for (unsigned I = 0; I != 16; ++I)
+    Out[31 - I] = Hex[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+std::optional<Digest> Digest::fromHex(std::string_view Str) {
+  if (Str.size() != 32)
+    return std::nullopt;
+  uint64_t Parts[2] = {0, 0};
+  for (size_t I = 0; I != 32; ++I) {
+    char C = Str[I];
+    uint64_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = static_cast<uint64_t>(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      Nibble = static_cast<uint64_t>(C - 'A' + 10);
+    else
+      return std::nullopt;
+    Parts[I / 16] = (Parts[I / 16] << 4) | Nibble;
+  }
+  return Digest{Parts[0], Parts[1]};
+}

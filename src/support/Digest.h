@@ -1,0 +1,73 @@
+//===- support/Digest.h - Content digests for wire modules ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 128-bit FNV-1a content digests over encoded module bytes.
+///
+/// The distribution layer (src/serve) is content-addressed: a module is
+/// named by the digest of its exact encoded bytes, never by any claimed
+/// identity travelling inside the payload. That keying discipline is what
+/// lets a server cache decoded+verified modules and serve them many times
+/// while paying verification once per digest — two byte streams with the
+/// same digest are the same stream, so a cached verification verdict
+/// transfers (the whole-system trust-boundary framing of "The Meaning of
+/// Memory Safety"). FNV-1a is not cryptographic; it is the right tool for
+/// a deduplicating index, and the protocol re-verifies every module it
+/// decodes regardless, so a crafted collision buys an attacker nothing
+/// beyond a cache mix-up between two streams the verifier already vetted.
+///
+/// The function is fully deterministic: no per-process seed, no
+/// endianness dependence (input is consumed byte-at-a-time), so digests
+/// are stable across runs, machines, and store restarts — a requirement
+/// for the directory-backed ModuleStore, whose file names are digests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_DIGEST_H
+#define SAFETSA_SUPPORT_DIGEST_H
+
+#include "support/BitStream.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace safetsa {
+
+/// A 128-bit content digest, printable as 32 lowercase hex digits
+/// (high 64 bits first).
+struct Digest {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Digest &O) const { return Hi == O.Hi && Lo == O.Lo; }
+  bool operator!=(const Digest &O) const { return !(*this == O); }
+  bool operator<(const Digest &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+
+  /// 32 lowercase hex digits, most-significant first.
+  std::string hex() const;
+
+  /// Parses exactly 32 hex digits (either case); nullopt on anything else.
+  static std::optional<Digest> fromHex(std::string_view Str);
+};
+
+/// FNV-1a 128 over \p Bytes. Deterministic across runs and platforms.
+Digest digestOf(ByteSpan Bytes);
+
+/// Hash functor so Digest can key unordered containers. The digest is
+/// already uniformly mixed, so folding the halves is enough.
+struct DigestHash {
+  size_t operator()(const Digest &D) const {
+    return static_cast<size_t>(D.Hi ^ (D.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_DIGEST_H

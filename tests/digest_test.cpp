@@ -1,0 +1,124 @@
+//===- tests/digest_test.cpp - Content-digest unit tests ------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// support/Digest: known-answer tests against independently computed
+/// FNV-1a-128 values (the function must be stable across runs, builds,
+/// and machines — store file names and cache keys depend on it), hex
+/// round-tripping, and a collision smoke test over every wire encoding
+/// the corpus can produce.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "opt/Optimizer.h"
+#include "support/Digest.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace safetsa;
+
+namespace {
+
+Digest digestOfString(const std::string &S) {
+  return digestOf(
+      ByteSpan(reinterpret_cast<const uint8_t *>(S.data()), S.size()));
+}
+
+// Reference values computed with an independent FNV-1a-128
+// implementation (big-integer arithmetic, draft-eastlake-fnv params).
+TEST(Digest, KnownAnswers) {
+  EXPECT_EQ(digestOfString("").hex(), "6c62272e07bb014262b821756295c58d");
+  EXPECT_EQ(digestOfString("a").hex(), "d228cb696f1a8caf78912b704e4a8964");
+  EXPECT_EQ(digestOfString("abc").hex(),
+            "a68d622cec8b5822836dbc7977af7f3b");
+  EXPECT_EQ(digestOfString("hello world").hex(),
+            "6c155799fdc8eec4b91523808e7726b7");
+  EXPECT_EQ(digestOfString("SafeTSA").hex(),
+            "d8879023e14ff78d6dc956385ce3deec");
+  std::vector<uint8_t> AllBytes(256);
+  for (unsigned I = 0; I != 256; ++I)
+    AllBytes[I] = static_cast<uint8_t>(I);
+  EXPECT_EQ(digestOf(ByteSpan(AllBytes)).hex(),
+            "8097249afae7c21686b07bd6fa33708d");
+}
+
+TEST(Digest, StableAcrossCalls) {
+  std::vector<uint8_t> Data;
+  for (unsigned I = 0; I != 10'000; ++I)
+    Data.push_back(static_cast<uint8_t>(I * 7 + (I >> 3)));
+  Digest First = digestOf(ByteSpan(Data));
+  for (unsigned I = 0; I != 5; ++I)
+    EXPECT_EQ(digestOf(ByteSpan(Data)), First);
+}
+
+TEST(Digest, HexRoundTrip) {
+  Digest D = digestOfString("round trip me");
+  auto Parsed = Digest::fromHex(D.hex());
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(*Parsed, D);
+  // Either case parses.
+  std::string Upper = D.hex();
+  for (char &C : Upper)
+    C = static_cast<char>(toupper(C));
+  ASSERT_TRUE(Digest::fromHex(Upper).has_value());
+  EXPECT_EQ(*Digest::fromHex(Upper), D);
+}
+
+TEST(Digest, FromHexRejectsMalformed) {
+  EXPECT_FALSE(Digest::fromHex("").has_value());
+  EXPECT_FALSE(Digest::fromHex("abcd").has_value());
+  EXPECT_FALSE(
+      Digest::fromHex("6c62272e07bb014262b821756295c58").has_value());
+  EXPECT_FALSE(
+      Digest::fromHex("6c62272e07bb014262b821756295c58dd").has_value());
+  EXPECT_FALSE(
+      Digest::fromHex("6c62272e07bb014262b821756295c58g").has_value());
+}
+
+TEST(Digest, SingleBitSensitivity) {
+  std::string Base = "the quick brown fox jumps over the lazy dog";
+  Digest D = digestOfString(Base);
+  for (size_t I = 0; I != Base.size(); ++I) {
+    std::string Flipped = Base;
+    Flipped[I] = static_cast<char>(Flipped[I] ^ 1);
+    EXPECT_NE(digestOfString(Flipped), D) << "byte " << I;
+  }
+}
+
+/// Collision smoke over everything the corpus can put on the wire: both
+/// codec modes, unoptimized and optimized. Distinct byte streams must
+/// get distinct digests (equal streams, equal digests, by definition).
+TEST(Digest, CorpusCollisionSmoke) {
+  std::map<std::string, std::vector<uint8_t>> Seen; // hex -> bytes
+  unsigned Streams = 0;
+  for (const CorpusProgram &P : getCorpus()) {
+    for (bool Optimize : {false, true}) {
+      auto C = compileMJ(P.Name, P.Source);
+      ASSERT_TRUE(C->ok()) << P.Name;
+      if (Optimize)
+        optimizeModule(*C->TSA);
+      for (CodecMode Mode : {CodecMode::Prefix, CodecMode::Naive}) {
+        std::vector<uint8_t> Wire = encodeModule(*C->TSA, Mode);
+        ++Streams;
+        std::string Hex = digestOf(ByteSpan(Wire)).hex();
+        auto [It, Inserted] = Seen.try_emplace(Hex, Wire);
+        if (!Inserted) {
+          EXPECT_EQ(It->second, Wire)
+              << "digest collision between distinct streams: " << Hex;
+        }
+      }
+    }
+  }
+  // The corpus really produced a spread of distinct streams.
+  EXPECT_GE(Seen.size(), Streams / 2);
+}
+
+} // namespace

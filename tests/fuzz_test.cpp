@@ -23,6 +23,7 @@
 #include "driver/Compiler.h"
 #include "exec/TSAInterp.h"
 #include "opt/Optimizer.h"
+#include "support/Digest.h"
 #include "tsa/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -422,6 +423,12 @@ TEST_P(FusedVerdictFuzz, FusedAndLegacyVerdictsMatch) {
         << What << ": fused says " << (Fused ? "accept" : "reject")
         << ", legacy says " << (Legacy ? "accept" : "reject") << "\n"
         << Source;
+    // Content addressing underneath the distribution layer: any mutation
+    // that changed the bytes must change the digest, or a cache keyed on
+    // digests could serve a tampered stream under the original's verdict.
+    if (Bytes != Wire) {
+      EXPECT_NE(digestOf(ByteSpan(Bytes)), digestOf(ByteSpan(Wire))) << What;
+    }
   };
 
   // The untampered encoding must be accepted by both.

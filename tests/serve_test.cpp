@@ -1,0 +1,611 @@
+//===- tests/serve_test.cpp - Distribution subsystem tests ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// src/serve end to end: the content-addressed store, the sharded
+/// verified-module cache (eviction + single-flight), the framed
+/// PUBLISH/FETCH protocol over pipe and socket transports (including
+/// hostile framing), and the BatchCompiler integration. The whole file
+/// also runs under ThreadSanitizer via the serve_tsan ctest entry.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/BatchCompiler.h"
+#include "exec/TSAInterp.h"
+#include "serve/CodeClient.h"
+#include "serve/CodeServer.h"
+#include "serve/ModuleCache.h"
+#include "serve/ModuleStore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+using namespace safetsa;
+
+namespace {
+
+std::vector<uint8_t> encodeProgram(const char *Name, const char *Source) {
+  auto P = compileMJ(Name, Source);
+  EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
+  return encodeModule(*P->TSA);
+}
+
+std::string runUnit(const DecodedUnit &Unit) {
+  Runtime RT(*Unit.Table);
+  TSAInterpreter I(*Unit.Module, RT);
+  ExecResult E = I.runMain();
+  EXPECT_EQ(E.Err, RuntimeError::None) << runtimeErrorName(E.Err);
+  return RT.getOutput();
+}
+
+/// One protocol session: a pipe pair with a dedicated thread running the
+/// server side until the client hangs up.
+struct Session {
+  TransportPair Pair;
+  std::thread ServerThread;
+
+  explicit Session(CodeServer &Server) : Pair(makePipePair()) {
+    ServerThread =
+        std::thread([&Server, this] { Server.serveConnection(*Pair.Server); });
+  }
+  ~Session() {
+    Pair.Client->closeSend();
+    ServerThread.join();
+  }
+  Transport &clientEnd() { return *Pair.Client; }
+};
+
+//===----------------------------------------------------------------------===//
+// Round-trip property (acceptance criterion)
+//===----------------------------------------------------------------------===//
+
+// For every corpus program: PUBLISH then FETCH returns byte-identical
+// encoded modules, the fetched module fused-decodes, and interpreting it
+// produces the same output as the locally compiled module.
+TEST(Serve, RoundTripCorpus) {
+  CodeServer Server;
+  Session S(Server);
+  CodeClient Client(S.clientEnd());
+
+  for (const CorpusProgram &P : getCorpus()) {
+    SCOPED_TRACE(P.Name);
+    auto Local = compileMJ(P.Name, P.Source);
+    ASSERT_TRUE(Local->ok()) << Local->renderDiagnostics();
+    std::vector<uint8_t> Wire = encodeModule(*Local->TSA);
+
+    Digest D;
+    std::string Err;
+    ASSERT_TRUE(Client.publish(ByteSpan(Wire), D, &Err)) << Err;
+    EXPECT_EQ(D, digestOf(ByteSpan(Wire)));
+
+    std::vector<uint8_t> Fetched;
+    ASSERT_TRUE(Client.fetch(D, Fetched, &Err)) << Err;
+    EXPECT_EQ(Fetched, Wire); // Byte-identical round trip.
+
+    auto Unit = Client.fetchAndLoad(D, &Err);
+    ASSERT_TRUE(Unit) << Err; // Fused decode+verify succeeded.
+
+    // Same observable behaviour as the locally compiled module.
+    Runtime LocalRT(*Local->Table);
+    TSAInterpreter LocalI(*Local->TSA, LocalRT);
+    ASSERT_EQ(LocalI.runMain().Err, RuntimeError::None);
+    EXPECT_EQ(runUnit(*Unit), LocalRT.getOutput());
+  }
+}
+
+TEST(Serve, PublishIsIdempotent) {
+  CodeServer Server;
+  std::vector<uint8_t> Wire = encodeProgram(
+      "idem.mj", "class Main { static void main() { IO.printInt(7); } }");
+  std::string Err;
+  Digest D1 = Server.publish(ByteSpan(Wire), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  Digest D2 = Server.publish(ByteSpan(Wire), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(D1, D2);
+  EXPECT_EQ(Server.getStore().size(), 1u);
+  EXPECT_EQ(Server.getStore().getDuplicatePublishes(), 1u);
+  // The duplicate publish hit the cached verification verdict: one
+  // decode for two publishes.
+  EXPECT_EQ(Server.stats().CacheDecodes, 1u);
+}
+
+TEST(Serve, FetchUnknownDigestIsNotFound) {
+  CodeServer Server;
+  Session S(Server);
+  CodeClient Client(S.clientEnd());
+  std::vector<uint8_t> Out;
+  std::string Err;
+  EXPECT_FALSE(Client.fetch(Digest{1, 2}, Out, &Err));
+  EXPECT_NE(Err.find("not found"), std::string::npos) << Err;
+  EXPECT_EQ(Server.stats().FetchNotFound, 1u);
+}
+
+// A module whose bytes fail fused decode+verify must be refused at
+// PUBLISH: the store never serves unverifiable bytes.
+TEST(Serve, PublishRejectsUnverifiableBytes) {
+  std::vector<uint8_t> Wire = encodeProgram(
+      "tamper.mj", "class Main { static void main() { IO.printInt(1); } }");
+  // Find a mutation the decoder rejects (most are; scan to be sure).
+  std::vector<uint8_t> Bad;
+  for (size_t I = 0; I != Wire.size() && Bad.empty(); ++I) {
+    std::vector<uint8_t> M = Wire;
+    M[I] ^= 0x40;
+    std::string DecErr;
+    if (!decodeModule(ByteSpan(M), &DecErr, DecodeOptions{}))
+      Bad = std::move(M);
+  }
+  ASSERT_FALSE(Bad.empty()) << "no rejectable mutation found";
+
+  CodeServer Server;
+  std::string Err;
+  Digest D = Server.publish(ByteSpan(Bad), &Err);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Server.getStore().contains(D));
+  EXPECT_EQ(Server.stats().VerifyFailures, 1u);
+  // A later publish of the same digest retries (failures are not
+  // cached as verdicts) and fails again.
+  Err.clear();
+  Server.publish(ByteSpan(Bad), &Err);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Server.stats().VerifyFailures, 2u);
+}
+
+// A server handing back bytes that do not hash to the requested digest
+// is caught by the client (content addressing end to end).
+TEST(Serve, ClientRejectsSubstitutedBytes) {
+  TransportPair Pair = makePipePair();
+  std::thread Liar([&] {
+    Frame F;
+    ASSERT_EQ(readFrame(*Pair.Server, F), FrameError::None);
+    ASSERT_EQ(F.Type, MsgType::Fetch);
+    const uint8_t Other[] = {1, 2, 3, 4};
+    writeFrame(*Pair.Server, MsgType::FetchOk, ByteSpan(Other, 4));
+  });
+  CodeClient Client(*Pair.Client);
+  std::string Err;
+  auto Unit = Client.fetchAndLoad(Digest{42, 42}, &Err);
+  EXPECT_EQ(Unit, nullptr);
+  EXPECT_NE(Err.find("digest"), std::string::npos) << Err;
+  Liar.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Transports
+//===----------------------------------------------------------------------===//
+
+void roundTripOver(TransportPair Pair) {
+  if (!Pair.Client || !Pair.Server)
+    GTEST_SKIP() << "transport unavailable in this sandbox";
+  CodeServer Server;
+  std::thread ServerThread(
+      [&] { Server.serveConnection(*Pair.Server); });
+  {
+    CodeClient Client(*Pair.Client);
+    std::vector<uint8_t> Wire = encodeProgram(
+        "sock.mj",
+        "class Main { static void main() { IO.printInt(123); } }");
+    Digest D;
+    std::string Err;
+    ASSERT_TRUE(Client.publish(ByteSpan(Wire), D, &Err)) << Err;
+    std::vector<uint8_t> Fetched;
+    ASSERT_TRUE(Client.fetch(D, Fetched, &Err)) << Err;
+    EXPECT_EQ(Fetched, Wire);
+    ServeStats Stats;
+    ASSERT_TRUE(Client.stats(Stats, &Err)) << Err;
+    EXPECT_EQ(Stats.StoreModules, 1u);
+    EXPECT_EQ(Stats.Fetches, 1u);
+    Client.close();
+  }
+  ServerThread.join();
+}
+
+TEST(Serve, UnixSocketRoundTrip) { roundTripOver(makeSocketPair()); }
+
+TEST(Serve, TcpLoopbackRoundTrip) { roundTripOver(makeLoopbackTcpPair()); }
+
+//===----------------------------------------------------------------------===//
+// Hostile framing
+//===----------------------------------------------------------------------===//
+
+TEST(Frame, DecodeTypedErrors) {
+  Frame F;
+  size_t Consumed = 0;
+  // Clean empty buffer = session boundary.
+  EXPECT_EQ(decodeFrame(ByteSpan(), F, &Consumed), FrameError::Closed);
+  // Short header.
+  const uint8_t Short[] = {1, 0, 0};
+  EXPECT_EQ(decodeFrame(ByteSpan(Short, 3), F, &Consumed),
+            FrameError::Truncated);
+  // Oversized length prefix: rejected before any allocation.
+  const uint8_t Huge[] = {0xff, 0xff, 0xff, 0xff,
+                          static_cast<uint8_t>(MsgType::Publish)};
+  EXPECT_EQ(decodeFrame(ByteSpan(Huge, 5), F, &Consumed),
+            FrameError::Oversized);
+  // Unknown type byte.
+  const uint8_t BadType[] = {0, 0, 0, 0, 0x7f};
+  EXPECT_EQ(decodeFrame(ByteSpan(BadType, 5), F, &Consumed),
+            FrameError::BadType);
+  // Payload shorter than the prefix claims.
+  const uint8_t Cut[] = {4, 0, 0, 0, static_cast<uint8_t>(MsgType::Fetch),
+                         9, 9};
+  EXPECT_EQ(decodeFrame(ByteSpan(Cut, 7), F, &Consumed),
+            FrameError::Truncated);
+  // A well-formed frame still decodes.
+  const uint8_t Good[] = {2, 0, 0, 0, static_cast<uint8_t>(MsgType::Stats),
+                          7, 8};
+  ASSERT_EQ(decodeFrame(ByteSpan(Good, 7), F, &Consumed), FrameError::None);
+  EXPECT_EQ(Consumed, 7u);
+  EXPECT_EQ(F.Type, MsgType::Stats);
+  EXPECT_EQ(F.Payload, (std::vector<uint8_t>{7, 8}));
+}
+
+/// Feeds raw corrupt bytes to a live server connection and expects a
+/// typed Error response followed by connection shutdown — never a crash,
+/// never an allocation driven by the hostile length.
+void expectServerRejects(const std::vector<uint8_t> &Raw,
+                         FrameError Expected) {
+  CodeServer Server;
+  TransportPair Pair = makePipePair();
+  std::thread ServerThread(
+      [&] { Server.serveConnection(*Pair.Server); });
+  ASSERT_TRUE(Pair.Client->writeAll(Raw.data(), Raw.size()));
+  Pair.Client->closeSend();
+  Frame F;
+  FrameError E = readFrame(*Pair.Client, F);
+  ASSERT_EQ(E, FrameError::None);
+  EXPECT_EQ(F.Type, MsgType::Error);
+  std::string Msg(F.Payload.begin(), F.Payload.end());
+  EXPECT_EQ(Msg, frameErrorName(Expected));
+  // Server closed after the error: next read is EOF.
+  EXPECT_EQ(readFrame(*Pair.Client, F), FrameError::Closed);
+  ServerThread.join();
+}
+
+TEST(Frame, ServerRejectsOversizedFrame) {
+  // 4 GiB length prefix; payload never sent.
+  expectServerRejects({0xff, 0xff, 0xff, 0xff, 0x01}, FrameError::Oversized);
+}
+
+TEST(Frame, ServerRejectsBadTypeByte) {
+  expectServerRejects({0, 0, 0, 0, 0x6e}, FrameError::BadType);
+}
+
+TEST(Frame, ServerRejectsTruncatedPayload) {
+  // Claims 100 payload bytes, delivers 3, then EOF.
+  expectServerRejects({100, 0, 0, 0, 0x01, 1, 2, 3}, FrameError::Truncated);
+}
+
+TEST(Frame, ServerRejectsTruncatedHeader) {
+  expectServerRejects({1, 0}, FrameError::Truncated);
+}
+
+TEST(Frame, ServerSurvivesErrorAndServesNextConnection) {
+  CodeServer Server;
+  {
+    TransportPair Pair = makePipePair();
+    std::thread T([&] { Server.serveConnection(*Pair.Server); });
+    std::vector<uint8_t> Junk = {0xff, 0xff, 0xff, 0xff, 0x01};
+    Pair.Client->writeAll(Junk.data(), Junk.size());
+    Pair.Client->closeSend();
+    T.join();
+  }
+  // The server object is unharmed; a fresh connection works.
+  Session S(Server);
+  CodeClient Client(S.clientEnd());
+  ServeStats Stats;
+  std::string Err;
+  EXPECT_TRUE(Client.stats(Stats, &Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache: eviction, single-flight, warm serving
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleCacheTest, EvictsLruByBytes) {
+  // One shard so the LRU order is globally observable.
+  ModuleCache Cache(/*CapacityBytes=*/100, /*NumShards=*/1);
+  auto DecodeStub = [](std::string *) {
+    // Eviction is policy over charges; the decoded value is irrelevant,
+    // so an empty unit keeps the test focused.
+    return std::make_unique<DecodedUnit>();
+  };
+  auto Get = [&](uint64_t Key) {
+    std::string Err;
+    return Cache.get(Digest{Key, Key}, /*Charge=*/40, DecodeStub, &Err);
+  };
+  ASSERT_TRUE(Get(1)); // bytes=40
+  ASSERT_TRUE(Get(2)); // bytes=80
+  ASSERT_TRUE(Get(1)); // touch 1: LRU order now 1,2
+  ASSERT_TRUE(Get(3)); // bytes=120 > 100: evicts 2 (LRU), keeps 1,3
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Bytes, 80u);
+  EXPECT_EQ(S.Decodes, 3u);
+  // 1 and 3 are warm; 2 decodes again.
+  ASSERT_TRUE(Get(1));
+  ASSERT_TRUE(Get(3));
+  EXPECT_EQ(Cache.stats().Decodes, 3u);
+  ASSERT_TRUE(Get(2));
+  EXPECT_EQ(Cache.stats().Decodes, 4u);
+}
+
+TEST(ModuleCacheTest, OversizedSingleEntryStillServes) {
+  ModuleCache Cache(/*CapacityBytes=*/10, /*NumShards=*/1);
+  std::string Err;
+  auto Unit = Cache.get(
+      Digest{9, 9}, /*Charge=*/1000,
+      [](std::string *) { return std::make_unique<DecodedUnit>(); }, &Err);
+  ASSERT_TRUE(Unit);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  // Warm in spite of exceeding the budget alone.
+  ASSERT_TRUE(Cache.get(
+      Digest{9, 9}, 1000,
+      [](std::string *) { return std::make_unique<DecodedUnit>(); }, &Err));
+  EXPECT_EQ(Cache.stats().Decodes, 1u);
+}
+
+// The single-flight acceptance test: a concurrent FETCH storm of one
+// digest decodes exactly once, counter-asserted. The decode holds until
+// every thread has entered get(), so the coalescing window is forced
+// open deterministically.
+TEST(ModuleCacheTest, SingleFlightStormDecodesOnce) {
+  constexpr unsigned kThreads = 8;
+  ModuleCache Cache(/*CapacityBytes=*/1 << 20, /*NumShards=*/4);
+  std::atomic<unsigned> Entered{0};
+  const Digest D{7, 7};
+
+  auto SlowDecode = [&](std::string *) {
+    // Run by exactly one thread; wait for the whole storm to arrive.
+    while (Entered.load() != kThreads)
+      std::this_thread::yield();
+    return std::make_unique<DecodedUnit>();
+  };
+
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Successes{0};
+  for (unsigned I = 0; I != kThreads; ++I)
+    Threads.emplace_back([&] {
+      ++Entered;
+      std::string Err;
+      if (Cache.get(D, 64, SlowDecode, &Err))
+        ++Successes;
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Successes.load(), kThreads);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Decodes, 1u); // The storm decoded exactly once.
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits + S.Coalesced, kThreads - 1);
+}
+
+TEST(ModuleCacheTest, FailedDecodeIsNotCachedAndWaitersSeeError) {
+  ModuleCache Cache(1 << 20, 2);
+  const Digest D{3, 3};
+  std::string Err;
+  auto Fail = [](std::string *E) -> std::unique_ptr<DecodedUnit> {
+    *E = "synthetic failure";
+    return nullptr;
+  };
+  EXPECT_EQ(Cache.get(D, 8, Fail, &Err), nullptr);
+  EXPECT_EQ(Err, "synthetic failure");
+  EXPECT_EQ(Cache.stats().DecodeFailures, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  // The digest is retried, not poisoned.
+  auto Ok = Cache.get(
+      D, 8, [](std::string *) { return std::make_unique<DecodedUnit>(); },
+      &Err);
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Cache.stats().Decodes, 2u);
+}
+
+// Mixed-digest storm under the pool: mostly exercises the shard locking
+// under TSan via the serve_tsan entry.
+TEST(ModuleCacheTest, ConcurrentMixedDigests) {
+  constexpr unsigned kThreads = 8;
+  ModuleCache Cache(/*CapacityBytes=*/512, /*NumShards=*/4);
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != 200; ++I) {
+        uint64_t Key = (T + I) % 16;
+        std::string Err;
+        if (!Cache.get(
+                Digest{Key, Key * 31}, 64,
+                [](std::string *) { return std::make_unique<DecodedUnit>(); },
+                &Err))
+          ++Failures;
+        if (I % 64 == 0 && T == 0)
+          Cache.clear();
+      }
+    });
+  for (auto &Thr : Threads)
+    Thr.join();
+  EXPECT_EQ(Failures.load(), 0u);
+}
+
+// Warm-cache serving through the real server: the second load of every
+// corpus digest does no decoding at all (acceptance criterion).
+TEST(Serve, WarmCacheServesWithoutRedecode) {
+  CodeServer Server;
+  std::vector<Digest> Digests;
+  for (const CorpusProgram &P : getCorpus()) {
+    std::string Err;
+    Digests.push_back(
+        Server.publish(ByteSpan(encodeProgram(P.Name, P.Source)), &Err));
+    ASSERT_TRUE(Err.empty()) << Err;
+  }
+  uint64_t DecodesAfterPublish = Server.stats().CacheDecodes;
+  EXPECT_EQ(DecodesAfterPublish, Digests.size());
+
+  for (const Digest &D : Digests) {
+    std::string Err;
+    ASSERT_TRUE(Server.load(D, &Err)) << Err;
+  }
+  ServeStats S = Server.stats();
+  EXPECT_EQ(S.CacheDecodes, DecodesAfterPublish); // Zero new decodes.
+  EXPECT_GE(S.CacheHits, Digests.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Store persistence
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleStoreTest, DirectoryPersistenceRoundTrip) {
+  std::string Dir = ::testing::TempDir() + "safetsa_store_test";
+  std::filesystem::remove_all(Dir);
+  std::vector<uint8_t> Wire = encodeProgram(
+      "persist.mj", "class Main { static void main() { IO.printInt(9); } }");
+  Digest D;
+  {
+    ModuleStore Store(Dir);
+    D = Store.publish(ByteSpan(Wire));
+    // Laid out as <dir>/<hh>/<rest>.stsa.
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(Dir) / ModuleStore::relativePath(D)));
+  }
+  // A fresh store over the same directory re-serves the exact bytes.
+  ModuleStore Reopened(Dir);
+  EXPECT_EQ(Reopened.size(), 1u);
+  auto Fetched = Reopened.fetch(D);
+  ASSERT_TRUE(Fetched);
+  EXPECT_EQ(*Fetched, Wire);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ModuleStoreTest, ReopenedStoreKeysByContentNotFileName) {
+  std::string Dir = ::testing::TempDir() + "safetsa_store_rename";
+  std::filesystem::remove_all(Dir);
+  std::vector<uint8_t> Wire = encodeProgram(
+      "rekey.mj", "class Main { static void main() { IO.printInt(2); } }");
+  Digest Real;
+  {
+    ModuleStore Store(Dir);
+    Real = Store.publish(ByteSpan(Wire));
+  }
+  // An attacker renames the file to claim a different digest.
+  Digest Claimed{0xdead, 0xbeef};
+  std::filesystem::path From =
+      std::filesystem::path(Dir) / ModuleStore::relativePath(Real);
+  std::filesystem::path To =
+      std::filesystem::path(Dir) / ModuleStore::relativePath(Claimed);
+  std::filesystem::create_directories(To.parent_path());
+  std::filesystem::rename(From, To);
+
+  ModuleStore Reopened(Dir);
+  // The claimed name is not honoured; the content digest is.
+  EXPECT_FALSE(Reopened.contains(Claimed));
+  auto Fetched = Reopened.fetch(Real);
+  ASSERT_TRUE(Fetched);
+  EXPECT_EQ(*Fetched, Wire);
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// BatchCompiler integration
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, BatchPublishAfterEncodeAndCachedLoad) {
+  CodeServer Server;
+  BatchOptions Opts;
+  Opts.Threads = 4;
+  Opts.PublishTo = &Server;
+  BatchCompiler BC(Opts);
+
+  std::vector<BatchJob> Jobs;
+  for (const CorpusProgram &P : getCorpus())
+    Jobs.push_back({P.Name, P.Source});
+  std::vector<BatchResult> Results = BC.run(Jobs);
+
+  std::vector<Digest> Digests;
+  for (const BatchResult &R : Results) {
+    ASSERT_TRUE(R.ok()) << R.Name << ": " << R.Error;
+    ASSERT_TRUE(R.Published) << R.Name;
+    EXPECT_EQ(R.Dig, digestOf(ByteSpan(R.Wire)));
+    EXPECT_TRUE(Server.getStore().contains(R.Dig));
+    Digests.push_back(R.Dig);
+  }
+  EXPECT_EQ(Server.getStore().size(), Jobs.size());
+  uint64_t DecodesAfterPublish = Server.stats().CacheDecodes;
+
+  // Duplicate every digest: single-flight + warm cache mean the whole
+  // batch is served with no additional decodes.
+  std::vector<Digest> Doubled = Digests;
+  Doubled.insert(Doubled.end(), Digests.begin(), Digests.end());
+  std::vector<BatchServeLoadResult> Loads = BC.loadCached(Doubled, Server);
+  ASSERT_EQ(Loads.size(), Doubled.size());
+  for (size_t I = 0; I != Loads.size(); ++I) {
+    ASSERT_TRUE(Loads[I].ok()) << Loads[I].Error;
+    ASSERT_TRUE(Loads[I].Unit);
+    // Duplicates share the identical decoded module.
+    EXPECT_EQ(Loads[I].Unit.get(),
+              Loads[I % Digests.size()].Unit.get());
+  }
+  EXPECT_EQ(Server.stats().CacheDecodes, DecodesAfterPublish);
+
+  // The decoded modules really are the published programs.
+  std::string Err;
+  auto Unit = Server.load(Digests.front(), &Err);
+  ASSERT_TRUE(Unit) << Err;
+  auto Local = compileMJ(Jobs.front().Name, Jobs.front().Source);
+  Runtime RT(*Local->Table);
+  TSAInterpreter I(*Local->TSA, RT);
+  ASSERT_EQ(I.runMain().Err, RuntimeError::None);
+  EXPECT_EQ(runUnit(*Unit), RT.getOutput());
+}
+
+// Parallel sessions against one server: protocol + store + cache under
+// real concurrency (the serve_tsan entry races this file under TSan).
+TEST(Serve, ParallelClientSessions) {
+  CodeServer Server(CodeServerOptions{/*CacheBytes=*/1u << 20,
+                                      /*CacheShards=*/4, /*Threads=*/4,
+                                      /*VerifyOnPublish=*/true,
+                                      /*StoreDir=*/""});
+  std::vector<uint8_t> Wire = encodeProgram(
+      "par.mj", "class Main { static void main() { IO.printInt(5); } }");
+  const Digest D = digestOf(ByteSpan(Wire));
+
+  constexpr unsigned kClients = 6;
+  std::vector<TransportPair> Pairs;
+  for (unsigned I = 0; I != kClients; ++I) {
+    Pairs.push_back(makePipePair());
+    Server.attach(std::move(Pairs.back().Server));
+  }
+  std::vector<std::thread> Clients;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned I = 0; I != kClients; ++I)
+    Clients.emplace_back([&, I] {
+      CodeClient Client(*Pairs[I].Client);
+      for (unsigned Round = 0; Round != 20; ++Round) {
+        Digest Out;
+        std::string Err;
+        std::vector<uint8_t> Fetched;
+        if (!Client.publish(ByteSpan(Wire), Out, &Err) || Out != D ||
+            !Client.fetch(D, Fetched, &Err) || Fetched != Wire)
+          ++Failures;
+      }
+      Client.close();
+    });
+  for (auto &C : Clients)
+    C.join();
+  Server.wait();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Server.getStore().size(), 1u);
+  // One decode total: every publish after the first hit the verdict
+  // cache, across all sessions.
+  EXPECT_EQ(Server.stats().CacheDecodes, 1u);
+}
+
+} // namespace
