@@ -7,7 +7,8 @@
 /// \file
 /// Helpers shared by the table-reproduction benchmarks: compile a corpus
 /// program to all representations and collect the static metrics the
-/// paper reports.
+/// paper reports, plus the machine-readable BENCH_<suite>.json emitter
+/// every bench writes so the perf trajectory is tracked across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,8 +26,69 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace safetsa {
+
+/// Machine-readable benchmark sink: collects named metrics and writes
+/// them as BENCH_<suite>.json (flat {"suite", "metrics": [{name, value,
+/// unit}]}) into $SAFETSA_BENCH_DIR, or the working directory when unset.
+/// Intentionally dependency-free — the trajectory tooling only needs
+/// stable keys and numbers, not a JSON library.
+class BenchJson {
+public:
+  explicit BenchJson(std::string Suite) : Suite(std::move(Suite)) {}
+
+  void add(const std::string &Name, double Value,
+           const std::string &Unit = "") {
+    Metrics.push_back({Name, Unit, Value});
+  }
+
+  /// Writes BENCH_<suite>.json; returns the path ("" on I/O failure).
+  std::string write() const {
+    std::string Path;
+    if (const char *Dir = std::getenv("SAFETSA_BENCH_DIR")) {
+      Path = Dir;
+      if (!Path.empty() && Path.back() != '/')
+        Path += '/';
+    }
+    Path += "BENCH_" + Suite + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return "";
+    std::fprintf(F, "{\n  \"suite\": \"%s\",\n  \"metrics\": [",
+                 escaped(Suite).c_str());
+    for (size_t I = 0; I != Metrics.size(); ++I)
+      std::fprintf(F, "%s\n    {\"name\": \"%s\", \"value\": %.6g, "
+                      "\"unit\": \"%s\"}",
+                   I ? "," : "", escaped(Metrics[I].Name).c_str(),
+                   Metrics[I].Value, escaped(Metrics[I].Unit).c_str());
+    std::fprintf(F, "\n  ]\n}\n");
+    std::fclose(F);
+    std::printf("\nwrote %s (%zu metrics)\n", Path.c_str(), Metrics.size());
+    return Path;
+  }
+
+private:
+  struct Metric {
+    std::string Name, Unit;
+    double Value;
+  };
+
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      if (static_cast<unsigned char>(C) >= 0x20)
+        Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::string Suite;
+  std::vector<Metric> Metrics;
+};
 
 /// All static metrics for one corpus program.
 struct ProgramMetrics {

@@ -1,0 +1,58 @@
+//===- bench/GBenchJson.h - google-benchmark JSON tee ---------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapter wiring the google-benchmark suites into the BENCH_<suite>.json
+/// emitter: a reporter that tees every run into a BenchJson while still
+/// printing the normal console table, and SAFETSA_BENCHMARK_MAIN(suite),
+/// a BENCHMARK_MAIN() replacement that installs it and writes the file
+/// after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_BENCH_GBENCHJSON_H
+#define SAFETSA_BENCH_GBENCHJSON_H
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+namespace safetsa {
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonTeeReporter(std::string Suite) : Json(std::move(Suite)) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (!R.error_occurred)
+        Json.add(R.benchmark_name(), R.GetAdjustedRealTime(),
+                 benchmark::GetTimeUnitString(R.time_unit));
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+  void write() const { Json.write(); }
+
+private:
+  BenchJson Json;
+};
+
+} // namespace safetsa
+
+/// Drop-in BENCHMARK_MAIN() that also emits BENCH_<suite>.json.
+#define SAFETSA_BENCHMARK_MAIN(SUITE)                                        \
+  int main(int argc, char **argv) {                                          \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))                \
+      return 1;                                                              \
+    ::safetsa::JsonTeeReporter Reporter(#SUITE);                             \
+    ::benchmark::RunSpecifiedBenchmarks(&Reporter);                          \
+    ::benchmark::Shutdown();                                                 \
+    Reporter.write();                                                        \
+    return 0;                                                                \
+  }
+
+#endif // SAFETSA_BENCH_GBENCHJSON_H

@@ -120,5 +120,15 @@ int main() {
   std::printf("  eager single-pass phis : %u\n", EagerPhis);
   std::printf("  pruned construction    : %u (%d%%)\n", PrunedPhis,
               deltaPercent(EagerPhis, PrunedPhis));
+
+  BenchJson Json("ablation");
+  for (size_t I = 0; I != std::size(Configs); ++I)
+    Json.add(std::string("total_insts/") + Configs[I].Name, Totals[I],
+             "insts");
+  Json.add("dce_phis_before", PhiB, "insts");
+  Json.add("dce_phis_after", PhiA, "insts");
+  Json.add("eager_phis", EagerPhis, "insts");
+  Json.add("pruned_phis", PrunedPhis, "insts");
+  Json.write();
   return 0;
 }

@@ -77,5 +77,17 @@ int main() {
               "instruction-count gains.\n",
               TotLink, TotFull,
               static_cast<unsigned>(100.0 * TotLink / TotFull));
+
+  BenchJson Json("encoding");
+  Json.add("total_bytecode_bytes", static_cast<double>(TotBC), "bytes");
+  Json.add("total_prefix_bytes", static_cast<double>(TotP), "bytes");
+  Json.add("total_naive_bytes", static_cast<double>(TotN), "bytes");
+  Json.add("total_prefix_opt_bytes", static_cast<double>(TotPO), "bytes");
+  Json.add("total_naive_opt_bytes", static_cast<double>(TotNO), "bytes");
+  Json.add("prefix_vs_naive", 100.0 * TotP / TotN, "%");
+  Json.add("prefix_vs_naive_opt", 100.0 * TotPO / TotNO, "%");
+  Json.add("linking_bytes", static_cast<double>(TotLink), "bytes");
+  Json.add("linking_vs_full", 100.0 * TotLink / TotFull, "%");
+  Json.write();
   return 0;
 }

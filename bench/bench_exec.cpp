@@ -1,0 +1,192 @@
+//===- bench/bench_exec.cpp - Tree-walk vs prepared execution -*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the quickened execution units against the tree-walking
+/// interpreter over the corpus: per-program wall time for both
+/// interpreters (outputs cross-checked every run), the corpus geomean
+/// speedup (acceptance: prepared >= 3x), the one-time lowering cost that
+/// speedup has to amortize, and prepared-execution throughput at 1/4/8
+/// threads sharing one PreparedModule per program. Emits BENCH_exec.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace safetsa;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+struct ProgramRun {
+  std::string Name;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<PreparedModule> Prepared;
+  double TreeSeconds = 0;   ///< Per tree-walk runMain.
+  double PrepSeconds = 0;   ///< Per prepared runMain.
+  unsigned Reps = 1;
+};
+
+ExecResult runTree(const TSAModule &M, ClassTable &Table,
+                   std::string *Output = nullptr) {
+  Runtime RT(Table);
+  TSAInterpreter Interp(M, RT);
+  ExecResult R = Interp.runMain();
+  if (Output)
+    *Output = RT.getOutput();
+  return R;
+}
+
+ExecResult runPrep(const PreparedModule &PM, ClassTable &Table,
+                   std::string *Output = nullptr) {
+  Runtime RT(Table);
+  TSAExec Exec(PM, RT);
+  ExecResult R = Exec.runMain();
+  if (Output)
+    *Output = RT.getOutput();
+  return R;
+}
+
+/// Times \p Fn over \p Reps fresh executions; returns seconds per run.
+template <typename Fn> double timePerRun(unsigned Reps, Fn &&Run) {
+  Clock::time_point Start = Clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Run();
+  return secondsSince(Start) / Reps;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Execution: prepared units vs tree-walking interpreter\n\n");
+
+  // Compile and lower every corpus program, timing the lowering itself —
+  // that is the one-time cost the per-run speedup has to amortize.
+  std::vector<ProgramRun> Runs;
+  double PrepareSeconds = 0;
+  size_t TotalCode = 0;
+  for (const CorpusProgram &P : getCorpus()) {
+    ProgramRun R;
+    R.Name = P.Name;
+    R.Program = compileMJ(P.Name, P.Source);
+    if (!R.Program->ok()) {
+      std::fprintf(stderr, "%s failed to compile:\n%s\n", P.Name,
+                   R.Program->renderDiagnostics().c_str());
+      return 1;
+    }
+    Clock::time_point Start = Clock::now();
+    R.Prepared = prepareModule(*R.Program->TSA);
+    PrepareSeconds += secondsSince(Start);
+    if (!R.Prepared) {
+      std::fprintf(stderr, "%s failed to lower\n", P.Name);
+      return 1;
+    }
+    TotalCode += R.Prepared->totalCode();
+    Runs.push_back(std::move(R));
+  }
+
+  // Cross-check before timing anything: both interpreters must agree on
+  // the trap kind and every byte of output.
+  for (ProgramRun &R : Runs) {
+    std::string TreeOut, PrepOut;
+    ExecResult TR = runTree(*R.Program->TSA, *R.Program->Table, &TreeOut);
+    ExecResult PR = runPrep(*R.Prepared, *R.Program->Table, &PrepOut);
+    if (TR.Err != PR.Err || TreeOut != PrepOut) {
+      std::fprintf(stderr,
+                   "%s diverged: tree-walk %s (%zu bytes), prepared %s "
+                   "(%zu bytes)\n",
+                   R.Name.c_str(), runtimeErrorName(TR.Err), TreeOut.size(),
+                   runtimeErrorName(PR.Err), PrepOut.size());
+      return 1;
+    }
+  }
+
+  std::printf("%-20s | %10s %10s | %7s\n", "Program", "tree us", "prep us",
+              "speedup");
+  std::printf("---------------------+-----------------------+--------\n");
+
+  BenchJson Json("exec");
+  double LogSum = 0;
+  for (ProgramRun &R : Runs) {
+    // Calibrate repetitions off a single tree-walk run so each side
+    // measures for roughly 40ms, then time both at the same rep count.
+    double Once = timePerRun(
+        1, [&] { runTree(*R.Program->TSA, *R.Program->Table); });
+    double Target = 0.04;
+    R.Reps = Once >= Target
+                 ? 1
+                 : static_cast<unsigned>(
+                       std::min(10000.0, std::ceil(Target / Once)));
+    R.TreeSeconds = timePerRun(
+        R.Reps, [&] { runTree(*R.Program->TSA, *R.Program->Table); });
+    R.PrepSeconds = timePerRun(
+        R.Reps, [&] { runPrep(*R.Prepared, *R.Program->Table); });
+    double Speedup = R.TreeSeconds / R.PrepSeconds;
+    LogSum += std::log(Speedup);
+    std::printf("%-20s | %10.1f %10.1f | %6.2fx\n", R.Name.c_str(),
+                R.TreeSeconds * 1e6, R.PrepSeconds * 1e6, Speedup);
+    Json.add("speedup/" + R.Name, Speedup, "x");
+  }
+  double Geomean = std::exp(LogSum / Runs.size());
+  std::printf("---------------------+-----------------------+--------\n");
+  std::printf("%-20s | %21s | %6.2fx  (acceptance: >= 3x)\n", "GEOMEAN", "",
+              Geomean);
+
+  std::printf("\nOne-time lowering cost: %zu prepared instructions in "
+              "%.2fms (%.0f insts/ms)\n",
+              TotalCode, PrepareSeconds * 1e3,
+              TotalCode / (PrepareSeconds * 1e3));
+
+  // Thread scaling: every worker executes the full corpus from the SAME
+  // PreparedModule objects (per-thread Runtime + TSAExec), the sharing
+  // pattern a warm ModuleCache produces. Reported as corpus sweeps/sec.
+  std::printf("\nPrepared throughput, shared modules (corpus sweeps/sec):\n");
+  for (unsigned NThreads : {1u, 4u, 8u}) {
+    const unsigned SweepsPerThread = 8;
+    Clock::time_point Start = Clock::now();
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T != NThreads; ++T)
+      Workers.emplace_back([&] {
+        for (unsigned S = 0; S != SweepsPerThread; ++S)
+          for (ProgramRun &R : Runs)
+            runPrep(*R.Prepared, *R.Program->Table);
+      });
+    for (std::thread &W : Workers)
+      W.join();
+    double Sweeps = double(NThreads) * SweepsPerThread / secondsSince(Start);
+    std::printf("  %u thread%s: %8.1f\n", NThreads,
+                NThreads == 1 ? " " : "s", Sweeps);
+    char Key[32];
+    std::snprintf(Key, sizeof(Key), "sweeps_per_sec/%u_threads", NThreads);
+    Json.add(Key, Sweeps, "sweeps/s");
+  }
+
+  Json.add("geomean_speedup", Geomean, "x");
+  Json.add("prepare_ms_total", PrepareSeconds * 1e3, "ms");
+  Json.add("prepared_insts_total", static_cast<double>(TotalCode), "insts");
+  Json.write();
+
+  if (Geomean < 3.0) {
+    std::fprintf(stderr, "FAIL: geomean speedup %.2fx below 3x target\n",
+                 Geomean);
+    return 1;
+  }
+  return 0;
+}

@@ -59,5 +59,17 @@ int main() {
   std::printf("  SafeTSA bytes / bytecode bytes               : %3u%%  "
               "(paper: usually smaller)\n",
               static_cast<unsigned>(100.0 * TotTB / TotBCB));
+
+  BenchJson Json("figure5");
+  Json.add("total_bytecode_bytes", static_cast<double>(TotBCB), "bytes");
+  Json.add("total_tsa_bytes", static_cast<double>(TotTB), "bytes");
+  Json.add("total_tsa_opt_bytes", static_cast<double>(TotTOB), "bytes");
+  Json.add("total_bytecode_insts", TotBCI, "insts");
+  Json.add("total_tsa_insts", TotTI, "insts");
+  Json.add("total_tsa_opt_insts", TotTOI, "insts");
+  Json.add("tsa_vs_bytecode_insts", 100.0 * TotTI / TotBCI, "%");
+  Json.add("opt_vs_unopt_insts", 100.0 * TotTOI / TotTI, "%");
+  Json.add("tsa_vs_bytecode_bytes", 100.0 * TotTB / TotBCB, "%");
+  Json.write();
   return 0;
 }

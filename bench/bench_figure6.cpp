@@ -61,5 +61,17 @@ int main() {
   std::printf("\nShape checks (paper claims): phi reduction > 30%% in most "
               "cases (31%% average),\nnull-check reduction 30-70%%, "
               "array-check reductions on array-heavy programs only.\n");
+
+  BenchJson Json("figure6");
+  Json.add("total_phis_before", TPB, "insts");
+  Json.add("total_phis_after", TPA, "insts");
+  Json.add("phi_delta", deltaPercent(TPB, TPA), "%");
+  Json.add("total_null_checks_before", TNB, "insts");
+  Json.add("total_null_checks_after", TNA, "insts");
+  Json.add("null_check_delta", deltaPercent(TNB, TNA), "%");
+  Json.add("total_index_checks_before", TIB, "insts");
+  Json.add("total_index_checks_after", TIA, "insts");
+  Json.add("index_check_delta", deltaPercent(TIB, TIA), "%");
+  Json.write();
   return 0;
 }

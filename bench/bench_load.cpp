@@ -139,4 +139,5 @@ BENCHMARK(BM_LoadBatch);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "bench/GBenchJson.h"
+SAFETSA_BENCHMARK_MAIN(load)

@@ -102,4 +102,5 @@ BENCHMARK(BM_BatchEncodeVerify)
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "bench/GBenchJson.h"
+SAFETSA_BENCHMARK_MAIN(parallel)

@@ -168,4 +168,5 @@ BENCHMARK(BM_ExecuteBytecode);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "bench/GBenchJson.h"
+SAFETSA_BENCHMARK_MAIN(pipeline)

@@ -141,4 +141,5 @@ BENCHMARK(BM_ServeLoadWarm)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "bench/GBenchJson.h"
+SAFETSA_BENCHMARK_MAIN(serve)

@@ -129,4 +129,5 @@ BENCHMARK(BM_SafeTSADecodeAndVerify);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#include "bench/GBenchJson.h"
+SAFETSA_BENCHMARK_MAIN(verify_time)

@@ -129,13 +129,23 @@ std::vector<BatchServeLoadResult> BatchCompiler::loadCached(
                       ? static_cast<unsigned>(Digests.size())
                       : Threads);
   for (size_t I = 0; I != Digests.size(); ++I)
-    Pool.submit([&Digests, &Results, &Server, I] {
+    Pool.submit([this, &Digests, &Results, &Server, I] {
       BatchServeLoadResult &R = Results[I];
       R.Dig = Digests[I];
       std::string Err;
       R.Unit = Server.load(Digests[I], &Err);
-      if (!R.Unit)
+      if (!R.Unit) {
         R.Error = Err.empty() ? "load failed" : Err;
+        return;
+      }
+      if (Opts.PrepareExec) {
+        // Same cache entry as the decoded module: warm hits return the
+        // one prepared form with zero re-lowering (single-flight when
+        // several workers race on a cold digest).
+        R.Prepared = Server.loadPrepared(Digests[I], &Err);
+        if (!R.Prepared)
+          R.Error = Err.empty() ? "prepare failed" : Err;
+      }
     });
   Pool.wait();
   return Results;

@@ -59,6 +59,10 @@ struct BatchOptions {
   /// the server's module cache) and BatchResult::Dig carries its digest.
   /// The server is shared by all workers; its layers are thread-safe.
   CodeServer *PublishTo = nullptr;
+  /// Cache-backed loads (loadCached) additionally resolve the *prepared*
+  /// (directly executable) form of each module through the server's
+  /// cache; a warm cache serves it with zero re-lowering.
+  bool PrepareExec = false;
 };
 
 /// Consumer-side artifacts for one wire buffer pushed through the batch
@@ -76,6 +80,9 @@ struct BatchLoadResult {
 struct BatchServeLoadResult {
   Digest Dig;
   std::shared_ptr<const DecodedUnit> Unit;
+  /// Executable form (set when BatchOptions::PrepareExec); shared with
+  /// every other loader of the same digest, ready to run on a TSAExec.
+  std::shared_ptr<const PreparedModule> Prepared;
   std::string Error; ///< Empty on success.
 
   bool ok() const { return Error.empty(); }

@@ -1,0 +1,525 @@
+//===- exec/ExecUnit.cpp - Register-frame threaded interpreter -*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TSAExec: executes prepared units with token-threaded dispatch. Under
+/// GCC/Clang the dispatch is a computed goto through a label table kept
+/// in sync with XOp by the SAFETSA_XOP_LIST X-macro; elsewhere the same
+/// handler bodies compile into a switch driven by a dispatch label. Every
+/// handler mirrors the corresponding tree-walker case in TSAInterp.cpp
+/// bit for bit (Java 32-bit wrap arithmetic, DivI/RemI INT_MIN edge
+/// cases, DoubleToInt saturation, trap catchability) — the tree-walker is
+/// the definitional semantics and doubles as the differential oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecUnit.h"
+
+#include "exec/TSAInterp.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+using namespace safetsa;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SAFETSA_COMPUTED_GOTO 1
+#else
+#define SAFETSA_COMPUTED_GOTO 0
+#endif
+
+const char *safetsa::xopName(XOp Op) {
+  switch (Op) {
+#define SAFETSA_XOP_NAME(N)                                                  \
+  case XOp::N:                                                               \
+    return #N;
+    SAFETSA_XOP_LIST(SAFETSA_XOP_NAME)
+#undef SAFETSA_XOP_NAME
+  }
+  return "xop";
+}
+
+static int32_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
+
+TSAExec::TSAExec(const PreparedModule &PM, Runtime &RT, ExecOptions Opts)
+    : PM(PM), RT(RT), Opts(Opts) {
+  const char *Env = std::getenv("SAFETSA_EXEC_ORACLE");
+  if (Env && *Env && !(Env[0] == '0' && Env[1] == '\0'))
+    this->Opts.TreeWalkOracle = true;
+  RegStack.resize(1024);
+}
+
+void TSAExec::initializeStatics() { applyStaticInitializers(*PM.Module, RT); }
+
+ExecResult TSAExec::call(const ExecUnit *Unit, const std::vector<Value> &Args) {
+  ExecResult R;
+  if (!Unit || Args.size() != Unit->NumArgs) {
+    R.Err = RuntimeError::Internal;
+    return R;
+  }
+  if (RegStack.size() < Unit->NumSlots)
+    RegStack.resize(std::max(RegStack.size() * 2,
+                             static_cast<size_t>(Unit->NumSlots)));
+  for (size_t I = 0; I != Args.size(); ++I)
+    RegStack[I] = Args[I];
+  RetVal = Value();
+  Depth = 1;
+  R.Err = execute(*Unit, 0);
+  Depth = 0;
+  if (R.ok())
+    R.Ret = RetVal;
+  return R;
+}
+
+ExecResult TSAExec::call(const MethodSymbol *Method,
+                         const std::vector<Value> &Args) {
+  if (Method && Method->isNative()) {
+    ExecResult R;
+    R.Ret = RT.callNative(Method->Native, Args);
+    return R;
+  }
+  return call(PM.unitFor(Method), Args);
+}
+
+ExecResult TSAExec::runMain() {
+  initializeStatics();
+  ExecResult R;
+  if (!PM.MainUnit)
+    R.Err = RuntimeError::Internal;
+  else
+    R = call(PM.MainUnit, {});
+  if (Opts.TreeWalkOracle)
+    runOracle(R);
+  return R;
+}
+
+void TSAExec::runOracle(ExecResult &R) {
+  // Fuel accounting differs between the two instruction streams, so an
+  // exhausted run has no comparable trap point.
+  if (R.Err == RuntimeError::OutOfFuel)
+    return;
+  Runtime OracleRT(*PM.Module->Table);
+  TSAInterpreter Oracle(*PM.Module, OracleRT);
+  ExecResult O = Oracle.runMain();
+  if (O.Err == RuntimeError::OutOfFuel)
+    return;
+  bool Same = O.Err == R.Err && OracleRT.getOutput() == RT.getOutput();
+  if (Same && R.ok())
+    Same = O.Ret.str() == R.Ret.str();
+  if (!Same) {
+    OracleDiverged = true;
+    R.Err = RuntimeError::Internal;
+  }
+}
+
+RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
+  const ExecInst *Code = U.Code.data();
+  Value *R = RegStack.data() + Base;
+  size_t PC = 0;
+  const ExecInst *In = nullptr;
+  Type *CharTy = PM.Module->Types->getChar();
+
+// A trap transfers to the raising site's pre-resolved handler stub when
+// the error is one an MJ catch-all intercepts; otherwise it unwinds.
+#define SAFETSA_TRAP(E)                                                      \
+  do {                                                                       \
+    RuntimeError TrapE = (E);                                                \
+    if (In->Handler >= 0 && isCatchableError(TrapE)) {                       \
+      PC = static_cast<size_t>(In->Handler);                                 \
+      SAFETSA_NEXT();                                                        \
+    }                                                                        \
+    return TrapE;                                                            \
+  } while (0)
+
+#if SAFETSA_COMPUTED_GOTO
+  static const void *const Labels[] = {
+#define SAFETSA_XOP_LABEL(N) &&Lbl_##N,
+      SAFETSA_XOP_LIST(SAFETSA_XOP_LABEL)
+#undef SAFETSA_XOP_LABEL
+  };
+#define SAFETSA_CASE(N) Lbl_##N:
+#define SAFETSA_NEXT()                                                       \
+  do {                                                                       \
+    if (!RT.burnFuel())                                                      \
+      return RuntimeError::OutOfFuel;                                        \
+    In = &Code[PC++];                                                        \
+    goto *Labels[static_cast<unsigned>(In->Op)];                             \
+  } while (0)
+  SAFETSA_NEXT();
+#else
+#define SAFETSA_CASE(N) case XOp::N:
+#define SAFETSA_NEXT() goto DispatchLoop
+DispatchLoop:
+  if (!RT.burnFuel())
+    return RuntimeError::OutOfFuel;
+  In = &Code[PC++];
+  switch (In->Op) {
+#endif
+
+  SAFETSA_CASE(Move) { R[In->Dst] = R[In->A]; }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(LoadConst) { R[In->Dst] = U.ConstPool[In->X]; }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(LoadStr) {
+    R[In->Dst] = Value::makeRef(RT.internString(*U.StrPool[In->X], CharTy));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(Jmp) { PC = static_cast<size_t>(In->X); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(BrFalse) {
+    if (R[In->A].I == 0)
+      PC = static_cast<size_t>(In->X);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(RetVoid) {
+    RetVal = Value();
+    return RuntimeError::None;
+  }
+  SAFETSA_CASE(RetVal) {
+    RetVal = R[In->A];
+    return RuntimeError::None;
+  }
+
+  SAFETSA_CASE(AddI) {
+    R[In->Dst] = Value::makeInt(
+        wrap32(static_cast<int64_t>(R[In->A].I) + R[In->B].I));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(SubI) {
+    R[In->Dst] = Value::makeInt(
+        wrap32(static_cast<int64_t>(R[In->A].I) - R[In->B].I));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(MulI) {
+    R[In->Dst] = Value::makeInt(
+        wrap32(static_cast<int64_t>(R[In->A].I) * R[In->B].I));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(DivI) {
+    int32_t B = R[In->B].I;
+    if (B == 0)
+      SAFETSA_TRAP(RuntimeError::DivisionByZero);
+    int32_t A = R[In->A].I;
+    R[In->Dst] = Value::makeInt(
+        A == std::numeric_limits<int32_t>::min() && B == -1 ? A : A / B);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(RemI) {
+    int32_t B = R[In->B].I;
+    if (B == 0)
+      SAFETSA_TRAP(RuntimeError::DivisionByZero);
+    int32_t A = R[In->A].I;
+    R[In->Dst] = Value::makeInt(
+        A == std::numeric_limits<int32_t>::min() && B == -1 ? 0 : A % B);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(NegI) {
+    R[In->Dst] = Value::makeInt(wrap32(-static_cast<int64_t>(R[In->A].I)));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(AndI) { R[In->Dst] = Value::makeInt(R[In->A].I & R[In->B].I); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(OrI) { R[In->Dst] = Value::makeInt(R[In->A].I | R[In->B].I); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(XorI) { R[In->Dst] = Value::makeInt(R[In->A].I ^ R[In->B].I); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(ShlI) {
+    R[In->Dst] = Value::makeInt(
+        wrap32(static_cast<int64_t>(R[In->A].I) << (R[In->B].I & 31)));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(ShrI) {
+    R[In->Dst] = Value::makeInt(R[In->A].I >> (R[In->B].I & 31));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(NotI) { R[In->Dst] = Value::makeInt(~R[In->A].I); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpLtI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I < R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpLeI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I <= R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpGtI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I > R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpGeI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I >= R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpEqI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I == R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpNeI) {
+    R[In->Dst] = Value::makeBool(R[In->A].I != R[In->B].I);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(IntToDouble) {
+    R[In->Dst] = Value::makeDouble(static_cast<double>(R[In->A].I));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(IntToChar) {
+    R[In->Dst] = Value::makeChar(static_cast<char>(R[In->A].I & 0xff));
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(AddD) {
+    R[In->Dst] = Value::makeDouble(R[In->A].D + R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(SubD) {
+    R[In->Dst] = Value::makeDouble(R[In->A].D - R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(MulD) {
+    R[In->Dst] = Value::makeDouble(R[In->A].D * R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(DivD) {
+    R[In->Dst] = Value::makeDouble(R[In->A].D / R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(NegD) { R[In->Dst] = Value::makeDouble(-R[In->A].D); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpLtD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D < R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpLeD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D <= R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpGtD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D > R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpGeD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D >= R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpEqD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D == R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpNeD) {
+    R[In->Dst] = Value::makeBool(R[In->A].D != R[In->B].D);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(DoubleToInt) {
+    double D = R[In->A].D;
+    int32_t V;
+    if (std::isnan(D))
+      V = 0;
+    else if (D >= 2147483647.0)
+      V = std::numeric_limits<int32_t>::max();
+    else if (D <= -2147483648.0)
+      V = std::numeric_limits<int32_t>::min();
+    else
+      V = static_cast<int32_t>(D);
+    R[In->Dst] = Value::makeInt(V);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CharToInt) { R[In->Dst] = Value::makeInt(R[In->A].I); }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(NotB) { R[In->Dst] = Value::makeBool(R[In->A].I == 0); }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpEqB) {
+    R[In->Dst] = Value::makeBool((R[In->A].I != 0) == (R[In->B].I != 0));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpNeB) {
+    R[In->Dst] = Value::makeBool((R[In->A].I != 0) != (R[In->B].I != 0));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpEqR) {
+    R[In->Dst] = Value::makeBool(R[In->A].R == R[In->B].R);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(CmpNeR) {
+    R[In->Dst] = Value::makeBool(R[In->A].R != R[In->B].R);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(InstanceOf) {
+    uint32_t Ref = R[In->A].R;
+    if (Ref == 0) {
+      R[In->Dst] = Value::makeBool(false);
+    } else {
+      const HeapCell &Cell = RT.cell(Ref);
+      Type *T = static_cast<Type *>(const_cast<void *>(In->P));
+      bool Is;
+      if (T->isArray())
+        Is = Cell.isArray() && Cell.ArrayElemTy == T->getElemType();
+      else
+        Is = !Cell.isArray() && Cell.Class->isSubclassOf(T->getClassSymbol());
+      R[In->Dst] = Value::makeBool(Is);
+    }
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(NullCheck) {
+    Value V = R[In->A];
+    if (V.R == 0)
+      SAFETSA_TRAP(RuntimeError::NullPointer);
+    R[In->Dst] = V;
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(IndexCheck) {
+    Value Idx = R[In->B];
+    const HeapCell &Cell = RT.cell(R[In->A].R);
+    if (Idx.I < 0 || static_cast<size_t>(Idx.I) >= Cell.Slots.size())
+      SAFETSA_TRAP(RuntimeError::IndexOutOfBounds);
+    R[In->Dst] = Idx;
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(Upcast) {
+    Value V = R[In->A];
+    if (V.R == 0) {
+      R[In->Dst] = V; // (T)null succeeds, as in Java.
+    } else {
+      const HeapCell &Cell = RT.cell(V.R);
+      Type *T = static_cast<Type *>(const_cast<void *>(In->P));
+      bool Is;
+      if (T->isArray())
+        Is = Cell.isArray() && Cell.ArrayElemTy == T->getElemType();
+      else
+        Is = !Cell.isArray() && Cell.Class->isSubclassOf(T->getClassSymbol());
+      if (!Is)
+        SAFETSA_TRAP(RuntimeError::ClassCast);
+      R[In->Dst] = V;
+    }
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(GetField) {
+    R[In->Dst] = RT.cell(R[In->A].R).Slots[In->X];
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(SetField) {
+    RT.cell(R[In->A].R).Slots[In->X] = R[In->B];
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(GetElt) {
+    R[In->Dst] = RT.cell(R[In->A].R).Slots[R[In->B].I];
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(SetElt) {
+    RT.cell(R[In->A].R).Slots[R[In->B].I] = R[In->C];
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(GetStatic) {
+    R[In->Dst] = RT.getStatic(static_cast<unsigned>(In->X));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(SetStatic) {
+    RT.setStatic(static_cast<unsigned>(In->X), R[In->A]);
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(ArrayLength) {
+    R[In->Dst] = Value::makeInt(
+        static_cast<int32_t>(RT.cell(R[In->A].R).Slots.size()));
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(New) {
+    R[In->Dst] = Value::makeRef(
+        RT.allocObject(static_cast<const ClassSymbol *>(In->P)));
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(NewArray) {
+    int32_t Len = R[In->A].I;
+    if (Len < 0)
+      SAFETSA_TRAP(RuntimeError::NegativeArraySize);
+    R[In->Dst] = Value::makeRef(RT.allocArray(
+        static_cast<Type *>(const_cast<void *>(In->P)), Len));
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(CallUnit) {
+    const ExecUnit *Callee = static_cast<const ExecUnit *>(In->P);
+    if (!Callee)
+      SAFETSA_TRAP(RuntimeError::Internal); // No body; unwinds (uncatchable).
+    if (Depth >= MaxDepth)
+      SAFETSA_TRAP(RuntimeError::StackOverflow);
+    size_t CB = Base + U.NumSlots;
+    if (RegStack.size() < CB + Callee->NumSlots) {
+      RegStack.resize(std::max(RegStack.size() * 2,
+                               CB + static_cast<size_t>(Callee->NumSlots)));
+      R = RegStack.data() + Base;
+    }
+    const uint16_t *As = U.ArgPool.data() + In->X;
+    for (unsigned I = 0; I != In->N; ++I)
+      RegStack[CB + I] = R[As[I]];
+    ++Depth;
+    RuntimeError E = execute(*Callee, CB);
+    --Depth;
+    R = RegStack.data() + Base; // Callee may have grown the stack.
+    if (E != RuntimeError::None)
+      SAFETSA_TRAP(E); // Callee traps surface at this call site.
+    if (In->Dst != ExecInst::NoSlot)
+      R[In->Dst] = RetVal;
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(CallNative) {
+    const MethodSymbol *MS = static_cast<const MethodSymbol *>(In->P);
+    const uint16_t *As = U.ArgPool.data() + In->X;
+    NativeArgs.clear();
+    for (unsigned I = 0; I != In->N; ++I)
+      NativeArgs.push_back(R[As[I]]);
+    Value Ret = RT.callNative(MS->Native, NativeArgs);
+    if (In->Dst != ExecInst::NoSlot)
+      R[In->Dst] = Ret;
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(Dispatch) {
+    const MethodSymbol *MS = static_cast<const MethodSymbol *>(In->P);
+    const uint16_t *As = U.ArgPool.data() + In->X;
+    const HeapCell &Cell = RT.cell(R[As[0]].R);
+    assert(!Cell.isArray() && "dispatch on an array");
+    assert(MS->VTableSlot >= 0 &&
+           static_cast<size_t>(MS->VTableSlot) < Cell.Class->VTable.size() &&
+           "bad vtable slot");
+    const MethodSymbol *Target = Cell.Class->VTable[MS->VTableSlot];
+    const ExecUnit *Callee = PM.unitFor(Target);
+    if (!Callee)
+      SAFETSA_TRAP(RuntimeError::Internal); // Vtables never hold natives.
+    if (Depth >= MaxDepth)
+      SAFETSA_TRAP(RuntimeError::StackOverflow);
+    size_t CB = Base + U.NumSlots;
+    if (RegStack.size() < CB + Callee->NumSlots) {
+      RegStack.resize(std::max(RegStack.size() * 2,
+                               CB + static_cast<size_t>(Callee->NumSlots)));
+      R = RegStack.data() + Base;
+    }
+    for (unsigned I = 0; I != In->N; ++I)
+      RegStack[CB + I] = R[As[I]];
+    ++Depth;
+    RuntimeError E = execute(*Callee, CB);
+    --Depth;
+    R = RegStack.data() + Base;
+    if (E != RuntimeError::None)
+      SAFETSA_TRAP(E);
+    if (In->Dst != ExecInst::NoSlot)
+      R[In->Dst] = RetVal;
+  }
+  SAFETSA_NEXT();
+
+#if !SAFETSA_COMPUTED_GOTO
+  }
+  return RuntimeError::Internal; // Unreachable: all opcodes handled.
+#endif
+
+#undef SAFETSA_CASE
+#undef SAFETSA_NEXT
+#undef SAFETSA_TRAP
+}

@@ -1,0 +1,213 @@
+//===- exec/ExecUnit.h - Quickened SafeTSA execution units ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prepared (quickened) execution form of a SafeTSA module and the
+/// register-frame interpreter that runs it.
+///
+/// The paper's (l, r)/plane reference scheme makes every SSA value's
+/// position statically resolvable, so value references do not need to be
+/// hashed at run time: a one-time preparation pass (Prepare.cpp) lowers
+/// each method's CST/SSA graph into a linear, branch-resolved instruction
+/// stream in which every operand is a dense slot index into a flat
+/// register frame. Slots are assigned per method in block order x
+/// plane-position order — exactly the order finalize() enumerates the
+/// plane tables — with the entry block's Param preloads pinned to the
+/// reserved argument region [0, NumArgs). Phis disappear into block-edge
+/// move lists (emitted sequentially in phi order, the same update order
+/// the definitional tree-walker uses), field/element accesses carry
+/// pre-resolved layout offsets, statically-bound calls carry direct
+/// ExecUnit* targets, and exception edges become per-raising-site handler
+/// continuations. TSAExec executes the stream with token-threaded dispatch
+/// (computed goto under GCC/Clang, a switch fallback elsewhere); the
+/// tree-walking TSAInterpreter remains available as a differential oracle
+/// (ExecOptions::TreeWalkOracle), mirroring the decoder/verifier oracle
+/// pattern. See DESIGN.md §10.
+///
+/// An ExecUnit is immutable after preparation, so one PreparedModule may
+/// be executed concurrently by any number of TSAExec instances (each with
+/// its own Runtime); the serve layer caches prepared units alongside the
+/// decoded modules they were lowered from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_EXEC_EXECUNIT_H
+#define SAFETSA_EXEC_EXECUNIT_H
+
+#include "exec/Runtime.h"
+#include "tsa/Method.h"
+
+#include <memory>
+#include <vector>
+
+namespace safetsa {
+
+/// Prepared opcodes. The list is an X-macro so the interpreter's
+/// computed-goto label table stays mechanically in sync with the enum.
+/// Phi, Param, and Downcast have no prepared form (edge moves, argument
+/// slots, and a plain Move respectively); Primitive/XPrimitive quicken to
+/// one opcode per PrimOp so dispatch selects the operation directly.
+#define SAFETSA_XOP_LIST(X)                                                  \
+  X(Move) X(LoadConst) X(LoadStr) X(Jmp) X(BrFalse) X(RetVoid) X(RetVal)     \
+  X(AddI) X(SubI) X(MulI) X(DivI) X(RemI) X(NegI) X(AndI) X(OrI) X(XorI)     \
+  X(ShlI) X(ShrI) X(NotI) X(CmpLtI) X(CmpLeI) X(CmpGtI) X(CmpGeI)            \
+  X(CmpEqI) X(CmpNeI) X(IntToDouble) X(IntToChar) X(AddD) X(SubD) X(MulD)    \
+  X(DivD) X(NegD) X(CmpLtD) X(CmpLeD) X(CmpGtD) X(CmpGeD) X(CmpEqD)          \
+  X(CmpNeD) X(DoubleToInt) X(CharToInt) X(NotB) X(CmpEqB) X(CmpNeB)          \
+  X(CmpEqR) X(CmpNeR) X(InstanceOf) X(NullCheck) X(IndexCheck) X(Upcast)     \
+  X(GetField) X(SetField) X(GetElt) X(SetElt) X(GetStatic) X(SetStatic)      \
+  X(ArrayLength) X(New) X(NewArray) X(CallUnit) X(CallNative) X(Dispatch)
+
+enum class XOp : uint8_t {
+#define SAFETSA_XOP_ENUM(N) N,
+  SAFETSA_XOP_LIST(SAFETSA_XOP_ENUM)
+#undef SAFETSA_XOP_ENUM
+};
+
+const char *xopName(XOp Op);
+
+class ExecUnit;
+
+/// One prepared instruction. All value references are frame-slot indices;
+/// everything an opcode needs at run time is pre-resolved into the
+/// immediate fields, so execution never touches the CST/SSA graph.
+struct ExecInst {
+  /// Slot sentinel: the instruction produces no stored result.
+  static constexpr uint16_t NoSlot = 0xffff;
+
+  XOp Op = XOp::Move;
+  uint8_t N = 0;          ///< Call argument count.
+  uint16_t A = 0;         ///< First operand slot.
+  uint16_t B = 0;         ///< Second operand slot.
+  uint16_t C = 0;         ///< Third operand slot (SetElt value).
+  uint16_t Dst = NoSlot;  ///< Result slot; NoSlot when none.
+  /// Branch target (code index), constant/argument pool index, or
+  /// pre-resolved field/static slot — meaning depends on Op.
+  int32_t X = 0;
+  /// Catchable-trap continuation: code index of the exception-edge stub
+  /// (phi moves, then the handler), or -1 when a trap here unwinds.
+  int32_t Handler = -1;
+  /// Direct target: callee ExecUnit (CallUnit), MethodSymbol (CallNative /
+  /// Dispatch), Type (InstanceOf / Upcast / NewArray), or ClassSymbol
+  /// (New).
+  const void *P = nullptr;
+};
+
+/// One method lowered to executable form. Immutable after preparation;
+/// references (types, symbols, string constants) point into the source
+/// TSAModule, which must outlive the unit.
+class ExecUnit {
+public:
+  const TSAMethod *Method = nullptr;
+  const MethodSymbol *Symbol = nullptr;
+  /// Frame size in Value slots: the reserved argument region [0, NumArgs)
+  /// followed by one slot per non-Param SSA value (plane-table layout).
+  uint32_t NumSlots = 0;
+  /// Receiver (for instance methods) + declared parameters.
+  uint32_t NumArgs = 0;
+
+  std::vector<ExecInst> Code;
+  /// Flattened call-argument slot lists; ExecInst::X indexes the first of
+  /// ExecInst::N slots.
+  std::vector<uint16_t> ArgPool;
+  /// Pre-materialized non-string constants (LoadConst payload).
+  std::vector<Value> ConstPool;
+  /// String constants; interned into the Runtime at first load per
+  /// activation (LoadStr payload), exactly like the tree-walker.
+  std::vector<const std::string *> StrPool;
+};
+
+/// A module lowered for execution. Holds no ownership of the source
+/// TSAModule; pair it with the owning CompiledProgram/DecodedUnit (the
+/// serve layer's cache keeps both together).
+class PreparedModule {
+public:
+  const TSAModule *Module = nullptr;
+  std::vector<std::unique_ptr<ExecUnit>> Units;
+  /// MethodSymbol::GlobalId -> unit; null for natives and bodyless
+  /// methods. Dispatch resolves vtable targets through this table.
+  std::vector<const ExecUnit *> ByGlobalId;
+  const ExecUnit *MainUnit = nullptr; ///< `static main()`, when present.
+
+  const ExecUnit *unitFor(const MethodSymbol *M) const {
+    return M && M->GlobalId < ByGlobalId.size() ? ByGlobalId[M->GlobalId]
+                                                : nullptr;
+  }
+
+  /// Total prepared instructions across all units (footprint metric).
+  size_t totalCode() const {
+    size_t N = 0;
+    for (const auto &U : Units)
+      N += U->Code.size();
+    return N;
+  }
+};
+
+/// Lowers every method of \p Module once into prepared form. Requires a
+/// generated-or-decoded (i.e. verified) module whose CFG has been derived.
+/// Returns null only when a method exceeds the prepared-form limits
+/// (65534 frame slots or 255 call arguments) — impossible for realistic
+/// programs, checked rather than assumed because decoded modules cross a
+/// trust boundary.
+std::unique_ptr<PreparedModule> prepareModule(const TSAModule &Module);
+
+struct ExecOptions {
+  /// Differential oracle: after prepared execution, re-run the
+  /// tree-walking TSAInterpreter on a fresh Runtime and compare trap kind
+  /// and printed output (the decoder/verifier oracle pattern). Divergence
+  /// is reported via TSAExec::oracleDiverged() and turns the result into
+  /// RuntimeError::Internal. Also enabled by setting the
+  /// SAFETSA_EXEC_ORACLE environment variable non-empty and non-"0".
+  bool TreeWalkOracle = false;
+};
+
+/// Register-frame interpreter for prepared modules. One instance per
+/// executing thread; the PreparedModule itself is shared and const.
+class TSAExec {
+public:
+  TSAExec(const PreparedModule &PM, Runtime &RT, ExecOptions Opts = {});
+
+  /// Applies the module's static-field initializers.
+  void initializeStatics();
+
+  /// Runs \p Unit with \p Args (instance methods expect the receiver
+  /// first). Returns the result or the runtime exception that unwound.
+  ExecResult call(const ExecUnit *Unit, const std::vector<Value> &Args);
+
+  /// Symbol-addressed convenience (mirrors TSAInterpreter::call).
+  ExecResult call(const MethodSymbol *Method, const std::vector<Value> &Args);
+
+  /// Convenience: runs statics then `static main()`.
+  ExecResult runMain();
+
+  /// True when the tree-walk oracle observed a divergence.
+  bool oracleDiverged() const { return OracleDiverged; }
+
+private:
+  RuntimeError execute(const ExecUnit &U, size_t Base);
+  ExecResult callChecked(const ExecUnit *Unit, const std::vector<Value> &Args);
+  void runOracle(ExecResult &R);
+
+  const PreparedModule &PM;
+  Runtime &RT;
+  ExecOptions Opts;
+  /// Contiguous register stack; frames are [Base, Base + NumSlots) windows
+  /// re-anchored after nested calls (growth may reallocate).
+  std::vector<Value> RegStack;
+  size_t SP = 0;
+  unsigned Depth = 0;
+  Value RetVal;
+  /// Scratch argument buffer for native calls (natives never re-enter).
+  std::vector<Value> NativeArgs;
+  bool OracleDiverged = false;
+  /// Same activation-depth budget as the tree-walker, so StackOverflow
+  /// traps at the same call site in both interpreters.
+  static constexpr unsigned MaxDepth = 400;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_EXEC_EXECUNIT_H

@@ -1,0 +1,608 @@
+//===- exec/Prepare.cpp - CST/SSA -> quickened ExecUnit lowering *- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-time lowering of a verified SafeTSA module into prepared execution
+/// units (see ExecUnit.h and DESIGN.md §10).
+///
+/// Slot assignment rides on the plane tables: finalize() enumerates every
+/// value-producing instruction in block order x in-block order when it
+/// assigns (PlaneId, PlaneIndex), and this pass walks the identical order
+/// handing out dense frame slots — so a slot is exactly "flattened plane-
+/// table position plus the argument base", and the per-block totals are
+/// cross-checked against PlaneCounts. Param preloads are pinned to the
+/// reserved argument region [0, NumArgs) instead, so calls write their
+/// arguments straight into the callee frame.
+///
+/// Control flow is lowered in one pass over the CST. The CST invariants
+/// (every sequence starts with a Basic node; If/Loop are followed by their
+/// join/exit Basic; Return/Break/Continue terminate their sequence) let a
+/// single pending-edge list carry every not-yet-resolved forward branch:
+/// each pending entry remembers the emitted jump to patch and the CFG
+/// source block of the edge, and the next lowered Basic node consumes the
+/// list by emitting one move stub per edge (the phi moves for that
+/// specific predecessor) in front of the block body. Back edges and
+/// continues target an already-lowered loop header, so their moves are
+/// emitted inline followed by a direct jump. Exception edges become stubs
+/// after the handler: every may-raise instruction of a RaisesToCatch
+/// block gets its Handler field patched to a stub that performs the
+/// handler phis' moves for that raising block and jumps to the handler
+/// body — the runtime transfers there for catchable traps, which is
+/// exactly the tree-walker's "PrevBlock = RaiseBlock, execute the
+/// handler" semantics, pre-resolved.
+///
+/// Phi moves are emitted sequentially in phi order with no parallel-copy
+/// resolution, deliberately: the definitional tree-walker updates phis in
+/// that order (an earlier phi's new value is visible to a later phi of
+/// the same block), and the prepared form must replay the oracle's
+/// read/write sequence exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecUnit.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace safetsa;
+
+namespace {
+
+class MethodLowerer {
+public:
+  MethodLowerer(const PreparedModule &PM, const TSAMethod &M, ExecUnit &U)
+      : PM(PM), M(M), U(U) {}
+
+  /// False when the method exceeds prepared-form limits (frame slots or
+  /// call arity); the unit is then unusable.
+  bool run() {
+    if (!assignSlots())
+      return false;
+    if (!lowerSeq(M.Root))
+      return false;
+    // Falling off the end of the root sequence is a void return; route
+    // any straggling forward edges (e.g. the fall-out of a trailing Try)
+    // to a final RetVoid.
+    if (HaveFt || !Incoming.empty()) {
+      size_t Here = pc();
+      for (const Pending &P : Incoming)
+        U.Code[P.Idx].X = static_cast<int32_t>(Here);
+      Incoming.clear();
+      HaveFt = false;
+      ExecInst X;
+      X.Op = XOp::RetVoid;
+      emit(X);
+    }
+    return true;
+  }
+
+private:
+  /// A forward branch awaiting its target: the emitted Jmp/BrFalse at
+  /// Idx, plus the CFG source block for the target's phi moves.
+  struct Pending {
+    size_t Idx;
+    const BasicBlock *From;
+  };
+
+  struct LoopScope {
+    const BasicBlock *HeaderBB;
+    std::vector<Pending> Breaks; ///< Loop-exit BrFalse + break jumps.
+  };
+
+  struct TryScope {
+    const BasicBlock *HandlerBB;
+    /// Raising blocks of the protected body, each with the code indices
+    /// of its may-raise instructions (Handler patched to the stub).
+    std::vector<std::pair<const BasicBlock *, std::vector<size_t>>> Sites;
+  };
+
+  bool assignSlots() {
+    const MethodSymbol *Sym = M.Symbol;
+    size_t NArgs = Sym->ParamTys.size() + (Sym->IsStatic ? 0 : 1);
+    if (NArgs > 255)
+      return false;
+    U.NumArgs = static_cast<uint32_t>(NArgs);
+    uint32_t Next = static_cast<uint32_t>(NArgs);
+    for (const BasicBlock *BB : M.Blocks) {
+      unsigned BlockVals = 0;
+      for (const Instruction *I : BB->Insts) {
+        if (!I->hasResult())
+          continue;
+        ++BlockVals;
+        if (I->Op == Opcode::Param) {
+          if (I->ParamIndex >= NArgs)
+            return false;
+          Slot[I] = static_cast<uint16_t>(I->ParamIndex);
+        } else {
+          if (Next >= ExecInst::NoSlot)
+            return false;
+          Slot[I] = static_cast<uint16_t>(Next++);
+        }
+      }
+      // The slot walk and finalize()'s plane-table walk enumerate the
+      // same values; a disagreement means the module was not finalized.
+      unsigned PlaneVals = 0;
+      for (unsigned C : BB->PlaneCounts)
+        PlaneVals += C;
+      assert(PlaneVals == BlockVals &&
+             "slot layout disagrees with the plane tables");
+      (void)PlaneVals;
+      (void)BlockVals;
+    }
+    U.NumSlots = Next;
+    return true;
+  }
+
+  uint16_t slot(const Instruction *I) const {
+    auto It = Slot.find(I);
+    assert(It != Slot.end() && "use of a value with no slot");
+    return It->second;
+  }
+
+  size_t pc() const { return U.Code.size(); }
+  size_t emit(const ExecInst &X) {
+    U.Code.push_back(X);
+    return U.Code.size() - 1;
+  }
+  size_t emitJmp(int32_t Target = 0) {
+    ExecInst X;
+    X.Op = XOp::Jmp;
+    X.X = Target;
+    return emit(X);
+  }
+
+  /// Moves for CFG edge From -> To: each phi of To receives its operand
+  /// for that predecessor. Sequential in phi order (see file comment).
+  void emitEdgeMoves(const BasicBlock *From, const BasicBlock *To) {
+    if (To->Insts.empty() || !To->Insts.front()->isPhi())
+      return;
+    int K = -1;
+    for (size_t I = 0; I != To->Preds.size(); ++I)
+      if (To->Preds[I] == From) {
+        K = static_cast<int>(I);
+        break;
+      }
+    assert(K >= 0 && "phi edge source is not a predecessor");
+    if (K < 0)
+      return;
+    for (const Instruction *P : To->Insts) {
+      if (!P->isPhi())
+        break;
+      uint16_t Src = slot(P->Operands[K]);
+      uint16_t Dst = slot(P);
+      if (Src == Dst)
+        continue; // Self-reference along a back edge.
+      ExecInst X;
+      X.Op = XOp::Move;
+      X.A = Src;
+      X.Dst = Dst;
+      emit(X);
+    }
+  }
+
+  /// Resolves the inline fall-through and every pending edge into an
+  /// already-lowered target (a loop header): moves, then a direct jump.
+  void flushEdgesTo(const BasicBlock *Target) {
+    size_t Entry = BlockEntry.at(Target);
+    if (HaveFt) {
+      emitEdgeMoves(FtFrom, Target);
+      emitJmp(static_cast<int32_t>(Entry));
+      HaveFt = false;
+    }
+    for (const Pending &P : Incoming) {
+      size_t Stub = pc();
+      emitEdgeMoves(P.From, Target);
+      emitJmp(static_cast<int32_t>(Entry));
+      U.Code[P.Idx].X = static_cast<int32_t>(Stub);
+    }
+    Incoming.clear();
+  }
+
+  bool lowerSeq(const CSTSeq &Seq) {
+    for (const CSTNode *Node : Seq) {
+      switch (Node->K) {
+      case CSTNode::Kind::Basic:
+        if (!lowerBasic(*Node))
+          return false;
+        break;
+      case CSTNode::Kind::If:
+        if (!lowerIf(*Node))
+          return false;
+        break;
+      case CSTNode::Kind::Loop:
+        if (!lowerLoop(*Node))
+          return false;
+        break;
+      case CSTNode::Kind::Try:
+        if (!lowerTry(*Node))
+          return false;
+        break;
+      case CSTNode::Kind::Return: {
+        // A Return is a CST node, not a block: edges reaching it need no
+        // phi moves (merges that carry values go through a Basic block).
+        size_t Here = pc();
+        for (const Pending &P : Incoming)
+          U.Code[P.Idx].X = static_cast<int32_t>(Here);
+        Incoming.clear();
+        ExecInst X;
+        if (Node->RetVal) {
+          X.Op = XOp::RetVal;
+          X.A = slot(Node->RetVal);
+        } else {
+          X.Op = XOp::RetVoid;
+        }
+        emit(X);
+        HaveFt = false;
+        return true; // Terminates its sequence.
+      }
+      case CSTNode::Kind::Break: {
+        LoopScope &L = *Loops.back();
+        if (HaveFt) {
+          L.Breaks.push_back({emitJmp(), FtFrom});
+          HaveFt = false;
+        }
+        for (const Pending &P : Incoming)
+          L.Breaks.push_back(P);
+        Incoming.clear();
+        return true;
+      }
+      case CSTNode::Kind::Continue:
+        flushEdgesTo(Loops.back()->HeaderBB);
+        return true;
+      }
+    }
+    return true;
+  }
+
+  bool lowerBasic(const CSTNode &N) {
+    const BasicBlock *BB = N.BB;
+    // Inline fall-through edge first; if stubs follow, jump over them.
+    std::vector<size_t> ToEntry;
+    if (HaveFt) {
+      emitEdgeMoves(FtFrom, BB);
+      if (!Incoming.empty())
+        ToEntry.push_back(emitJmp());
+      HaveFt = false;
+    }
+    // One move stub per pending edge; the last one falls into the body.
+    for (size_t I = 0; I != Incoming.size(); ++I) {
+      size_t Stub = pc();
+      emitEdgeMoves(Incoming[I].From, BB);
+      U.Code[Incoming[I].Idx].X = static_cast<int32_t>(Stub);
+      if (I + 1 != Incoming.size())
+        ToEntry.push_back(emitJmp());
+    }
+    Incoming.clear();
+    size_t Entry = pc();
+    for (size_t Idx : ToEntry)
+      U.Code[Idx].X = static_cast<int32_t>(Entry);
+    BlockEntry[BB] = Entry;
+
+    bool Raises = N.RaisesToCatch && !Trys.empty();
+    std::vector<size_t> *Sites = nullptr;
+    for (const Instruction *I : BB->Insts) {
+      long Idx = -1;
+      if (!emitInst(*I, Idx))
+        return false;
+      if (Idx >= 0 && Raises && I->mayRaise()) {
+        if (!Sites) {
+          Trys.back()->Sites.push_back({BB, {}});
+          Sites = &Trys.back()->Sites.back().second;
+        }
+        Sites->push_back(static_cast<size_t>(Idx));
+      }
+    }
+    HaveFt = true;
+    FtFrom = BB;
+    return true;
+  }
+
+  bool lowerIf(const CSTNode &N) {
+    // The condition is referenced from the end of the Basic block that
+    // directly precedes the If, so control arrives as a fall-through.
+    assert(HaveFt && Incoming.empty() && "if must follow its decision");
+    const BasicBlock *Decision = FtFrom;
+    ExecInst Br;
+    Br.Op = XOp::BrFalse;
+    Br.A = slot(N.Cond);
+    size_t BrIdx = emit(Br);
+    if (!lowerSeq(N.Then))
+      return false;
+    if (N.Else.empty()) {
+      // Decision -> join edge: the BrFalse becomes a pending edge and the
+      // then-arm's fall-through (if any) stays the inline one.
+      Incoming.push_back({BrIdx, Decision});
+      return true;
+    }
+    if (HaveFt) {
+      Incoming.push_back({emitJmp(), FtFrom});
+      HaveFt = false;
+    }
+    // The then-arm's pendings target the join, not the else entry.
+    std::vector<Pending> Saved = std::move(Incoming);
+    Incoming.clear();
+    U.Code[BrIdx].X = static_cast<int32_t>(pc());
+    HaveFt = true;
+    FtFrom = Decision;
+    if (!lowerSeq(N.Else))
+      return false;
+    for (const Pending &P : Saved)
+      Incoming.push_back(P);
+    return true;
+  }
+
+  bool lowerLoop(const CSTNode &N) {
+    assert(!N.Header.empty() && N.Header.front()->K == CSTNode::Kind::Basic &&
+           "loop header must start with a basic block");
+    const BasicBlock *HB = N.Header.front()->BB;
+    LoopScope L;
+    L.HeaderBB = HB;
+    // Entry edges flow into the header's first Basic node as usual.
+    if (!lowerSeq(N.Header))
+      return false;
+    assert(HaveFt && Incoming.empty() && "loop header must fall through");
+    ExecInst Br;
+    Br.Op = XOp::BrFalse;
+    Br.A = slot(N.Cond);
+    L.Breaks.push_back({emit(Br), FtFrom}); // Exit edge from the decision.
+    Loops.push_back(&L);
+    bool Ok = lowerSeq(N.Body);
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    // Back edges: the latch fall-through and any pending body fall-outs
+    // re-enter the header with that edge's phi moves.
+    flushEdgesTo(HB);
+    Incoming = std::move(L.Breaks);
+    HaveFt = false;
+    return true;
+  }
+
+  bool lowerTry(const CSTNode &N) {
+    assert(!N.Else.empty() && N.Else.front()->K == CSTNode::Kind::Basic &&
+           "try handler must start with a basic block");
+    TryScope T;
+    T.HandlerBB = N.Else.front()->BB;
+    Trys.push_back(&T);
+    bool Ok = lowerSeq(N.Then);
+    Trys.pop_back();
+    if (!Ok)
+      return false;
+    // Body fall-outs jump over the handler and the exception stubs.
+    if (HaveFt) {
+      Incoming.push_back({emitJmp(), FtFrom});
+      HaveFt = false;
+    }
+    std::vector<Pending> Saved = std::move(Incoming);
+    Incoming.clear();
+    // The handler entry has no forward in-edges; it is reached only
+    // through the exception stubs below.
+    if (!lowerSeq(N.Else))
+      return false;
+    if (HaveFt) {
+      Incoming.push_back({emitJmp(), FtFrom});
+      HaveFt = false;
+    }
+    size_t Entry = BlockEntry.at(T.HandlerBB);
+    for (const auto &[RaiseBB, Idxs] : T.Sites) {
+      size_t Stub = pc();
+      emitEdgeMoves(RaiseBB, T.HandlerBB);
+      emitJmp(static_cast<int32_t>(Entry));
+      for (size_t I : Idxs)
+        U.Code[I].Handler = static_cast<int32_t>(Stub);
+    }
+    for (const Pending &P : Saved)
+      Incoming.push_back(P);
+    return true;
+  }
+
+  /// Emits the quickened form of one instruction; OutIdx receives the
+  /// code index (-1 when the instruction lowers to no code). False on a
+  /// prepared-form limit (call arity > 255).
+  bool emitInst(const Instruction &I, long &OutIdx) {
+    OutIdx = -1;
+    ExecInst X;
+    switch (I.Op) {
+    case Opcode::Param: // Lives in the argument region; no code.
+    case Opcode::Phi:   // Becomes edge moves; no code.
+      return true;
+
+    case Opcode::Const:
+      X.Dst = slot(&I);
+      if (I.C.K == ConstantValue::Kind::String) {
+        // String cells are per-Runtime, so the unit keeps the text and
+        // interns at execution time, exactly like the tree-walker.
+        X.Op = XOp::LoadStr;
+        X.X = static_cast<int32_t>(U.StrPool.size());
+        U.StrPool.push_back(&I.C.StrVal);
+      } else {
+        X.Op = XOp::LoadConst;
+        X.X = static_cast<int32_t>(U.ConstPool.size());
+        U.ConstPool.push_back(constValue(I.C));
+      }
+      break;
+
+    case Opcode::Primitive:
+    case Opcode::XPrimitive:
+      // PrimOp and the prepared opcode block share one order; dispatch
+      // selects the operation with no secondary switch.
+      X.Op = static_cast<XOp>(static_cast<unsigned>(XOp::AddI) +
+                              static_cast<unsigned>(I.Prim));
+      if (!I.Operands.empty())
+        X.A = slot(I.Operands[0]);
+      if (I.Operands.size() > 1)
+        X.B = slot(I.Operands[1]);
+      X.Dst = slot(&I);
+      if (I.Prim == PrimOp::InstanceOf)
+        X.P = I.AuxType;
+      break;
+
+    case Opcode::NullCheck:
+      X.Op = XOp::NullCheck;
+      X.A = slot(I.Operands[0]);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::IndexCheck:
+      X.Op = XOp::IndexCheck;
+      X.A = slot(I.Operands[0]);
+      X.B = slot(I.Operands[1]);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::Upcast:
+      X.Op = XOp::Upcast;
+      X.A = slot(I.Operands[0]);
+      X.Dst = slot(&I);
+      X.P = I.OpType;
+      break;
+    case Opcode::Downcast: // Free at runtime; just a slot copy.
+      X.Op = XOp::Move;
+      X.A = slot(I.Operands[0]);
+      X.Dst = slot(&I);
+      break;
+
+    case Opcode::GetField:
+      X.Op = XOp::GetField;
+      X.A = slot(I.Operands[0]);
+      X.X = static_cast<int32_t>(I.Field->Slot);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::SetField:
+      X.Op = XOp::SetField;
+      X.A = slot(I.Operands[0]);
+      X.B = slot(I.Operands[1]);
+      X.X = static_cast<int32_t>(I.Field->Slot);
+      break;
+    case Opcode::GetElt:
+      X.Op = XOp::GetElt;
+      X.A = slot(I.Operands[0]);
+      X.B = slot(I.Operands[1]);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::SetElt:
+      X.Op = XOp::SetElt;
+      X.A = slot(I.Operands[0]);
+      X.B = slot(I.Operands[1]);
+      X.C = slot(I.Operands[2]);
+      break;
+    case Opcode::GetStatic:
+      X.Op = XOp::GetStatic;
+      X.X = static_cast<int32_t>(I.Field->Slot);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::SetStatic:
+      X.Op = XOp::SetStatic;
+      X.A = slot(I.Operands[0]);
+      X.X = static_cast<int32_t>(I.Field->Slot);
+      break;
+
+    case Opcode::ArrayLength:
+      X.Op = XOp::ArrayLength;
+      X.A = slot(I.Operands[0]);
+      X.Dst = slot(&I);
+      break;
+    case Opcode::New:
+      X.Op = XOp::New;
+      X.P = I.OpType->getClassSymbol();
+      X.Dst = slot(&I);
+      break;
+    case Opcode::NewArray:
+      X.Op = XOp::NewArray;
+      X.A = slot(I.Operands[0]);
+      X.P = I.OpType->getElemType();
+      X.Dst = slot(&I);
+      break;
+
+    case Opcode::Call:
+    case Opcode::Dispatch: {
+      if (I.Operands.size() > 255)
+        return false;
+      X.N = static_cast<uint8_t>(I.Operands.size());
+      X.X = static_cast<int32_t>(U.ArgPool.size());
+      for (const Instruction *Op : I.Operands)
+        U.ArgPool.push_back(slot(Op));
+      X.Dst = I.hasResult() ? slot(&I) : ExecInst::NoSlot;
+      if (I.Op == Opcode::Dispatch) {
+        X.Op = XOp::Dispatch;
+        X.P = I.Method; // Static target; vtable resolved per receiver.
+      } else if (I.Method->isNative()) {
+        X.Op = XOp::CallNative;
+        X.P = I.Method;
+      } else {
+        X.Op = XOp::CallUnit;
+        X.P = PM.unitFor(I.Method); // Null (-> Internal) for bodyless.
+      }
+      break;
+    }
+    }
+    OutIdx = static_cast<long>(emit(X));
+    return true;
+  }
+
+  static Value constValue(const ConstantValue &C) {
+    switch (C.K) {
+    case ConstantValue::Kind::Int:
+      return Value::makeInt(static_cast<int32_t>(C.IntVal));
+    case ConstantValue::Kind::Double:
+      return Value::makeDouble(C.DblVal);
+    case ConstantValue::Kind::Bool:
+      return Value::makeBool(C.IntVal != 0);
+    case ConstantValue::Kind::Char:
+      return Value::makeChar(static_cast<char>(C.IntVal));
+    case ConstantValue::Kind::Null:
+    case ConstantValue::Kind::String: // Handled by LoadStr.
+      return Value::makeNull();
+    }
+    return Value();
+  }
+
+  const PreparedModule &PM;
+  const TSAMethod &M;
+  ExecUnit &U;
+
+  std::unordered_map<const Instruction *, uint16_t> Slot;
+  std::unordered_map<const BasicBlock *, size_t> BlockEntry;
+  std::vector<Pending> Incoming;
+  std::vector<LoopScope *> Loops;
+  std::vector<TryScope *> Trys;
+  const BasicBlock *FtFrom = nullptr;
+  bool HaveFt = false;
+};
+
+} // namespace
+
+std::unique_ptr<PreparedModule>
+safetsa::prepareModule(const TSAModule &Module) {
+  auto PM = std::make_unique<PreparedModule>();
+  PM->Module = &Module;
+  PM->ByGlobalId.assign(Module.Table->getAllMethods().size(), nullptr);
+
+  // Pass 1: shells, so cross-method calls take direct unit pointers.
+  for (const auto &M : Module.Methods) {
+    auto U = std::make_unique<ExecUnit>();
+    U->Method = M.get();
+    U->Symbol = M->Symbol;
+    if (M->Symbol->GlobalId >= PM->ByGlobalId.size())
+      PM->ByGlobalId.resize(M->Symbol->GlobalId + 1, nullptr);
+    PM->ByGlobalId[M->Symbol->GlobalId] = U.get();
+    PM->Units.push_back(std::move(U));
+  }
+
+  // Pass 2: lower every body.
+  for (auto &U : PM->Units) {
+    MethodLowerer L(*PM, *U->Method, *U);
+    if (!L.run())
+      return nullptr;
+  }
+
+  for (const auto &U : PM->Units) {
+    const MethodSymbol *S = U->Symbol;
+    if (S->IsStatic && S->Name == "main" && S->ParamTys.empty()) {
+      PM->MainUnit = U.get();
+      break;
+    }
+  }
+  return PM;
+}

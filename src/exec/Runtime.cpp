@@ -6,6 +6,8 @@
 
 #include "exec/Runtime.h"
 
+#include "tsa/Method.h"
+
 #include <cmath>
 #include <sstream>
 
@@ -61,6 +63,46 @@ const char *safetsa::runtimeErrorName(RuntimeError E) {
     return "InternalError";
   }
   return "error";
+}
+
+bool safetsa::isCatchableError(RuntimeError E) {
+  switch (E) {
+  case RuntimeError::NullPointer:
+  case RuntimeError::IndexOutOfBounds:
+  case RuntimeError::DivisionByZero:
+  case RuntimeError::ClassCast:
+  case RuntimeError::NegativeArraySize:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void safetsa::applyStaticInitializers(const TSAModule &Module, Runtime &RT) {
+  for (const auto &[Field, C] : Module.StaticInits) {
+    Value V;
+    switch (C.K) {
+    case ConstantValue::Kind::Int:
+      V = Value::makeInt(static_cast<int32_t>(C.IntVal));
+      break;
+    case ConstantValue::Kind::Double:
+      V = Value::makeDouble(C.DblVal);
+      break;
+    case ConstantValue::Kind::Bool:
+      V = Value::makeBool(C.IntVal != 0);
+      break;
+    case ConstantValue::Kind::Char:
+      V = Value::makeChar(static_cast<char>(C.IntVal));
+      break;
+    case ConstantValue::Kind::Null:
+      V = Value::makeNull();
+      break;
+    case ConstantValue::Kind::String:
+      V = Value::makeRef(RT.internString(C.StrVal, Module.Types->getChar()));
+      break;
+    }
+    RT.setStatic(Field->Slot, V);
+  }
 }
 
 Value Runtime::zeroValue(const Type *Ty) {

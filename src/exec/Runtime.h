@@ -85,6 +85,12 @@ enum class RuntimeError : uint8_t {
 
 const char *runtimeErrorName(RuntimeError E);
 
+/// Runtime exceptions an MJ catch-all handler intercepts (the five Java
+/// runtime exceptions MJ programs can raise); resource exhaustion and
+/// interpreter-internal failures always unwind. Shared by the tree-walking
+/// and prepared interpreters so trap catchability cannot drift.
+bool isCatchableError(RuntimeError E);
+
 /// One heap cell: either an object (Class != null) or an array.
 struct HeapCell {
   const ClassSymbol *Class = nullptr; // Null for arrays.
@@ -143,6 +149,13 @@ private:
   std::string Output;
   uint64_t FuelLeft;
 };
+
+class TSAModule;
+
+/// Applies \p Module's static-field initializers to \p RT. Shared by both
+/// interpreters (and callable before either) so a prepared execution and
+/// its tree-walk oracle start from identical static state.
+void applyStaticInitializers(const TSAModule &Module, Runtime &RT);
 
 /// Result of running a method to completion.
 struct ExecResult {

@@ -17,46 +17,8 @@ using namespace safetsa;
 
 static int32_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
 
-/// Runtime exceptions an MJ catch-all handler intercepts; resource
-/// exhaustion and interpreter-internal failures always unwind.
-static bool isCatchable(RuntimeError E) {
-  switch (E) {
-  case RuntimeError::NullPointer:
-  case RuntimeError::IndexOutOfBounds:
-  case RuntimeError::DivisionByZero:
-  case RuntimeError::ClassCast:
-  case RuntimeError::NegativeArraySize:
-    return true;
-  default:
-    return false;
-  }
-}
-
 void TSAInterpreter::initializeStatics() {
-  for (const auto &[Field, C] : Module.StaticInits) {
-    Value V;
-    switch (C.K) {
-    case ConstantValue::Kind::Int:
-      V = Value::makeInt(static_cast<int32_t>(C.IntVal));
-      break;
-    case ConstantValue::Kind::Double:
-      V = Value::makeDouble(C.DblVal);
-      break;
-    case ConstantValue::Kind::Bool:
-      V = Value::makeBool(C.IntVal != 0);
-      break;
-    case ConstantValue::Kind::Char:
-      V = Value::makeChar(static_cast<char>(C.IntVal));
-      break;
-    case ConstantValue::Kind::Null:
-      V = Value::makeNull();
-      break;
-    case ConstantValue::Kind::String:
-      V = Value::makeRef(RT.internString(C.StrVal, Module.Types->getChar()));
-      break;
-    }
-    RT.setStatic(Field->Slot, V);
-  }
+  applyStaticInitializers(Module, RT);
 }
 
 ExecResult TSAInterpreter::runMain() {
@@ -97,12 +59,14 @@ Value TSAInterpreter::callMethodValue(const MethodSymbol *Callee,
   }
   ++Depth;
   Frame F;
-  // Parameters are read by the Param preloads during entry-block
-  // execution; stash them in the frame under a synthetic key scheme: the
-  // Param instruction looks them up by index from this vector.
-  CurArgs.push_back(std::move(Args));
+  // Parameters live in the frame's reserved argument region; val() reads
+  // Param values straight from it, so nothing is copied into Vals.
+  F.Args = std::move(Args);
+  size_t NumInsts = 0;
+  for (const auto &BB : Body->Blocks)
+    NumInsts += BB->Insts.size();
+  F.Vals.reserve(NumInsts);
   Signal Sig = execSeq(Body->Root, F);
-  CurArgs.pop_back();
   --Depth;
   if (Sig == Signal::Error) {
     Ok = false;
@@ -157,7 +121,7 @@ TSAInterpreter::Signal TSAInterpreter::execSeq(const CSTSeq &Seq, Frame &F) {
     }
     case CSTNode::Kind::Try: {
       Signal Sig = execSeq(Node->Then, F);
-      if (Sig == Signal::Error && isCatchable(Err)) {
+      if (Sig == Signal::Error && isCatchableError(Err)) {
         // Transfer along the exception edge: the handler's phis select
         // their operand by the raising block.
         Err = RuntimeError::None;
@@ -222,12 +186,11 @@ bool TSAInterpreter::execInst(const Instruction &I, const BasicBlock &BB,
     }
     return fail(RuntimeError::Internal);
 
-  case Opcode::Param: {
-    const std::vector<Value> &Args = CurArgs.back();
-    if (I.ParamIndex >= Args.size())
+  case Opcode::Param:
+    // The value itself lives in Frame::Args; val() reads it from there.
+    if (I.ParamIndex >= F.Args.size())
       return fail(RuntimeError::Internal);
-    return Set(Args[I.ParamIndex]);
-  }
+    return true;
 
   case Opcode::Phi: {
     for (size_t K = 0; K != BB.Preds.size(); ++K)

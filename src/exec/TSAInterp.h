@@ -43,6 +43,9 @@ public:
 private:
   struct Frame {
     std::unordered_map<const Instruction *, Value> Vals;
+    /// Receiver (if any) + parameters. Param values are read straight
+    /// from this reserved region instead of being copied into Vals.
+    std::vector<Value> Args;
     const BasicBlock *PrevBlock = nullptr;
     /// Block whose instruction raised the pending exception (for catch
     /// phi resolution: the exception edge's source).
@@ -61,6 +64,10 @@ private:
                         bool &Ok);
 
   Value val(const Instruction *I, Frame &F) const {
+    if (I->Op == Opcode::Param) {
+      assert(I->ParamIndex < F.Args.size() && "param index out of range");
+      return F.Args[I->ParamIndex];
+    }
     auto It = F.Vals.find(I);
     assert(It != F.Vals.end() && "use of unevaluated value");
     return It->second;
@@ -76,9 +83,6 @@ private:
   Runtime &RT;
   RuntimeError Err = RuntimeError::None;
   unsigned Depth = 0;
-  /// Argument vectors of the active call chain; Param preloads read the
-  /// innermost entry.
-  std::vector<std::vector<Value>> CurArgs;
   static constexpr unsigned MaxDepth = 400;
 };
 

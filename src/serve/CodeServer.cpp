@@ -6,6 +6,8 @@
 
 #include "serve/CodeServer.h"
 
+#include "exec/ExecUnit.h"
+
 using namespace safetsa;
 
 std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
@@ -14,7 +16,8 @@ std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
       S.Publishes,      S.Fetches,       S.FetchNotFound,
       S.VerifyFailures, S.CacheHits,     S.CacheMisses,
       S.CacheCoalesced, S.CacheEvictions, S.CacheDecodes,
-      S.CacheDecodeFailures, S.CacheEntries, S.CacheBytes};
+      S.CacheDecodeFailures, S.CacheEntries, S.CacheBytes,
+      S.CachePrepares};
   std::vector<uint8_t> Out;
   Out.reserve(kServeStatsFields * 8);
   for (uint64_t F : Fields)
@@ -47,6 +50,7 @@ bool safetsa::decodeStats(ByteSpan Bytes, ServeStats &Out) {
   Out.CacheDecodeFailures = Fields[12];
   Out.CacheEntries = Fields[13];
   Out.CacheBytes = Fields[14];
+  Out.CachePrepares = Fields[15];
   return true;
 }
 
@@ -106,6 +110,37 @@ std::shared_ptr<const DecodedUnit> CodeServer::load(const Digest &D,
       Err);
 }
 
+std::shared_ptr<const PreparedModule>
+CodeServer::loadPrepared(const Digest &D, std::string *Err) {
+  auto Bytes = Store.fetch(D);
+  if (!Bytes) {
+    if (Err)
+      *Err = "unknown digest " + D.hex();
+    return nullptr;
+  }
+  return Cache.getPrepared(
+      D, Bytes->size(),
+      [&](std::string *E) {
+        return decodeModule(ByteSpan(*Bytes), E, DecodeOptions{});
+      },
+      [](const std::shared_ptr<const DecodedUnit> &Unit,
+         std::string *E) -> std::shared_ptr<const PreparedModule> {
+        auto PM = prepareModule(*Unit->Module);
+        if (!PM) {
+          if (E)
+            *E = "module exceeds prepared-form limits";
+          return nullptr;
+        }
+        // The prepared form points into the decoded unit's IR and type
+        // tables; capturing the unit in the deleter keeps it alive for as
+        // long as any caller holds the prepared module, independent of
+        // cache eviction order.
+        return std::shared_ptr<const PreparedModule>(
+            PM.release(), [Keep = Unit](const PreparedModule *P) { delete P; });
+      },
+      Err);
+}
+
 ServeStats CodeServer::stats() const {
   ServeStats S;
   S.StoreModules = Store.size();
@@ -124,6 +159,7 @@ ServeStats CodeServer::stats() const {
   S.CacheDecodeFailures = C.DecodeFailures;
   S.CacheEntries = C.Entries;
   S.CacheBytes = C.Bytes;
+  S.CachePrepares = C.Prepares;
   return S;
 }
 

@@ -53,10 +53,11 @@ struct ServeStats {
   uint64_t CacheDecodeFailures = 0;
   uint64_t CacheEntries = 0;
   uint64_t CacheBytes = 0;
+  uint64_t CachePrepares = 0; ///< Execution-prep lowerings actually run.
 };
 
 /// Number of u64 fields in the STATS payload.
-constexpr size_t kServeStatsFields = 15;
+constexpr size_t kServeStatsFields = 16;
 
 std::vector<uint8_t> encodeStats(const ServeStats &S);
 bool decodeStats(ByteSpan Bytes, ServeStats &Out);
@@ -98,6 +99,14 @@ public:
   /// A warm hit does no decoding (asserted by tests via getStats). Null
   /// with \p Err set when the digest is unknown or its bytes fail decode.
   std::shared_ptr<const DecodedUnit> load(const Digest &D, std::string *Err);
+
+  /// Cache-backed *executable* load: the prepared (quickened) form of the
+  /// module for \p D, lowered once per resident cache entry. A warm hit
+  /// does no decoding and no re-lowering — it returns directly executable
+  /// code (stats().CachePrepares counts lowerings actually run). The
+  /// returned module keeps its decoded unit alive internally.
+  std::shared_ptr<const PreparedModule> loadPrepared(const Digest &D,
+                                                     std::string *Err);
 
   ServeStats stats() const;
 

@@ -15,8 +15,13 @@ using namespace safetsa;
 struct ModuleCache::Entry {
   size_t Charge = 0;
   std::shared_ptr<const DecodedUnit> Unit; ///< Null until ready / on failure.
+  /// Execution-prepared form, lowered lazily on the first getPrepared()
+  /// and cached beside the decoded unit (its deleter keeps Unit alive, so
+  /// eviction order between the two can never dangle).
+  std::shared_ptr<const PreparedModule> Prepared;
   std::string Error;
   bool Ready = false;
+  bool Preparing = false; ///< A thread is lowering this entry right now.
   bool InLru = false;
   std::list<Digest>::iterator LruIt; ///< Valid iff InLru.
 };
@@ -124,6 +129,49 @@ ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
   return E->Unit;
 }
 
+std::shared_ptr<const PreparedModule>
+ModuleCache::getPrepared(const Digest &D, size_t Charge,
+                         const DecodeFn &Decode, const PrepareFn &Prepare,
+                         std::string *Err) {
+  std::shared_ptr<const DecodedUnit> Unit = get(D, Charge, Decode, Err);
+  if (!Unit)
+    return nullptr;
+
+  Shard &S = shardFor(D);
+  std::shared_ptr<Entry> E;
+  {
+    std::unique_lock<std::mutex> Lock(S.M);
+    auto It = S.Map.find(D);
+    // Only piggyback on the entry that actually holds our unit; if it was
+    // evicted or cleared between get() and now, prepare uncached below.
+    if (It != S.Map.end() && It->second->Ready && It->second->Unit == Unit) {
+      E = It->second;
+      if (E->Prepared)
+        return E->Prepared; // Warm hit: zero re-lowering.
+      // Single-flight, like decoding: wait out any in-progress lowering.
+      S.ReadyCV.wait(Lock, [&] { return !E->Preparing; });
+      if (E->Prepared)
+        return E->Prepared;
+      E->Preparing = true; // Claim (first flight, or retry after failure).
+    }
+  }
+
+  std::string PrepErr;
+  std::shared_ptr<const PreparedModule> PM = Prepare(Unit, &PrepErr);
+
+  std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Stats.Prepares;
+  if (E) {
+    E->Preparing = false;
+    if (PM) // Failures are not cached; the next request retries.
+      E->Prepared = PM;
+    S.ReadyCV.notify_all();
+  }
+  if (!PM && Err)
+    *Err = PrepErr.empty() ? "prepare failed" : PrepErr;
+  return PM;
+}
+
 CacheStats ModuleCache::stats() const {
   CacheStats Out;
   for (const auto &SP : Shards) {
@@ -135,6 +183,7 @@ CacheStats ModuleCache::stats() const {
     Out.Evictions += S.Stats.Evictions;
     Out.Decodes += S.Stats.Decodes;
     Out.DecodeFailures += S.Stats.DecodeFailures;
+    Out.Prepares += S.Stats.Prepares;
     Out.Entries += S.Lru.size();
     Out.Bytes += S.Bytes;
   }

@@ -57,9 +57,12 @@ struct CacheStats {
   uint64_t Evictions = 0;
   uint64_t Decodes = 0;        ///< Decode attempts actually run.
   uint64_t DecodeFailures = 0; ///< Attempts that returned null.
+  uint64_t Prepares = 0;       ///< Execution-prep lowerings actually run.
   size_t Entries = 0;          ///< Resident modules right now.
   size_t Bytes = 0;            ///< Charged bytes right now.
 };
+
+class PreparedModule;
 
 class ModuleCache {
 public:
@@ -68,6 +71,14 @@ public:
   /// null and sets the error string on failure.
   using DecodeFn =
       std::function<std::unique_ptr<DecodedUnit>(std::string *Err)>;
+
+  /// Lowers a decoded unit to executable form; called at most once per
+  /// resident entry per flight, outside all cache locks. The returned
+  /// shared_ptr must keep whatever it references alive (CodeServer passes
+  /// a deleter capturing the decoded unit). Returns null and sets the
+  /// error string on failure.
+  using PrepareFn = std::function<std::shared_ptr<const PreparedModule>(
+      const std::shared_ptr<const DecodedUnit> &Unit, std::string *Err)>;
 
   /// \p CapacityBytes is split evenly across \p NumShards (each shard at
   /// least 1 byte so a zero/low capacity still admits-and-evicts sanely).
@@ -84,6 +95,18 @@ public:
   std::shared_ptr<const DecodedUnit> get(const Digest &D, size_t Charge,
                                          const DecodeFn &Decode,
                                          std::string *Err);
+
+  /// Like get(), but returns the *prepared* (directly executable) form,
+  /// lowering it on first request and caching it on the same entry as the
+  /// decoded module — so a warm hit returns executable code with zero
+  /// re-decoding AND zero re-lowering (stats().Prepares counts lowerings
+  /// actually run). Single-flight per digest, like decoding. Null only on
+  /// decode or prepare failure, with *Err set.
+  std::shared_ptr<const PreparedModule> getPrepared(const Digest &D,
+                                                    size_t Charge,
+                                                    const DecodeFn &Decode,
+                                                    const PrepareFn &Prepare,
+                                                    std::string *Err);
 
   /// Aggregated over all shards.
   CacheStats stats() const;

@@ -1,0 +1,370 @@
+//===- tests/exec_prepared_test.cpp - Prepared-exec parity ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential proof for the quickened execution units: every corpus
+/// program (plus the runtime-error and try/catch cases) must behave
+/// identically under the prepared register-frame interpreter (TSAExec)
+/// and the definitional tree-walker (TSAInterpreter) — same printed
+/// output, same trap kind, and the same trap *point* (everything printed
+/// before the trap must match, not just the checksum). Also proves that
+/// one PreparedModule is safely shared across threads (run under TSan via
+/// exec_prepared_tsan) and that the built-in TreeWalkOracle agrees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+#include "opt/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+using namespace safetsa;
+
+namespace {
+
+struct Outcome {
+  RuntimeError Err = RuntimeError::None;
+  std::string Output;
+};
+
+Outcome runTreeWalk(const TSAModule &M, ClassTable &Table) {
+  Runtime RT(Table);
+  TSAInterpreter I(M, RT);
+  ExecResult R = I.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+Outcome runPrepared(const TSAModule &M, ClassTable &Table) {
+  auto PM = prepareModule(M);
+  EXPECT_TRUE(PM) << "prepareModule failed";
+  if (!PM)
+    return {RuntimeError::Internal, "<prepare failed>"};
+  Runtime RT(Table);
+  TSAExec X(*PM, RT);
+  ExecResult R = X.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+/// Both interpreters on the same module: identical trap kind and output.
+void expectParity(const TSAModule &M, ClassTable &Table,
+                  const char *Label) {
+  Outcome T = runTreeWalk(M, Table);
+  Outcome P = runPrepared(M, Table);
+  EXPECT_EQ(P.Err, T.Err) << Label << ": prepared trapped "
+                          << runtimeErrorName(P.Err) << ", tree-walk "
+                          << runtimeErrorName(T.Err);
+  EXPECT_EQ(P.Output, T.Output) << Label << ": output diverged";
+}
+
+/// Source-level parity: unoptimized, optimized, and after a wire round
+/// trip into a fresh class table (the consumer-side module a server
+/// would actually prepare).
+void expectSourceParity(const std::string &Src) {
+  auto C = compileMJ("prep.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  expectParity(*C->TSA, *C->Table, "unoptimized");
+
+  {
+    std::string Err;
+    auto Unit = decodeModule(encodeModule(*C->TSA), &Err);
+    ASSERT_TRUE(Unit) << Err;
+    expectParity(*Unit->Module, *Unit->Table, "decoded");
+  }
+
+  optimizeModule(*C->TSA);
+  expectParity(*C->TSA, *C->Table, "optimized");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential
+//===----------------------------------------------------------------------===//
+
+class PreparedCorpusTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(PreparedCorpusTest, MatchesTreeWalk) {
+  expectSourceParity(GetParam().Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PreparedCorpusTest, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Trap-point parity: the runtime-error programs must trap with the same
+// exception after the same partial output on both interpreters.
+//===----------------------------------------------------------------------===//
+
+void expectTrapParity(const std::string &Src, RuntimeError Expected) {
+  auto C = compileMJ("trap.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome T = runTreeWalk(*C->TSA, *C->Table);
+  EXPECT_EQ(T.Err, Expected) << "tree-walk: " << runtimeErrorName(T.Err);
+  expectParity(*C->TSA, *C->Table, "trap");
+  optimizeModule(*C->TSA);
+  expectParity(*C->TSA, *C->Table, "trap (optimized)");
+}
+
+TEST(PreparedTraps, NullPointer) {
+  expectTrapParity("class C { int x; } class Main { static void main() { "
+                   "IO.printInt(3); C c = null; IO.printInt(c.x); } }",
+                   RuntimeError::NullPointer);
+}
+
+TEST(PreparedTraps, IndexOutOfBounds) {
+  expectTrapParity("class Main { static void main() { int[] a = new int[3]; "
+                   "IO.printInt(a.length); IO.printInt(a[7]); } }",
+                   RuntimeError::IndexOutOfBounds);
+}
+
+TEST(PreparedTraps, DivisionByZero) {
+  expectTrapParity("class Main { static void main() { int z = 0; "
+                   "IO.printInt(9); IO.printInt(1 / z); } }",
+                   RuntimeError::DivisionByZero);
+}
+
+TEST(PreparedTraps, RemainderByZero) {
+  expectTrapParity("class Main { static void main() { int z = 0; "
+                   "IO.printInt(1 % z); } }",
+                   RuntimeError::DivisionByZero);
+}
+
+TEST(PreparedTraps, ClassCast) {
+  expectTrapParity("class A {} class B extends A {} class C extends A {} "
+                   "class Main { static void main() { A a = new C(); "
+                   "IO.printInt(1); B b = (B) a; } }",
+                   RuntimeError::ClassCast);
+}
+
+TEST(PreparedTraps, NegativeArraySize) {
+  expectTrapParity("class Main { static void main() { int n = -2; "
+                   "int[] a = new int[n]; } }",
+                   RuntimeError::NegativeArraySize);
+}
+
+TEST(PreparedTraps, StackOverflow) {
+  expectTrapParity("class Main { static int f(int n) { return f(n + 1); } "
+                   "static void main() { IO.printInt(f(0)); } }",
+                   RuntimeError::StackOverflow);
+}
+
+TEST(PreparedTraps, TrapInsideLoopKeepsPartialOutput) {
+  expectTrapParity("class Main { static void main() { int[] a = new int[4]; "
+                   "int i = 0; while (i < 10) { IO.printInt(a[i]); "
+                   "i = i + 1; } } }",
+                   RuntimeError::IndexOutOfBounds);
+}
+
+TEST(PreparedTraps, CalleeTrapUnwindsThroughCaller) {
+  expectTrapParity("class Main { static int f(int[] a, int i) { "
+                   "return a[i]; } static void main() { "
+                   "int[] a = new int[2]; IO.printInt(f(a, 1)); "
+                   "IO.printInt(f(a, 5)); } }",
+                   RuntimeError::IndexOutOfBounds);
+}
+
+//===----------------------------------------------------------------------===//
+// Try/catch parity: exception edges and handler phis.
+//===----------------------------------------------------------------------===//
+
+TEST(PreparedTryCatch, CatchesDivisionByZero) {
+  expectSourceParity("class Main { static void main() { int z = 0; int r; "
+                     "try { r = 10 / z; } catch { r = -1; } "
+                     "IO.printInt(r); } }");
+}
+
+TEST(PreparedTryCatch, DistinctRaiseSitesYieldDistinctStates) {
+  for (int Which = 0; Which != 3; ++Which) {
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "class Main { static void main() { int z = 0; int[] a = new int[2]; "
+        "int s = 0; try { s = 1; if (%d == 0) { s = s + 10 / z; } "
+        "s = 2; if (%d == 1) { s = s + a[9]; } s = 3; "
+        "if (%d == 2) { s = s + 10 / z; } s = 4; } catch { s = s + 100; } "
+        "IO.printInt(s); } }",
+        Which, Which, Which);
+    expectSourceParity(Buf);
+  }
+}
+
+TEST(PreparedTryCatch, ExceptionsUnwindOutOfCallees) {
+  expectSourceParity("class Main { "
+                     "static int f(int z) { return 10 / z; } "
+                     "static void main() { int r; "
+                     "try { r = f(0); } catch { r = -7; } "
+                     "IO.printInt(r); } }");
+}
+
+TEST(PreparedTryCatch, NestedTryInnermostWins) {
+  expectSourceParity("class Main { static void main() { int z = 0; int r = 0; "
+                     "try { try { r = 10 / z; } catch { r = 1; } "
+                     "r = r + 10 / z; } catch { r = r + 10; } "
+                     "IO.printInt(r); } }");
+}
+
+TEST(PreparedTryCatch, TryInsideLoopWithBreakAndContinue) {
+  expectSourceParity(
+      "class Main { static void main() { int z = 0; int i = 0; int s = 0; "
+      "while (i < 6) { i = i + 1; try { if (i == 2) { continue; } "
+      "if (i == 5) { break; } s = s + 10 / (i - 3); } "
+      "catch { s = s + 1000; } } IO.printInt(s); IO.printInt(i); } }");
+}
+
+TEST(PreparedTryCatch, LoopInsideTry) {
+  expectSourceParity(
+      "class Main { static void main() { int[] a = new int[3]; int s = 0; "
+      "try { int i = 0; while (i < 10) { s = s + a[i] + i; i = i + 1; } } "
+      "catch { s = s + 500; } IO.printInt(s); } }");
+}
+
+TEST(PreparedTryCatch, ReturnInsideTryAndHandler) {
+  expectSourceParity("class Main { static int f(int z) { "
+                     "try { return 10 / z; } catch { return -1; } } "
+                     "static void main() { IO.printInt(f(0)); "
+                     "IO.printInt(f(5)); } }");
+}
+
+TEST(PreparedTryCatch, UncaughtErrorKindsUnwind) {
+  // StackOverflow is not catchable; must unwind identically.
+  expectTrapParity("class Main { static int f(int n) { int r; "
+                   "try { r = f(n + 1); } catch { r = -1; } return r; } "
+                   "static void main() { IO.printInt(f(0)); } }",
+                   RuntimeError::StackOverflow);
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel, oracle, direct calls, concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(PreparedExec, FuelBoundsInfiniteLoops) {
+  auto C = compileMJ("fuel.mj", "class Main { static void main() { "
+                                "while (true) { } } }");
+  ASSERT_TRUE(C->ok());
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  Runtime RT(*C->Table, /*Fuel=*/10'000);
+  TSAExec X(*PM, RT);
+  EXPECT_EQ(X.runMain().Err, RuntimeError::OutOfFuel);
+}
+
+TEST(PreparedExec, TreeWalkOracleAgrees) {
+  auto C = compileMJ("oracle.mj",
+                     "class Main { static int fib(int n) { "
+                     "if (n < 2) { return n; } "
+                     "return fib(n - 1) + fib(n - 2); } "
+                     "static void main() { IO.printInt(fib(15)); } }");
+  ASSERT_TRUE(C->ok());
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  Runtime RT(*C->Table);
+  ExecOptions Opts;
+  Opts.TreeWalkOracle = true;
+  TSAExec X(*PM, RT, Opts);
+  ExecResult R = X.runMain();
+  EXPECT_EQ(R.Err, RuntimeError::None);
+  EXPECT_FALSE(X.oracleDiverged());
+  EXPECT_EQ(RT.getOutput(), "610");
+}
+
+TEST(PreparedExec, DirectCallWithArguments) {
+  auto C = compileMJ("call.mj",
+                     "class Main { static int gcd(int a, int b) { "
+                     "while (b != 0) { int t = a % b; a = b; b = t; } "
+                     "return a; } static void main() { "
+                     "IO.printInt(gcd(48, 36)); } }");
+  ASSERT_TRUE(C->ok());
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  const MethodSymbol *Gcd = nullptr;
+  for (const auto &Class : C->Table->getClasses())
+    for (const auto &M : Class->Methods)
+      if (M->Name == "gcd")
+        Gcd = M.get();
+  ASSERT_NE(Gcd, nullptr);
+  std::vector<Value> Args = {Value::makeInt(1071), Value::makeInt(462)};
+
+  Runtime RTX(*C->Table);
+  TSAExec X(*PM, RTX);
+  ExecResult RP = X.call(Gcd, Args);
+  ASSERT_TRUE(RP.ok());
+
+  Runtime RTT(*C->Table);
+  TSAInterpreter I(*C->TSA, RTT);
+  ExecResult RT_ = I.call(Gcd, Args);
+  ASSERT_TRUE(RT_.ok());
+  EXPECT_EQ(RP.Ret.str(), RT_.Ret.str());
+  EXPECT_EQ(RP.Ret.I, 21);
+}
+
+TEST(PreparedExec, OnePreparedModuleManyThreads) {
+  // One immutable PreparedModule, one TSAExec + Runtime per thread: the
+  // concurrency contract the serve layer relies on (TSan-checked via the
+  // exec_prepared_tsan registration).
+  const CorpusProgram *P = &getCorpus().front();
+  auto C = compileMJ(P->Name, P->Source);
+  ASSERT_TRUE(C->ok());
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+
+  constexpr unsigned NumThreads = 8;
+  std::vector<std::string> Outs(NumThreads);
+  std::vector<RuntimeError> Errs(NumThreads, RuntimeError::Internal);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Runtime RT(*C->Table);
+      TSAExec X(*PM, RT);
+      ExecResult R = X.runMain();
+      Errs[T] = R.Err;
+      Outs[T] = RT.getOutput();
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    EXPECT_EQ(Errs[T], Ref.Err);
+    EXPECT_EQ(Outs[T], Ref.Output);
+  }
+}
+
+TEST(PreparedExec, PreparedFormIsCompact) {
+  // Structural sanity: every corpus method lowers, slots are dense, and
+  // the prepared stream is linear (no graph left to chase at run time).
+  for (const CorpusProgram &P : getCorpus()) {
+    auto C = compileMJ(P.Name, P.Source);
+    ASSERT_TRUE(C->ok());
+    auto PM = prepareModule(*C->TSA);
+    ASSERT_TRUE(PM) << P.Name;
+    EXPECT_EQ(PM->Units.size(), C->TSA->Methods.size());
+    EXPECT_GT(PM->totalCode(), 0u);
+    EXPECT_NE(PM->MainUnit, nullptr);
+    for (const auto &U : PM->Units) {
+      EXPECT_GE(U->NumSlots, U->NumArgs);
+      for (const ExecInst &In : U->Code) {
+        if (In.Dst != ExecInst::NoSlot) {
+          EXPECT_LT(In.Dst, U->NumSlots);
+        }
+        if (In.Op == XOp::Jmp || In.Op == XOp::BrFalse) {
+          EXPECT_LT(static_cast<size_t>(In.X), U->Code.size());
+        }
+        if (In.Handler >= 0) {
+          EXPECT_LT(static_cast<size_t>(In.Handler), U->Code.size());
+        }
+      }
+    }
+  }
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 #include "bytecode/BCCompiler.h"
 #include "bytecode/BCInterp.h"
 #include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
 #include "exec/TSAInterp.h"
 #include "opt/Optimizer.h"
 
@@ -41,6 +42,21 @@ Outcome runTSA(const std::string &Src, bool Optimize) {
   return {R.Err, RT.getOutput()};
 }
 
+Outcome runPrepared(const std::string &Src, bool Optimize) {
+  auto P = compileMJ("exec.mj", Src);
+  EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
+  if (Optimize)
+    optimizeModule(*P->TSA);
+  auto PM = prepareModule(*P->TSA);
+  EXPECT_TRUE(PM) << "prepareModule failed";
+  if (!PM)
+    return {RuntimeError::Internal, "<prepare failed>"};
+  Runtime RT(*P->Table);
+  TSAExec X(*PM, RT);
+  ExecResult R = X.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
 Outcome runBC(const std::string &Src) {
   auto P = compileMJ("exec.mj", Src, /*EmitTSA=*/false);
   EXPECT_TRUE(P->ok()) << P->renderDiagnostics();
@@ -52,8 +68,9 @@ Outcome runBC(const std::string &Src) {
   return {R.Err, RT.getOutput()};
 }
 
-/// Expects all three executions (TSA, optimized TSA, bytecode) to trap
-/// with \p Expected after printing \p Prefix.
+/// Expects all five executions (TSA and prepared TSA, each plain and
+/// optimized, plus bytecode) to trap with \p Expected after printing
+/// \p Prefix.
 void expectTrap(const std::string &Src, RuntimeError Expected,
                 const std::string &Prefix = "") {
   for (bool Opt : {false, true}) {
@@ -61,6 +78,10 @@ void expectTrap(const std::string &Src, RuntimeError Expected,
     EXPECT_EQ(O.Err, Expected)
         << "TSA (opt=" << Opt << "): " << runtimeErrorName(O.Err);
     EXPECT_EQ(O.Output, Prefix);
+    Outcome P = runPrepared(Src, Opt);
+    EXPECT_EQ(P.Err, Expected)
+        << "prepared (opt=" << Opt << "): " << runtimeErrorName(P.Err);
+    EXPECT_EQ(P.Output, Prefix);
   }
   Outcome O = runBC(Src);
   EXPECT_EQ(O.Err, Expected) << "BC: " << runtimeErrorName(O.Err);

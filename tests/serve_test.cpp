@@ -15,6 +15,7 @@
 
 #include "corpus/Corpus.h"
 #include "driver/BatchCompiler.h"
+#include "exec/ExecUnit.h"
 #include "exec/TSAInterp.h"
 #include "serve/CodeClient.h"
 #include "serve/CodeServer.h"
@@ -459,6 +460,110 @@ TEST(Serve, WarmCacheServesWithoutRedecode) {
   EXPECT_GE(S.CacheHits, Digests.size());
 }
 
+// Preparation cost is amortized exactly like decoding: the first
+// loadPrepared of a digest lowers the module once; every later one — from
+// any thread — returns the same prepared unit with zero re-lowering.
+TEST(Serve, WarmCacheServesPreparedWithoutRelowering) {
+  CodeServer Server;
+  std::vector<Digest> Digests;
+  for (const CorpusProgram &P : getCorpus()) {
+    std::string Err;
+    Digests.push_back(
+        Server.publish(ByteSpan(encodeProgram(P.Name, P.Source)), &Err));
+    ASSERT_TRUE(Err.empty()) << Err;
+  }
+  EXPECT_EQ(Server.stats().CachePrepares, 0u); // Publish never lowers.
+
+  std::vector<std::shared_ptr<const PreparedModule>> First;
+  for (const Digest &D : Digests) {
+    std::string Err;
+    First.push_back(Server.loadPrepared(D, &Err));
+    ASSERT_TRUE(First.back()) << Err;
+  }
+  EXPECT_EQ(Server.stats().CachePrepares, Digests.size());
+  // Zero decodes either: the verdict cache was warm from publish.
+  EXPECT_EQ(Server.stats().CacheDecodes, Digests.size());
+
+  for (size_t I = 0; I != Digests.size(); ++I) {
+    std::string Err;
+    auto Again = Server.loadPrepared(Digests[I], &Err);
+    ASSERT_TRUE(Again) << Err;
+    EXPECT_EQ(Again.get(), First[I].get()) << "warm hit re-lowered";
+  }
+  EXPECT_EQ(Server.stats().CachePrepares, Digests.size());
+
+  // A single-flight storm on one fresh server lowers exactly once.
+  {
+    CodeServer S2;
+    std::string Err;
+    Digest D = S2.publish(ByteSpan(encodeProgram(
+                              "storm.mj", "class Main { static void main() { "
+                                          "IO.printInt(1); } }")),
+                          &Err);
+    ASSERT_TRUE(Err.empty()) << Err;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> Threads;
+    std::atomic<unsigned> Failures{0};
+    for (unsigned T = 0; T != kThreads; ++T)
+      Threads.emplace_back([&] {
+        std::string E;
+        if (!S2.loadPrepared(D, &E))
+          ++Failures;
+      });
+    for (auto &T : Threads)
+      T.join();
+    EXPECT_EQ(Failures.load(), 0u);
+    EXPECT_EQ(S2.stats().CachePrepares, 1u);
+  }
+
+  // The prepared form a server hands out actually runs, and matches the
+  // tree-walked decoded module it was lowered from.
+  std::string Err;
+  auto Unit = Server.load(Digests.front(), &Err);
+  ASSERT_TRUE(Unit) << Err;
+  Runtime RTX(*Unit->Table);
+  TSAExec X(*First.front(), RTX);
+  ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  EXPECT_EQ(RTX.getOutput(), runUnit(*Unit));
+}
+
+// The prepared unit must stay valid even after the cache entry it was
+// lowered from is evicted (the keep-alive deleter owns the decoded unit).
+TEST(Serve, PreparedUnitSurvivesCacheEviction) {
+  CodeServerOptions Opts;
+  Opts.CacheBytes = 1; // Every admission evicts the previous entry.
+  Opts.CacheShards = 1;
+  CodeServer Server(Opts);
+  std::string Err;
+  Digest A = Server.publish(
+      ByteSpan(encodeProgram(
+          "evict_a.mj",
+          "class Main { static void main() { IO.printInt(11); } }")),
+      &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  auto PA = Server.loadPrepared(A, &Err);
+  ASSERT_TRUE(PA) << Err;
+
+  // Push A out of the cache.
+  Digest B = Server.publish(
+      ByteSpan(encodeProgram(
+          "evict_b.mj",
+          "class Main { static void main() { IO.printInt(22); } }")),
+      &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  ASSERT_TRUE(Server.loadPrepared(B, &Err)) << Err;
+
+  Runtime RT(*PA->Module->Table);
+  TSAExec X(*PA, RT);
+  ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  EXPECT_EQ(RT.getOutput(), "11");
+
+  // A cold loadPrepared of the evicted digest decodes and lowers anew.
+  auto PA2 = Server.loadPrepared(A, &Err);
+  ASSERT_TRUE(PA2) << Err;
+  EXPECT_NE(PA2.get(), PA.get());
+}
+
 //===----------------------------------------------------------------------===//
 // Store persistence
 //===----------------------------------------------------------------------===//
@@ -522,6 +627,7 @@ TEST(Serve, BatchPublishAfterEncodeAndCachedLoad) {
   BatchOptions Opts;
   Opts.Threads = 4;
   Opts.PublishTo = &Server;
+  Opts.PrepareExec = true;
   BatchCompiler BC(Opts);
 
   std::vector<BatchJob> Jobs;
@@ -549,11 +655,18 @@ TEST(Serve, BatchPublishAfterEncodeAndCachedLoad) {
   for (size_t I = 0; I != Loads.size(); ++I) {
     ASSERT_TRUE(Loads[I].ok()) << Loads[I].Error;
     ASSERT_TRUE(Loads[I].Unit);
-    // Duplicates share the identical decoded module.
+    // Duplicates share the identical decoded module AND prepared form.
     EXPECT_EQ(Loads[I].Unit.get(),
               Loads[I % Digests.size()].Unit.get());
+    ASSERT_TRUE(Loads[I].Prepared);
+    EXPECT_EQ(Loads[I].Prepared.get(),
+              Loads[I % Digests.size()].Prepared.get());
+    EXPECT_EQ(Loads[I].Prepared->Module, Loads[I].Unit->Module.get());
   }
   EXPECT_EQ(Server.stats().CacheDecodes, DecodesAfterPublish);
+  // One lowering per distinct digest, despite duplicates racing across
+  // four workers (single-flight on the prepare path too).
+  EXPECT_EQ(Server.stats().CachePrepares, Digests.size());
 
   // The decoded modules really are the published programs.
   std::string Err;
