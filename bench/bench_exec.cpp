@@ -10,7 +10,12 @@
 /// interpreters (outputs cross-checked every run), the corpus geomean
 /// speedup (acceptance: prepared >= 3x), the one-time lowering cost that
 /// speedup has to amortize, and prepared-execution throughput at 1/4/8
-/// threads sharing one PreparedModule per program. Emits BENCH_exec.json.
+/// threads sharing one PreparedModule per program. A second section
+/// re-quickens every profiled module to tier 1 (inline caches,
+/// devirtualization, superinstruction fusion) and times it against the
+/// tier-0 profiling interpreter; the call-heavy subset — programs whose
+/// profile recorded at least one virtual dispatch — carries its own
+/// geomean (acceptance: tier 1 >= 1.25x). Emits BENCH_exec.json.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -178,15 +183,118 @@ int main() {
     Json.add(Key, Sweeps, "sweeps/s");
   }
 
+  // Tier 1: every module was profiled by the timing loop above (tier 0
+  // records receiver classes and invocation counts as it runs), so
+  // re-quickening here resolves inline caches from a hot, settled
+  // profile — exactly what ModuleCache does when a module crosses the
+  // hot threshold. Parity is re-checked against the tree-walker before
+  // any timing, then tier 1 is timed at the same rep counts as tier 0.
+  std::printf("\nTier 1 (profile-guided re-quickening) vs tier 0:\n");
+  std::printf("%-20s | %10s %10s | %7s\n", "Program", "t0 us", "t1 us",
+              "speedup");
+  std::printf("---------------------+-----------------------+--------\n");
+  double ReprepareSeconds = 0;
+  double T1LogSum = 0, CallLogSum = 0;
+  unsigned CallCount = 0;
+  uint64_t FusedTotal = 0, MonoTotal = 0, PolyTotal = 0;
+  uint64_t ICHitsTotal = 0, ICMissesTotal = 0;
+  for (ProgramRun &R : Runs) {
+    const bool CallHeavy = R.Prepared->Profile &&
+                           R.Prepared->Profile->totalDispatchSamples() > 0;
+    Clock::time_point Start = Clock::now();
+    auto T1 = reprepareModule(*R.Prepared);
+    ReprepareSeconds += secondsSince(Start);
+    if (!T1) {
+      std::fprintf(stderr, "%s failed to re-quicken\n", R.Name.c_str());
+      return 1;
+    }
+
+    std::string TreeOut, T1Out;
+    ExecResult TR = runTree(*R.Program->TSA, *R.Program->Table, &TreeOut);
+    ExecResult PR = runPrep(*T1, *R.Program->Table, &T1Out);
+    if (TR.Err != PR.Err || TreeOut != T1Out) {
+      std::fprintf(stderr, "%s tier-1 diverged from tree-walk: %s vs %s\n",
+                   R.Name.c_str(), runtimeErrorName(TR.Err),
+                   runtimeErrorName(PR.Err));
+      return 1;
+    }
+
+    // Re-measure tier 0 here, interleaved with tier 1 and keeping the
+    // best of five rounds per side: the earlier tier-0 table ran
+    // minutes ago under different cache/frequency conditions, noise only
+    // ever adds time, and the ratio is what the acceptance gate checks.
+    double T0Seconds = R.PrepSeconds, T1Seconds = 1e30;
+    for (unsigned Round = 0; Round != 5; ++Round) {
+      T0Seconds = std::min(
+          T0Seconds, timePerRun(R.Reps, [&] {
+            runPrep(*R.Prepared, *R.Program->Table);
+          }));
+      T1Seconds = std::min(
+          T1Seconds,
+          timePerRun(R.Reps, [&] { runPrep(*T1, *R.Program->Table); }));
+    }
+    double Speedup = T0Seconds / T1Seconds;
+    T1LogSum += std::log(Speedup);
+    if (CallHeavy) {
+      CallLogSum += std::log(Speedup);
+      ++CallCount;
+    }
+    std::printf("%-20s | %10.1f %10.1f | %6.2fx  %s%s\n", R.Name.c_str(),
+                T0Seconds * 1e6, T1Seconds * 1e6, Speedup,
+                CallHeavy ? "[call-heavy] " : "",
+                renderTierSummary(*T1).c_str());
+    Json.add("tier1_speedup/" + R.Name, Speedup, "x");
+
+    for (unsigned Op = static_cast<unsigned>(XOp::BrCmpLtI);
+         Op <= static_cast<unsigned>(XOp::MoveJmp); ++Op)
+      FusedTotal += T1->countOp(static_cast<XOp>(Op));
+    MonoTotal += T1->countOp(XOp::DispatchMono);
+    PolyTotal += T1->countOp(XOp::DispatchIC);
+    ICHitsTotal += T1->ICHits.load();
+    ICMissesTotal += T1->ICMisses.load();
+  }
+  double T1Geomean = std::exp(T1LogSum / Runs.size());
+  double CallGeomean =
+      CallCount ? std::exp(CallLogSum / CallCount) : 1.0;
+  std::printf("---------------------+-----------------------+--------\n");
+  std::printf("%-20s | %21s | %6.2fx\n", "GEOMEAN (all)", "", T1Geomean);
+  std::printf("%-20s | %21s | %6.2fx  (acceptance: >= 1.25x, %u programs)\n",
+              "GEOMEAN (call-heavy)", "", CallGeomean, CallCount);
+  std::printf("\nRe-quickening cost: %.2fms total; %llu mono + %llu poly "
+              "sites, %llu fused insts; %llu IC hits / %llu misses during "
+              "timing\n",
+              ReprepareSeconds * 1e3,
+              static_cast<unsigned long long>(MonoTotal),
+              static_cast<unsigned long long>(PolyTotal),
+              static_cast<unsigned long long>(FusedTotal),
+              static_cast<unsigned long long>(ICHitsTotal),
+              static_cast<unsigned long long>(ICMissesTotal));
+
   Json.add("geomean_speedup", Geomean, "x");
   Json.add("prepare_ms_total", PrepareSeconds * 1e3, "ms");
   Json.add("prepared_insts_total", static_cast<double>(TotalCode), "insts");
+  Json.add("tier1_geomean", T1Geomean, "x");
+  Json.add("tier1_geomean_callheavy", CallGeomean, "x");
+  Json.add("tier1_callheavy_programs", static_cast<double>(CallCount), "");
+  Json.add("reprepare_ms_total", ReprepareSeconds * 1e3, "ms");
+  Json.add("tier1_mono_sites", static_cast<double>(MonoTotal), "sites");
+  Json.add("tier1_poly_sites", static_cast<double>(PolyTotal), "sites");
+  Json.add("tier1_fused_insts", static_cast<double>(FusedTotal), "insts");
+  Json.add("tier1_ic_hits", static_cast<double>(ICHitsTotal), "");
+  Json.add("tier1_ic_misses", static_cast<double>(ICMissesTotal), "");
   Json.write();
 
+  bool Failed = false;
   if (Geomean < 3.0) {
     std::fprintf(stderr, "FAIL: geomean speedup %.2fx below 3x target\n",
                  Geomean);
-    return 1;
+    Failed = true;
   }
-  return 0;
+  if (CallCount && CallGeomean < 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: tier-1 call-heavy geomean %.2fx below 1.25x target\n",
+                 CallGeomean);
+    Failed = true;
+  }
+  return Failed ? 1 : 0;
 }

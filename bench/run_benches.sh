@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Runs the tracked benchmark suites and drops their machine-readable
+# results (BENCH_exec.json, BENCH_serve.json) at the repository root so
+# the perf trajectory is comparable across checkouts.
+#
+# Usage: bench/run_benches.sh [build-dir]
+#   build-dir defaults to ./build (must already be configured and built;
+#   `cmake --build <build-dir> --target bench_exec bench_serve` first).
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+BENCH_DIR="$BUILD_DIR/bench"
+
+for BIN in bench_exec bench_serve; do
+  if [ ! -x "$BENCH_DIR/$BIN" ]; then
+    echo "error: $BENCH_DIR/$BIN not found or not executable." >&2
+    echo "Build it with: cmake --build \"$BUILD_DIR\" --target $BIN" >&2
+    exit 1
+  fi
+done
+
+export SAFETSA_BENCH_DIR="$REPO_ROOT"
+
+echo "== bench_exec (tree-walk vs tier 0 vs tier 1) =="
+"$BENCH_DIR/bench_exec"
+
+echo
+echo "== bench_serve (distribution layer) =="
+"$BENCH_DIR/bench_serve"
+
+echo
+echo "Results: $REPO_ROOT/BENCH_exec.json $REPO_ROOT/BENCH_serve.json"

@@ -46,7 +46,7 @@ const char *safetsa::xopName(XOp Op) {
 static int32_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
 
 TSAExec::TSAExec(const PreparedModule &PM, Runtime &RT, ExecOptions Opts)
-    : PM(PM), RT(RT), Opts(Opts) {
+    : PM(PM), RT(RT), Opts(Opts), Prof(PM.Profile.get()) {
   const char *Env = std::getenv("SAFETSA_EXEC_ORACLE");
   if (Env && *Env && !(Env[0] == '0' && Env[1] == '\0'))
     this->Opts.TreeWalkOracle = true;
@@ -70,6 +70,13 @@ ExecResult TSAExec::call(const ExecUnit *Unit, const std::vector<Value> &Args) {
   Depth = 1;
   R.Err = execute(*Unit, 0);
   Depth = 0;
+  // IC tallies stay thread-local while executing and publish once per
+  // top-level call, keeping shared-cacheline traffic out of the hot loop.
+  if (LocalICHits || LocalICMisses) {
+    PM.ICHits.fetch_add(LocalICHits, std::memory_order_relaxed);
+    PM.ICMisses.fetch_add(LocalICMisses, std::memory_order_relaxed);
+    LocalICHits = LocalICMisses = 0;
+  }
   if (R.ok())
     R.Ret = RetVal;
   return R;
@@ -117,11 +124,42 @@ void TSAExec::runOracle(ExecResult &R) {
 }
 
 RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
+  // Tier 0: one relaxed counter bump per activation feeds the hotness
+  // trigger (ModuleCache polls ProfileData::anyHot). Null at tier 1.
+  if (Prof)
+    Prof->recordInvocation(U.Index);
   const ExecInst *Code = U.Code.data();
   Value *R = RegStack.data() + Base;
   size_t PC = 0;
   const ExecInst *In = nullptr;
   Type *CharTy = PM.Module->Types->getChar();
+
+// Shared call sequence for every direct/dispatched unit call: frame
+// push, recursive execute, frame pop, trap propagation, result store.
+// Expects a non-null callee.
+#define SAFETSA_INVOKE(CALLEE)                                               \
+  do {                                                                       \
+    const ExecUnit *Callee_ = (CALLEE);                                      \
+    if (Depth >= MaxDepth)                                                   \
+      SAFETSA_TRAP(RuntimeError::StackOverflow);                             \
+    size_t CB = Base + U.NumSlots;                                           \
+    if (RegStack.size() < CB + Callee_->NumSlots) {                          \
+      RegStack.resize(std::max(RegStack.size() * 2,                          \
+                               CB + static_cast<size_t>(Callee_->NumSlots)));\
+      R = RegStack.data() + Base;                                            \
+    }                                                                        \
+    const uint16_t *As_ = U.ArgPool.data() + In->X;                          \
+    for (unsigned I_ = 0; I_ != In->N; ++I_)                                 \
+      RegStack[CB + I_] = R[As_[I_]];                                        \
+    ++Depth;                                                                 \
+    RuntimeError E_ = execute(*Callee_, CB);                                 \
+    --Depth;                                                                 \
+    R = RegStack.data() + Base; /* Callee may have grown the stack. */       \
+    if (E_ != RuntimeError::None)                                            \
+      SAFETSA_TRAP(E_); /* Callee traps surface at this call site. */        \
+    if (In->Dst != ExecInst::NoSlot)                                         \
+      R[In->Dst] = RetVal;                                                   \
+  } while (0)
 
 // A trap transfers to the raising site's pre-resolved handler stub when
 // the error is one an MJ catch-all intercepts; otherwise it unwinds.
@@ -447,25 +485,7 @@ DispatchLoop:
     const ExecUnit *Callee = static_cast<const ExecUnit *>(In->P);
     if (!Callee)
       SAFETSA_TRAP(RuntimeError::Internal); // No body; unwinds (uncatchable).
-    if (Depth >= MaxDepth)
-      SAFETSA_TRAP(RuntimeError::StackOverflow);
-    size_t CB = Base + U.NumSlots;
-    if (RegStack.size() < CB + Callee->NumSlots) {
-      RegStack.resize(std::max(RegStack.size() * 2,
-                               CB + static_cast<size_t>(Callee->NumSlots)));
-      R = RegStack.data() + Base;
-    }
-    const uint16_t *As = U.ArgPool.data() + In->X;
-    for (unsigned I = 0; I != In->N; ++I)
-      RegStack[CB + I] = R[As[I]];
-    ++Depth;
-    RuntimeError E = execute(*Callee, CB);
-    --Depth;
-    R = RegStack.data() + Base; // Callee may have grown the stack.
-    if (E != RuntimeError::None)
-      SAFETSA_TRAP(E); // Callee traps surface at this call site.
-    if (In->Dst != ExecInst::NoSlot)
-      R[In->Dst] = RetVal;
+    SAFETSA_INVOKE(Callee);
   }
   SAFETSA_NEXT();
 
@@ -489,28 +509,147 @@ DispatchLoop:
     assert(MS->VTableSlot >= 0 &&
            static_cast<size_t>(MS->VTableSlot) < Cell.Class->VTable.size() &&
            "bad vtable slot");
+    // Tier 0: feed the receiver-class profile for this site.
+    if (Prof && In->S >= 0)
+      Prof->site(static_cast<uint32_t>(In->S)).record(Cell.Class);
     const MethodSymbol *Target = Cell.Class->VTable[MS->VTableSlot];
     const ExecUnit *Callee = PM.unitFor(Target);
     if (!Callee)
       SAFETSA_TRAP(RuntimeError::Internal); // Vtables never hold natives.
-    if (Depth >= MaxDepth)
-      SAFETSA_TRAP(RuntimeError::StackOverflow);
-    size_t CB = Base + U.NumSlots;
-    if (RegStack.size() < CB + Callee->NumSlots) {
-      RegStack.resize(std::max(RegStack.size() * 2,
-                               CB + static_cast<size_t>(Callee->NumSlots)));
-      R = RegStack.data() + Base;
+    SAFETSA_INVOKE(Callee);
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(DispatchMono) {
+    // Tier 1, profiled-monomorphic site: one receiver-class guard buys a
+    // direct call; a guard miss falls back to the vtable and counts.
+    const ICEntry &E = U.ICs[In->S];
+    const uint16_t *As = U.ArgPool.data() + In->X;
+    const HeapCell &Cell = RT.cell(R[As[0]].R);
+    const ExecUnit *Callee;
+    if (Cell.Class == E.Classes[0]) {
+      ++LocalICHits;
+      Callee = E.Targets[0];
+    } else {
+      ++LocalICMisses;
+      Callee = PM.unitFor(Cell.Class->VTable[E.Method->VTableSlot]);
+      if (!Callee)
+        SAFETSA_TRAP(RuntimeError::Internal);
     }
-    for (unsigned I = 0; I != In->N; ++I)
-      RegStack[CB + I] = R[As[I]];
-    ++Depth;
-    RuntimeError E = execute(*Callee, CB);
-    --Depth;
-    R = RegStack.data() + Base;
-    if (E != RuntimeError::None)
-      SAFETSA_TRAP(E);
-    if (In->Dst != ExecInst::NoSlot)
-      R[In->Dst] = RetVal;
+    SAFETSA_INVOKE(Callee);
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(DispatchIC) {
+    // Tier 1, polymorphic site: bounded linear guard scan in profile
+    // order (hottest-first in the common first-seen-hottest case).
+    const ICEntry &E = U.ICs[In->S];
+    const uint16_t *As = U.ArgPool.data() + In->X;
+    const HeapCell &Cell = RT.cell(R[As[0]].R);
+    const ExecUnit *Callee = nullptr;
+    for (unsigned W = 0; W != E.Ways; ++W)
+      if (Cell.Class == E.Classes[W]) {
+        Callee = E.Targets[W];
+        break;
+      }
+    if (Callee) {
+      ++LocalICHits;
+    } else {
+      ++LocalICMisses;
+      Callee = PM.unitFor(Cell.Class->VTable[E.Method->VTableSlot]);
+      if (!Callee)
+        SAFETSA_TRAP(RuntimeError::Internal);
+    }
+    SAFETSA_INVOKE(Callee);
+  }
+  SAFETSA_NEXT();
+
+// Superinstructions (tier 1). Each fused handler performs both fused
+// operations — including the first member's Dst write, so the effect is
+// bit-identical to the two-instruction expansion — then steps over the
+// dead shadow slot holding the pair's second member. One fuel unit per
+// fused pair (OutOfFuel is already excluded from oracle comparisons).
+// Each arm takes a real conditional branch and re-dispatches on its own
+// (two indirect jumps per opcode under computed goto): a `PC = T ? a : b`
+// select would compile to a cmov whose result feeds the next instruction
+// fetch, serializing the dispatch chain and costing more than the two
+// unfused instructions it replaces on branch-dense code.
+#define SAFETSA_BRCMP(CMP)                                                   \
+  {                                                                          \
+    bool T_ = (CMP);                                                         \
+    R[In->Dst] = Value::makeBool(T_);                                        \
+    if (T_) {                                                                \
+      ++PC; /* Skip the shadow slot. */                                      \
+      SAFETSA_NEXT();                                                        \
+    }                                                                        \
+    PC = static_cast<size_t>(In->X);                                         \
+  }                                                                          \
+  SAFETSA_NEXT()
+
+  SAFETSA_CASE(BrCmpLtI) SAFETSA_BRCMP(R[In->A].I < R[In->B].I);
+  SAFETSA_CASE(BrCmpLeI) SAFETSA_BRCMP(R[In->A].I <= R[In->B].I);
+  SAFETSA_CASE(BrCmpGtI) SAFETSA_BRCMP(R[In->A].I > R[In->B].I);
+  SAFETSA_CASE(BrCmpGeI) SAFETSA_BRCMP(R[In->A].I >= R[In->B].I);
+  SAFETSA_CASE(BrCmpEqI) SAFETSA_BRCMP(R[In->A].I == R[In->B].I);
+  SAFETSA_CASE(BrCmpNeI) SAFETSA_BRCMP(R[In->A].I != R[In->B].I);
+  SAFETSA_CASE(BrCmpLtD) SAFETSA_BRCMP(R[In->A].D < R[In->B].D);
+  SAFETSA_CASE(BrCmpLeD) SAFETSA_BRCMP(R[In->A].D <= R[In->B].D);
+  SAFETSA_CASE(BrCmpGtD) SAFETSA_BRCMP(R[In->A].D > R[In->B].D);
+  SAFETSA_CASE(BrCmpGeD) SAFETSA_BRCMP(R[In->A].D >= R[In->B].D);
+  SAFETSA_CASE(BrCmpEqD) SAFETSA_BRCMP(R[In->A].D == R[In->B].D);
+  SAFETSA_CASE(BrCmpNeD) SAFETSA_BRCMP(R[In->A].D != R[In->B].D);
+#undef SAFETSA_BRCMP
+
+  SAFETSA_CASE(Move2) {
+    // Phi-edge parallel copy pair, in source order (the second copy may
+    // read the first's destination).
+    R[In->Dst] = R[In->A];
+    R[In->B] = R[In->C];
+    ++PC; // Skip the shadow slot.
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(MoveJmp) {
+    R[In->Dst] = R[In->A];
+    PC = static_cast<size_t>(In->X); // Shadow Jmp is never reached.
+  }
+  SAFETSA_NEXT();
+
+  SAFETSA_CASE(NullGetField) {
+    Value V = R[In->A];
+    if (V.R == 0)
+      SAFETSA_TRAP(RuntimeError::NullPointer); // Before the cert write.
+    R[In->Dst] = V; // Certificate slot, as the unfused pair writes it.
+    R[In->C] = RT.cell(V.R).Slots[In->X];
+    ++PC; // Skip the shadow slot.
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(NullSetField) {
+    Value V = R[In->A];
+    if (V.R == 0)
+      SAFETSA_TRAP(RuntimeError::NullPointer);
+    R[In->Dst] = V;
+    RT.cell(V.R).Slots[In->X] = R[In->C];
+    ++PC;
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(IdxGetElt) {
+    Value Idx = R[In->B];
+    const HeapCell &Cell = RT.cell(R[In->A].R);
+    if (Idx.I < 0 || static_cast<size_t>(Idx.I) >= Cell.Slots.size())
+      SAFETSA_TRAP(RuntimeError::IndexOutOfBounds);
+    R[In->Dst] = Idx; // Certificate slot.
+    R[In->C] = Cell.Slots[Idx.I];
+    ++PC;
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(IdxSetElt) {
+    Value Idx = R[In->B];
+    HeapCell &Cell = RT.cell(R[In->A].R);
+    if (Idx.I < 0 || static_cast<size_t>(Idx.I) >= Cell.Slots.size())
+      SAFETSA_TRAP(RuntimeError::IndexOutOfBounds);
+    R[In->Dst] = Idx;
+    Cell.Slots[Idx.I] = R[In->C];
+    ++PC;
   }
   SAFETSA_NEXT();
 
@@ -522,4 +661,5 @@ DispatchLoop:
 #undef SAFETSA_CASE
 #undef SAFETSA_NEXT
 #undef SAFETSA_TRAP
+#undef SAFETSA_INVOKE
 }

@@ -37,9 +37,11 @@
 #ifndef SAFETSA_EXEC_EXECUNIT_H
 #define SAFETSA_EXEC_EXECUNIT_H
 
+#include "exec/Profile.h"
 #include "exec/Runtime.h"
 #include "tsa/Method.h"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -50,6 +52,18 @@ namespace safetsa {
 /// Phi, Param, and Downcast have no prepared form (edge moves, argument
 /// slots, and a plain Move respectively); Primitive/XPrimitive quicken to
 /// one opcode per PrimOp so dispatch selects the operation directly.
+///
+/// The trailing block is the tier-1 vocabulary (DESIGN.md §11): inline-
+/// cached dispatches (DispatchMono / DispatchIC, indexing ExecUnit::ICs
+/// via ExecInst::S) and superinstructions fused from the hottest static
+/// pairs. BrCmp*I / BrCmp*D keep the six-compare order of their Cmp*
+/// blocks so fusion is a constant opcode offset; the memory
+/// superinstructions fuse a check with the access it guards (the check's
+/// certificate slot is still written, so every fused form is bit-identical
+/// in effect to its two-instruction expansion — no liveness analysis
+/// needed); Move2/MoveJmp collapse the flat-frame phi-edge copy chains.
+/// Fused forms MUST stay contiguous from BrCmpLtI through MoveJmp — the
+/// shadow-slot accounting in countOp range-checks that interval.
 #define SAFETSA_XOP_LIST(X)                                                  \
   X(Move) X(LoadConst) X(LoadStr) X(Jmp) X(BrFalse) X(RetVoid) X(RetVal)     \
   X(AddI) X(SubI) X(MulI) X(DivI) X(RemI) X(NegI) X(AndI) X(OrI) X(XorI)     \
@@ -59,7 +73,12 @@ namespace safetsa {
   X(CmpNeD) X(DoubleToInt) X(CharToInt) X(NotB) X(CmpEqB) X(CmpNeB)          \
   X(CmpEqR) X(CmpNeR) X(InstanceOf) X(NullCheck) X(IndexCheck) X(Upcast)     \
   X(GetField) X(SetField) X(GetElt) X(SetElt) X(GetStatic) X(SetStatic)      \
-  X(ArrayLength) X(New) X(NewArray) X(CallUnit) X(CallNative) X(Dispatch)
+  X(ArrayLength) X(New) X(NewArray) X(CallUnit) X(CallNative) X(Dispatch)    \
+  X(DispatchMono) X(DispatchIC)                                              \
+  X(BrCmpLtI) X(BrCmpLeI) X(BrCmpGtI) X(BrCmpGeI) X(BrCmpEqI) X(BrCmpNeI)    \
+  X(BrCmpLtD) X(BrCmpLeD) X(BrCmpGtD) X(BrCmpGeD) X(BrCmpEqD) X(BrCmpNeD)    \
+  X(NullGetField) X(NullSetField) X(IdxGetElt) X(IdxSetElt)                   \
+  X(Move2) X(MoveJmp)
 
 enum class XOp : uint8_t {
 #define SAFETSA_XOP_ENUM(N) N,
@@ -90,10 +109,29 @@ struct ExecInst {
   /// Catchable-trap continuation: code index of the exception-edge stub
   /// (phi moves, then the handler), or -1 when a trap here unwinds.
   int32_t Handler = -1;
+  /// Site index (fills alignment padding, so it is free): for a tier-0
+  /// Dispatch, the module-wide profile site in ProfileData::site(); for
+  /// DispatchMono/DispatchIC, the index into ExecUnit::ICs. -1 = no site
+  /// (unprofiled / megamorphic-demoted dispatch).
+  int32_t S = -1;
   /// Direct target: callee ExecUnit (CallUnit), MethodSymbol (CallNative /
   /// Dispatch), Type (InstanceOf / Upcast / NewArray), or ClassSymbol
   /// (New).
   const void *P = nullptr;
+};
+
+/// One resolved inline cache (tier 1): receiver-class guards with direct
+/// callee units, plus the statically-named method for the vtable fallback
+/// on a guard miss. Ways is 1 for a monomorphic site (DispatchMono) and
+/// 2..DispatchProfile::kWays for a polymorphic one (DispatchIC); sites
+/// whose profile overflowed are demoted to the plain Dispatch vtable
+/// path. Immutable after re-preparation, like all prepared state.
+struct ICEntry {
+  static constexpr unsigned kMaxWays = 4;
+  const ClassSymbol *Classes[kMaxWays] = {};
+  const ExecUnit *Targets[kMaxWays] = {};
+  uint8_t Ways = 0;
+  const MethodSymbol *Method = nullptr; ///< Fallback vtable lookup key.
 };
 
 /// One method lowered to executable form. Immutable after preparation;
@@ -103,6 +141,10 @@ class ExecUnit {
 public:
   const TSAMethod *Method = nullptr;
   const MethodSymbol *Symbol = nullptr;
+  /// Position in PreparedModule::Units; doubles as the method's profile
+  /// slot (ProfileData::invocations) and the stable identity the replay
+  /// tests compare cross-preparation unit pointers through.
+  uint32_t Index = 0;
   /// Frame size in Value slots: the reserved argument region [0, NumArgs)
   /// followed by one slot per non-Param SSA value (plane-table layout).
   uint32_t NumSlots = 0;
@@ -118,6 +160,9 @@ public:
   /// String constants; interned into the Runtime at first load per
   /// activation (LoadStr payload), exactly like the tree-walker.
   std::vector<const std::string *> StrPool;
+  /// Tier-1 inline caches (DispatchMono / DispatchIC sites, by
+  /// ExecInst::S); empty in tier 0.
+  std::vector<ICEntry> ICs;
 };
 
 /// A module lowered for execution. Holds no ownership of the source
@@ -131,6 +176,19 @@ public:
   /// methods. Dispatch resolves vtable targets through this table.
   std::vector<const ExecUnit *> ByGlobalId;
   const ExecUnit *MainUnit = nullptr; ///< `static main()`, when present.
+  /// Execution tier this module was lowered at: 0 = profiling tier
+  /// (plain PR-4 streams + side profile), 1 = optimized tier (inline
+  /// caches, devirtualization, superinstruction fusion).
+  uint32_t Tier = 0;
+  /// Tier-0 only: the side profile every executing TSAExec feeds
+  /// (allocated by prepareModule; null at tier 1). The pointee is
+  /// mutable-by-design — all counters are relaxed atomics — so profiling
+  /// works through the const module the cache shares.
+  std::unique_ptr<ProfileData> Profile;
+  /// Tier-1 runtime counters: guard hits / vtable fallbacks across every
+  /// executing thread (TSAExec flushes per-call local tallies here).
+  mutable std::atomic<uint64_t> ICHits{0};
+  mutable std::atomic<uint64_t> ICMisses{0};
 
   const ExecUnit *unitFor(const MethodSymbol *M) const {
     return M && M->GlobalId < ByGlobalId.size() ? ByGlobalId[M->GlobalId]
@@ -144,6 +202,29 @@ public:
       N += U->Code.size();
     return N;
   }
+
+  /// Executed instructions with opcode \p Op across all units (tier
+  /// introspection for tests/benches; skips the dead shadow slot behind
+  /// each fused superinstruction).
+  size_t countOp(XOp Op) const;
+};
+
+/// Knobs for prepareModule / reprepareModule. Tier 0 ignores everything
+/// but Tier; tier 1 consumes a tier-0 profile and applies the optimizing
+/// transforms, each individually maskable so differential parity can
+/// isolate a transform (the NoFusion flag the exec-tier tests toggle is
+/// also settable via the SAFETSA_EXEC_NOFUSION environment variable,
+/// mirroring SAFETSA_EXEC_ORACLE).
+struct PrepareOptions {
+  uint32_t Tier = 0;
+  /// Tier 1: skip superinstruction fusion (env: SAFETSA_EXEC_NOFUSION).
+  bool NoFusion = false;
+  /// Tier 1: skip inline caches and speculative/closed-world
+  /// devirtualization; dispatches stay on the vtable path.
+  bool NoInlineCaches = false;
+  /// Tier 1: receiver-class profiles gathered by tier-0 execution; null
+  /// means no speculation (only closed-world devirt and fusion apply).
+  const ProfileData *Profile = nullptr;
 };
 
 /// Lowers every method of \p Module once into prepared form. Requires a
@@ -153,6 +234,21 @@ public:
 /// programs, checked rather than assumed because decoded modules cross a
 /// trust boundary.
 std::unique_ptr<PreparedModule> prepareModule(const TSAModule &Module);
+std::unique_ptr<PreparedModule> prepareModule(const TSAModule &Module,
+                                              const PrepareOptions &Opts);
+
+/// Re-quickens a (hot) tier-0 module into tier 1 using its own gathered
+/// profile: profiled-monomorphic dispatch sites get a guarded direct
+/// call, polymorphic ones a bounded inline cache, megamorphic ones stay
+/// on the vtable, and the hottest static instruction pairs fuse into
+/// superinstructions. \p Opts.Tier and \p Opts.Profile are overridden;
+/// the mask flags are honored. Deterministic: the same module with the
+/// same profile yields the same tier-1 streams.
+std::unique_ptr<PreparedModule> reprepareModule(const PreparedModule &T0,
+                                                PrepareOptions Opts = {});
+
+/// One-line tier/IC/fusion summary (bench + debugging aid).
+std::string renderTierSummary(const PreparedModule &PM);
 
 struct ExecOptions {
   /// Differential oracle: after prepared execution, re-run the
@@ -194,6 +290,14 @@ private:
   const PreparedModule &PM;
   Runtime &RT;
   ExecOptions Opts;
+  /// Tier-0 profile sink (null at tier 1); shared across threads, all
+  /// writes relaxed-atomic.
+  ProfileData *Prof = nullptr;
+  /// Tier-1 IC tallies, kept thread-local during execution and flushed
+  /// to PM.ICHits/ICMisses once per top-level call (keeps the hot loop
+  /// free of shared-cacheline traffic).
+  uint64_t LocalICHits = 0;
+  uint64_t LocalICMisses = 0;
   /// Contiguous register stack; frames are [Base, Base + NumSlots) windows
   /// re-anchored after nested calls (growth may reallocate).
   std::vector<Value> RegStack;

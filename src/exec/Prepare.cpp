@@ -40,11 +40,25 @@
 /// the same block), and the prepared form must replay the oracle's
 /// read/write sequence exactly.
 ///
+/// Tiering (DESIGN.md §11): the same lowering runs at tier 0 (profiling)
+/// and tier 1 (optimizing). Dispatch sites are numbered module-wide in
+/// lowering order — deterministic, so a tier-1 pass reads exactly the
+/// profile slot its tier-0 twin wrote — and tier 1 additionally applies
+/// closed-world devirtualization, profile-guided inline caches, and a
+/// post-lowering superinstruction fusion peephole (fuseUnit below) that
+/// never changes code indices: the fused instruction keeps the first
+/// pair member's slot and the second member survives as a dead "shadow"
+/// slot the fused handler steps over, so every branch target, handler
+/// stub, and pending-edge patch stays valid verbatim.
+///
 //===----------------------------------------------------------------------===//
 
 #include "exec/ExecUnit.h"
 
+#include "sema/ClassTable.h"
+
 #include <cassert>
+#include <cstdlib>
 #include <unordered_map>
 
 using namespace safetsa;
@@ -53,8 +67,9 @@ namespace {
 
 class MethodLowerer {
 public:
-  MethodLowerer(const PreparedModule &PM, const TSAMethod &M, ExecUnit &U)
-      : PM(PM), M(M), U(U) {}
+  MethodLowerer(const PreparedModule &PM, const TSAMethod &M, ExecUnit &U,
+                const PrepareOptions &Opts, uint32_t &NextSite)
+      : PM(PM), M(M), U(U), Opts(Opts), NextSite(NextSite) {}
 
   /// False when the method exceeds prepared-form limits (frame slots or
   /// call arity); the unit is then unusable.
@@ -525,8 +540,8 @@ private:
         U.ArgPool.push_back(slot(Op));
       X.Dst = I.hasResult() ? slot(&I) : ExecInst::NoSlot;
       if (I.Op == Opcode::Dispatch) {
-        X.Op = XOp::Dispatch;
         X.P = I.Method; // Static target; vtable resolved per receiver.
+        lowerDispatch(I, X);
       } else if (I.Method->isNative()) {
         X.Op = XOp::CallNative;
         X.P = I.Method;
@@ -539,6 +554,77 @@ private:
     }
     OutIdx = static_cast<long>(emit(X));
     return true;
+  }
+
+  /// Tier-aware lowering of one virtual-call site. Every Dispatch burns a
+  /// module-wide site id in lowering order (even when the site is devirted
+  /// or demoted) so tier-0 and tier-1 passes agree on profile indices.
+  void lowerDispatch(const Instruction &I, ExecInst &X) {
+    uint32_t Site = NextSite++;
+    X.Op = XOp::Dispatch;
+    if (Opts.Tier == 0) {
+      X.S = static_cast<int32_t>(Site); // Tier 0 profiles into this slot.
+      return;
+    }
+    if (Opts.NoInlineCaches)
+      return;
+    // Closed-world devirtualization: MJ modules are whole programs, so
+    // when every class that can reach this site resolves the vtable slot
+    // to one unit, no guard is needed — the site becomes a direct call.
+    if (const ExecUnit *Only = closedWorldTarget(I.Method)) {
+      X.Op = XOp::CallUnit;
+      X.P = Only;
+      return;
+    }
+    // Speculative inline cache from the tier-0 receiver-class profile:
+    // 1 recorded class -> monomorphic guard, 2..kWays -> bounded PIC,
+    // overflow -> megamorphic demotion back to the plain vtable path.
+    const ProfileData *Prof = Opts.Profile;
+    if (!Prof || Site >= Prof->numSites())
+      return;
+    const DispatchProfile &DP = Prof->site(Site);
+    unsigned Ways = DP.distinct();
+    if (Ways == 0 || DP.megamorphic())
+      return;
+    ICEntry E;
+    E.Method = I.Method;
+    for (unsigned W = 0; W != Ways; ++W) {
+      const ClassSymbol *C = DP.Classes[W].load(std::memory_order_relaxed);
+      size_t Slot = static_cast<size_t>(I.Method->VTableSlot);
+      const MethodSymbol *T =
+          I.Method->VTableSlot >= 0 && Slot < C->VTable.size()
+              ? C->VTable[Slot]
+              : nullptr;
+      const ExecUnit *TU = PM.unitFor(T);
+      if (!TU)
+        return; // Native/bodyless override: keep the generic path.
+      E.Classes[W] = C;
+      E.Targets[W] = TU;
+    }
+    E.Ways = static_cast<uint8_t>(Ways);
+    X.Op = Ways == 1 ? XOp::DispatchMono : XOp::DispatchIC;
+    X.S = static_cast<int32_t>(U.ICs.size());
+    U.ICs.push_back(E);
+  }
+
+  /// The single unit every possible receiver of \p MS resolves to, or
+  /// null when receivers disagree (or any target lacks a body).
+  const ExecUnit *closedWorldTarget(const MethodSymbol *MS) const {
+    if (!MS->Owner || MS->VTableSlot < 0)
+      return nullptr;
+    size_t Slot = static_cast<size_t>(MS->VTableSlot);
+    const ExecUnit *Only = nullptr;
+    for (const auto &C : PM.Module->Table->getClasses()) {
+      if (!C->isSubclassOf(MS->Owner))
+        continue;
+      const MethodSymbol *T = Slot < C->VTable.size() ? C->VTable[Slot]
+                                                      : nullptr;
+      const ExecUnit *TU = PM.unitFor(T);
+      if (!TU || (Only && TU != Only))
+        return nullptr;
+      Only = TU;
+    }
+    return Only;
   }
 
   static Value constValue(const ConstantValue &C) {
@@ -561,6 +647,10 @@ private:
   const PreparedModule &PM;
   const TSAMethod &M;
   ExecUnit &U;
+  const PrepareOptions &Opts;
+  /// Module-wide dispatch-site counter, shared across units (profile
+  /// slot allocation at tier 0, profile lookup at tier 1).
+  uint32_t &NextSite;
 
   std::unordered_map<const Instruction *, uint16_t> Slot;
   std::unordered_map<const BasicBlock *, size_t> BlockEntry;
@@ -571,31 +661,153 @@ private:
   bool HaveFt = false;
 };
 
+/// Superinstruction fusion (tier 1): one peephole pass over a fully
+/// lowered and handler-patched unit. Fusable pairs (the hottest static
+/// pairs in this ISA — compare+branch and check+guarded-access):
+///
+///   Cmp{Lt,Le,Gt,Ge,Eq,Ne}I + BrFalse(cmp)      -> BrCmp*I
+///   Cmp{Lt,Le,Gt,Ge,Eq,Ne}D + BrFalse(cmp)      -> BrCmp*D
+///   NullCheck  + GetField(cert)                 -> NullGetField
+///   NullCheck  + SetField(cert, v)              -> NullSetField
+///   IndexCheck + GetElt(arr, cert)              -> IdxGetElt
+///   IndexCheck + SetElt(arr, cert, v)           -> IdxSetElt
+///   Move + Move                                 -> Move2
+///   Move + Jmp                                  -> MoveJmp
+///
+/// The move forms target the flat-frame phi-edge copies that run on
+/// every loop iteration (parallel copies before a back edge, then the
+/// jump itself): Move2 performs both copies in source order, MoveJmp
+/// folds the unconditional branch into the preceding copy.
+///
+/// The fused instruction overwrites the first member in place (keeping
+/// its Handler, so catchable traps transfer identically) and the second
+/// member stays behind as a dead shadow slot the handler steps over —
+/// code indices never move, so branch targets and handler stubs need no
+/// re-patching. A pair is skipped when its second member is a branch or
+/// handler target (jumping into the middle must still work). Fused forms
+/// still write the first member's Dst (the check certificate / compare
+/// result), so they are bit-identical in effect to their two-instruction
+/// expansion and need no liveness analysis.
+static void fuseUnit(ExecUnit &U) {
+  const size_t N = U.Code.size();
+  std::vector<bool> IsTarget(N + 1, false);
+  for (const ExecInst &X : U.Code) {
+    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse)
+      IsTarget[static_cast<size_t>(X.X)] = true;
+    if (X.Handler >= 0)
+      IsTarget[static_cast<size_t>(X.Handler)] = true;
+  }
+  for (size_t I = 0; I + 1 < N; ++I) {
+    if (IsTarget[I + 1])
+      continue;
+    ExecInst &A = U.Code[I];
+    const ExecInst &B = U.Code[I + 1];
+    if (A.Op >= XOp::CmpLtI && A.Op <= XOp::CmpNeI &&
+        B.Op == XOp::BrFalse && B.A == A.Dst) {
+      // BrCmp*I mirrors the Cmp*I order, so fusion is a constant offset.
+      A.Op = static_cast<XOp>(static_cast<unsigned>(XOp::BrCmpLtI) +
+                              (static_cast<unsigned>(A.Op) -
+                               static_cast<unsigned>(XOp::CmpLtI)));
+      A.X = B.X; // Branch target on false.
+      ++I;
+      continue;
+    }
+    if (A.Op >= XOp::CmpLtD && A.Op <= XOp::CmpNeD &&
+        B.Op == XOp::BrFalse && B.A == A.Dst) {
+      A.Op = static_cast<XOp>(static_cast<unsigned>(XOp::BrCmpLtD) +
+                              (static_cast<unsigned>(A.Op) -
+                               static_cast<unsigned>(XOp::CmpLtD)));
+      A.X = B.X;
+      ++I;
+      continue;
+    }
+    if (A.Op == XOp::Move && B.Op == XOp::Jmp) {
+      A.Op = XOp::MoveJmp;
+      A.X = B.X; // Unconditional target; the shadow Jmp is unreachable.
+      ++I;
+      continue;
+    }
+    if (A.Op == XOp::Move && B.Op == XOp::Move) {
+      // Both copies in source order: B may legally read A's destination.
+      A.Op = XOp::Move2;
+      A.B = B.Dst;
+      A.C = B.A;
+      ++I;
+      continue;
+    }
+    if (A.Op == XOp::NullCheck &&
+        (B.Op == XOp::GetField || B.Op == XOp::SetField) && B.A == A.Dst) {
+      // A: ref in A.A, certificate out A.Dst. Fused: field slot in X,
+      // result (Get) or value (Set) slot in C.
+      A.C = B.Op == XOp::GetField ? B.Dst : B.B;
+      A.X = B.X;
+      A.Op = B.Op == XOp::GetField ? XOp::NullGetField : XOp::NullSetField;
+      ++I;
+      continue;
+    }
+    if (A.Op == XOp::IndexCheck &&
+        (B.Op == XOp::GetElt || B.Op == XOp::SetElt) && B.A == A.A &&
+        B.B == A.Dst) {
+      // A: array in A.A, index in A.B, certificate out A.Dst. Fused:
+      // result (Get) or value (Set) slot in C.
+      A.C = B.Op == XOp::GetElt ? B.Dst : B.C;
+      A.Op = B.Op == XOp::GetElt ? XOp::IdxGetElt : XOp::IdxSetElt;
+      ++I;
+      continue;
+    }
+  }
+}
+
+static bool envFlag(const char *Name) {
+  const char *E = std::getenv(Name);
+  return E && *E && !(E[0] == '0' && E[1] == '\0');
+}
+
 } // namespace
 
 std::unique_ptr<PreparedModule>
 safetsa::prepareModule(const TSAModule &Module) {
+  return prepareModule(Module, PrepareOptions{});
+}
+
+std::unique_ptr<PreparedModule>
+safetsa::prepareModule(const TSAModule &Module, const PrepareOptions &Opts) {
   auto PM = std::make_unique<PreparedModule>();
   PM->Module = &Module;
+  PM->Tier = Opts.Tier;
   PM->ByGlobalId.assign(Module.Table->getAllMethods().size(), nullptr);
 
-  // Pass 1: shells, so cross-method calls take direct unit pointers.
+  // Pass 1: shells, so cross-method calls (and tier-1 IC targets) take
+  // direct unit pointers.
   for (const auto &M : Module.Methods) {
     auto U = std::make_unique<ExecUnit>();
     U->Method = M.get();
     U->Symbol = M->Symbol;
+    U->Index = static_cast<uint32_t>(PM->Units.size());
     if (M->Symbol->GlobalId >= PM->ByGlobalId.size())
       PM->ByGlobalId.resize(M->Symbol->GlobalId + 1, nullptr);
     PM->ByGlobalId[M->Symbol->GlobalId] = U.get();
     PM->Units.push_back(std::move(U));
   }
 
-  // Pass 2: lower every body.
+  // Pass 2: lower every body. NextSite numbers dispatch sites
+  // module-wide in lowering order (deterministic across preparations).
+  uint32_t NextSite = 0;
   for (auto &U : PM->Units) {
-    MethodLowerer L(*PM, *U->Method, *U);
+    MethodLowerer L(*PM, *U->Method, *U, Opts, NextSite);
     if (!L.run())
       return nullptr;
   }
+
+  // Pass 3 (tier 1): fuse after every handler stub and branch target has
+  // been patched, so the peephole sees final indices.
+  if (Opts.Tier >= 1 && !Opts.NoFusion && !envFlag("SAFETSA_EXEC_NOFUSION"))
+    for (auto &U : PM->Units)
+      fuseUnit(*U);
+
+  // Tier 0 carries the side profile the optimizing tier will consume.
+  if (Opts.Tier == 0)
+    PM->Profile = std::make_unique<ProfileData>(PM->Units.size(), NextSite);
 
   for (const auto &U : PM->Units) {
     const MethodSymbol *S = U->Symbol;
@@ -605,4 +817,11 @@ safetsa::prepareModule(const TSAModule &Module) {
     }
   }
   return PM;
+}
+
+std::unique_ptr<PreparedModule>
+safetsa::reprepareModule(const PreparedModule &T0, PrepareOptions Opts) {
+  Opts.Tier = 1;
+  Opts.Profile = T0.Profile.get();
+  return prepareModule(*T0.Module, Opts);
 }

@@ -1,0 +1,50 @@
+//===- exec/Profile.cpp - Profile/tier introspection ----------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecUnit.h"
+
+#include <cstdio>
+
+using namespace safetsa;
+
+/// Superinstructions occupy two code slots: the fused instruction plus
+/// the (never-dispatched) original second instruction kept behind it so
+/// every branch target and handler index survives fusion unchanged.
+static bool isFusedPair(XOp Op) {
+  // Fused forms are kept contiguous at the tail of SAFETSA_XOP_LIST.
+  return Op >= XOp::BrCmpLtI && Op <= XOp::MoveJmp;
+}
+
+size_t PreparedModule::countOp(XOp Op) const {
+  size_t N = 0;
+  for (const auto &U : Units)
+    for (size_t I = 0; I < U->Code.size(); ++I) {
+      if (U->Code[I].Op == Op)
+        ++N;
+      if (isFusedPair(U->Code[I].Op))
+        ++I; // The shadow slot is dead code; do not count it.
+    }
+  return N;
+}
+
+std::string safetsa::renderTierSummary(const PreparedModule &PM) {
+  char Buf[256];
+  size_t Fused = 0;
+  for (unsigned Op = static_cast<unsigned>(XOp::BrCmpLtI);
+       Op <= static_cast<unsigned>(XOp::MoveJmp); ++Op)
+    Fused += PM.countOp(static_cast<XOp>(Op));
+  std::snprintf(Buf, sizeof(Buf),
+                "tier=%u units=%zu insts=%zu mono=%zu poly=%zu "
+                "vtable=%zu direct=%zu fused=%zu ichits=%llu icmisses=%llu",
+                PM.Tier, PM.Units.size(), PM.totalCode(),
+                PM.countOp(XOp::DispatchMono), PM.countOp(XOp::DispatchIC),
+                PM.countOp(XOp::Dispatch), PM.countOp(XOp::CallUnit), Fused,
+                static_cast<unsigned long long>(
+                    PM.ICHits.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    PM.ICMisses.load(std::memory_order_relaxed)));
+  return Buf;
+}

@@ -1,0 +1,154 @@
+//===- exec/Profile.h - Tier-0 execution profiles -------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side-table execution profiles gathered by tier-0 (profiling) execution
+/// of a PreparedModule: per-method invocation counters and bounded
+/// per-call-site receiver-class profiles for virtual dispatches.
+///
+/// The tables live *beside* the ExecInst streams, never inside them: the
+/// prepared code stays immutable and shareable, and every counter is a
+/// relaxed atomic, so any number of TSAExec instances can execute (and
+/// profile) one PreparedModule concurrently with no races (TSan-proved
+/// by the exec-tier tests). Profiling writes are cheap — one fetch_add
+/// per activation, one bounded scan + fetch_add per virtual dispatch —
+/// which is what lets tier 0 profile always-on.
+///
+/// When a method crosses the hot threshold, reprepareModule() consumes
+/// the profile and produces a tier-1 stream with inline caches,
+/// speculative devirtualization, and superinstruction fusion (see
+/// ExecUnit.h and DESIGN.md §11). The IC state machine is resolved at
+/// re-preparation time from the recorded classes: one distinct receiver
+/// class -> monomorphic cache, up to kWays -> polymorphic cache, more
+/// (Overflow != 0) -> megamorphic demotion back to the plain vtable
+/// dispatch. Because recording is first-seen-ordered and re-preparation
+/// only reads, identical executions yield identical tier-1 streams — the
+/// determinism the replay tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_EXEC_PROFILE_H
+#define SAFETSA_EXEC_PROFILE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace safetsa {
+
+struct ClassSymbol;
+
+/// Bounded receiver-class profile for one virtual-dispatch site.
+/// Classes are claimed first-seen via CAS; samples of classes beyond the
+/// kWays distinct ones land in Overflow (the megamorphic signal).
+struct DispatchProfile {
+  static constexpr unsigned kWays = 4;
+
+  std::atomic<const ClassSymbol *> Classes[kWays];
+  std::atomic<uint64_t> Counts[kWays];
+  std::atomic<uint64_t> Overflow;
+
+  DispatchProfile() : Overflow(0) {
+    for (unsigned I = 0; I != kWays; ++I) {
+      Classes[I].store(nullptr, std::memory_order_relaxed);
+      Counts[I].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Records one dispatch with receiver class \p C. Lock-free; safe from
+  /// any number of threads.
+  void record(const ClassSymbol *C) {
+    for (unsigned I = 0; I != kWays; ++I) {
+      const ClassSymbol *Cur = Classes[I].load(std::memory_order_relaxed);
+      if (Cur == nullptr) {
+        // Claim the first free way; on a lost race fall through to
+        // whatever the winner installed.
+        if (Classes[I].compare_exchange_strong(Cur, C,
+                                               std::memory_order_relaxed))
+          Cur = C;
+      }
+      if (Cur == C) {
+        Counts[I].fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    Overflow.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Number of distinct receiver classes recorded (<= kWays).
+  unsigned distinct() const {
+    unsigned N = 0;
+    while (N != kWays && Classes[N].load(std::memory_order_relaxed))
+      ++N;
+    return N;
+  }
+
+  /// Total samples, including overflow.
+  uint64_t total() const {
+    uint64_t T = Overflow.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != kWays; ++I)
+      T += Counts[I].load(std::memory_order_relaxed);
+    return T;
+  }
+
+  bool megamorphic() const {
+    return Overflow.load(std::memory_order_relaxed) != 0;
+  }
+};
+
+/// The full profile side table for one tier-0 PreparedModule. Sized at
+/// preparation time (one slot per unit, one DispatchProfile per lowered
+/// Dispatch site, module-wide); indices are baked into ExecUnit::Index
+/// and ExecInst::S so recording is a direct array access.
+class ProfileData {
+public:
+  ProfileData(size_t NumUnits, size_t NumSites)
+      : Invocations(NumUnits), Sites(NumSites) {
+    for (auto &C : Invocations)
+      C.store(0, std::memory_order_relaxed);
+  }
+
+  void recordInvocation(uint32_t UnitIdx) {
+    Invocations[UnitIdx].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t invocations(uint32_t UnitIdx) const {
+    return Invocations[UnitIdx].load(std::memory_order_relaxed);
+  }
+
+  DispatchProfile &site(uint32_t SiteIdx) { return Sites[SiteIdx]; }
+  const DispatchProfile &site(uint32_t SiteIdx) const {
+    return Sites[SiteIdx];
+  }
+
+  size_t numUnits() const { return Invocations.size(); }
+  size_t numSites() const { return Sites.size(); }
+
+  /// True when any method has been entered at least \p Threshold times —
+  /// the re-quickening trigger the cache polls.
+  bool anyHot(uint64_t Threshold) const {
+    for (const auto &C : Invocations)
+      if (C.load(std::memory_order_relaxed) >= Threshold)
+        return true;
+    return false;
+  }
+
+  /// Total recorded virtual-dispatch samples (call-heaviness metric).
+  uint64_t totalDispatchSamples() const {
+    uint64_t T = 0;
+    for (const auto &S : Sites)
+      T += S.total();
+    return T;
+  }
+
+private:
+  std::vector<std::atomic<uint64_t>> Invocations;
+  std::vector<DispatchProfile> Sites;
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_EXEC_PROFILE_H

@@ -8,6 +8,8 @@
 
 #include "exec/ExecUnit.h"
 
+#include <algorithm>
+
 using namespace safetsa;
 
 std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
@@ -17,7 +19,8 @@ std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
       S.VerifyFailures, S.CacheHits,     S.CacheMisses,
       S.CacheCoalesced, S.CacheEvictions, S.CacheDecodes,
       S.CacheDecodeFailures, S.CacheEntries, S.CacheBytes,
-      S.CachePrepares};
+      S.CachePrepares, S.CacheReprepares, S.CacheICHits,
+      S.CacheICMisses};
   std::vector<uint8_t> Out;
   Out.reserve(kServeStatsFields * 8);
   for (uint64_t F : Fields)
@@ -51,6 +54,9 @@ bool safetsa::decodeStats(ByteSpan Bytes, ServeStats &Out) {
   Out.CacheEntries = Fields[13];
   Out.CacheBytes = Fields[14];
   Out.CachePrepares = Fields[15];
+  Out.CacheReprepares = Fields[16];
+  Out.CacheICHits = Fields[17];
+  Out.CacheICMisses = Fields[18];
   return true;
 }
 
@@ -112,12 +118,38 @@ std::shared_ptr<const DecodedUnit> CodeServer::load(const Digest &D,
 
 std::shared_ptr<const PreparedModule>
 CodeServer::loadPrepared(const Digest &D, std::string *Err) {
+  return loadPrepared(D, Opts.MaxExecTier, Err);
+}
+
+std::shared_ptr<const PreparedModule>
+CodeServer::loadPrepared(const Digest &D, uint32_t MaxTier, std::string *Err) {
   auto Bytes = Store.fetch(D);
   if (!Bytes) {
     if (Err)
       *Err = "unknown digest " + D.hex();
     return nullptr;
   }
+  ModuleCache::TierPolicy Tier;
+  Tier.MaxTier = std::min(MaxTier, Opts.MaxExecTier);
+  Tier.HotThreshold = Opts.HotThreshold;
+  Tier.Reprepare =
+      [NoFusion = Opts.NoFusion](
+          const std::shared_ptr<const PreparedModule> &T0,
+          std::string *E) -> std::shared_ptr<const PreparedModule> {
+    PrepareOptions PO;
+    PO.NoFusion = NoFusion;
+    auto T1 = reprepareModule(*T0, PO);
+    if (!T1) {
+      if (E)
+        *E = "module exceeds prepared-form limits";
+      return nullptr;
+    }
+    // Tier 1 points into the same decoded IR the tier-0 form does (and
+    // its ICs point at tier-1 units only); keeping the tier-0 module —
+    // whose own deleter keeps the decoded unit — pins everything.
+    return std::shared_ptr<const PreparedModule>(
+        T1.release(), [Keep = T0](const PreparedModule *P) { delete P; });
+  };
   return Cache.getPrepared(
       D, Bytes->size(),
       [&](std::string *E) {
@@ -138,7 +170,7 @@ CodeServer::loadPrepared(const Digest &D, std::string *Err) {
         return std::shared_ptr<const PreparedModule>(
             PM.release(), [Keep = Unit](const PreparedModule *P) { delete P; });
       },
-      Err);
+      Tier, Err);
 }
 
 ServeStats CodeServer::stats() const {
@@ -160,6 +192,9 @@ ServeStats CodeServer::stats() const {
   S.CacheEntries = C.Entries;
   S.CacheBytes = C.Bytes;
   S.CachePrepares = C.Prepares;
+  S.CacheReprepares = C.Reprepares;
+  S.CacheICHits = C.ICHits;
+  S.CacheICMisses = C.ICMisses;
   return S;
 }
 

@@ -54,10 +54,13 @@ struct ServeStats {
   uint64_t CacheEntries = 0;
   uint64_t CacheBytes = 0;
   uint64_t CachePrepares = 0; ///< Execution-prep lowerings actually run.
+  uint64_t CacheReprepares = 0; ///< Tier-1 re-quickenings actually run.
+  uint64_t CacheICHits = 0;     ///< IC guard hits, resident tier-1 modules.
+  uint64_t CacheICMisses = 0;   ///< IC guard misses (vtable fallbacks).
 };
 
 /// Number of u64 fields in the STATS payload.
-constexpr size_t kServeStatsFields = 16;
+constexpr size_t kServeStatsFields = 19;
 
 std::vector<uint8_t> encodeStats(const ServeStats &S);
 bool decodeStats(ByteSpan Bytes, ServeStats &Out);
@@ -74,6 +77,16 @@ struct CodeServerOptions {
   bool VerifyOnPublish = true;
   /// Directory for persistent storage; empty = in-memory only.
   std::string StoreDir;
+  /// Highest execution tier loadPrepared serves: 0 = profiling tier only,
+  /// 1 (default) = re-quicken hot modules with inline caches, closed-world
+  /// devirtualization, and superinstruction fusion (DESIGN.md §11).
+  uint32_t MaxExecTier = 1;
+  /// Per-method invocation count at which a module becomes hot and
+  /// loadPrepared re-quickens it to tier 1.
+  uint64_t HotThreshold = 32;
+  /// Disable superinstruction fusion in tier-1 streams (also settable
+  /// process-wide via SAFETSA_EXEC_NOFUSION).
+  bool NoFusion = false;
 };
 
 class CodeServer {
@@ -104,9 +117,18 @@ public:
   /// module for \p D, lowered once per resident cache entry. A warm hit
   /// does no decoding and no re-lowering — it returns directly executable
   /// code (stats().CachePrepares counts lowerings actually run). The
-  /// returned module keeps its decoded unit alive internally.
+  /// returned module keeps its decoded unit alive internally. When the
+  /// options allow tier 1 and the module's tier-0 profile has crossed
+  /// HotThreshold, the cache re-quickens it (once, single-flight;
+  /// stats().CacheReprepares) and serves the tier-1 form thereafter.
   std::shared_ptr<const PreparedModule> loadPrepared(const Digest &D,
                                                      std::string *Err);
+
+  /// Like loadPrepared but with an explicit tier ceiling (min'd with the
+  /// configured MaxExecTier): 0 forces the profiling tier, letting
+  /// callers (BatchCompiler's MaxExecTier knob, the benches) pin a tier.
+  std::shared_ptr<const PreparedModule>
+  loadPrepared(const Digest &D, uint32_t MaxTier, std::string *Err);
 
   ServeStats stats() const;
 

@@ -6,6 +6,8 @@
 
 #include "serve/ModuleCache.h"
 
+#include "exec/ExecUnit.h"
+
 #include <algorithm>
 
 using namespace safetsa;
@@ -19,9 +21,14 @@ struct ModuleCache::Entry {
   /// and cached beside the decoded unit (its deleter keeps Unit alive, so
   /// eviction order between the two can never dangle).
   std::shared_ptr<const PreparedModule> Prepared;
+  /// Tier-1 (re-quickened) form, produced once the tier-0 profile goes
+  /// hot; shares the entry so decoded unit, tier-0, and tier-1 code are
+  /// evicted together and the tier-1 deleters keep their sources alive.
+  std::shared_ptr<const PreparedModule> PreparedT1;
   std::string Error;
   bool Ready = false;
   bool Preparing = false; ///< A thread is lowering this entry right now.
+  bool RepreparingT1 = false; ///< A thread is re-quickening right now.
   bool InLru = false;
   std::list<Digest>::iterator LruIt; ///< Valid iff InLru.
 };
@@ -172,6 +179,52 @@ ModuleCache::getPrepared(const Digest &D, size_t Charge,
   return PM;
 }
 
+std::shared_ptr<const PreparedModule>
+ModuleCache::getPrepared(const Digest &D, size_t Charge,
+                         const DecodeFn &Decode, const PrepareFn &Prepare,
+                         const TierPolicy &Tier, std::string *Err) {
+  std::shared_ptr<const PreparedModule> T0 =
+      getPrepared(D, Charge, Decode, Prepare, Err);
+  if (!T0 || Tier.MaxTier == 0 || !Tier.Reprepare)
+    return T0;
+
+  Shard &S = shardFor(D);
+  std::shared_ptr<Entry> E;
+  {
+    std::unique_lock<std::mutex> Lock(S.M);
+    auto It = S.Map.find(D);
+    // Only escalate through the entry that holds our tier-0 form; if it
+    // was evicted or cleared meanwhile there is nowhere to cache tier 1.
+    if (It == S.Map.end() || It->second->Prepared != T0)
+      return T0;
+    E = It->second;
+    if (E->PreparedT1)
+      return E->PreparedT1; // Warm tier-1 hit.
+    const ProfileData *Prof = T0->Profile.get();
+    if (!Prof || !Prof->anyHot(Tier.HotThreshold))
+      return T0; // Not hot yet; keep profiling at tier 0.
+    if (E->RepreparingT1)
+      return T0; // A rival is re-quickening; never stall execution on it.
+    E->RepreparingT1 = true;
+  }
+
+  std::string RepErr;
+  std::shared_ptr<const PreparedModule> T1 = Tier.Reprepare(T0, &RepErr);
+
+  std::lock_guard<std::mutex> Lock(S.M);
+  ++S.Stats.Reprepares;
+  E->RepreparingT1 = false;
+  if (!T1) {
+    // Failures are not cached: tier 0 keeps serving and the next hot
+    // request retries the re-preparation.
+    if (Err)
+      *Err = RepErr.empty() ? "reprepare failed" : RepErr;
+    return T0;
+  }
+  E->PreparedT1 = T1;
+  return T1;
+}
+
 CacheStats ModuleCache::stats() const {
   CacheStats Out;
   for (const auto &SP : Shards) {
@@ -184,8 +237,18 @@ CacheStats ModuleCache::stats() const {
     Out.Decodes += S.Stats.Decodes;
     Out.DecodeFailures += S.Stats.DecodeFailures;
     Out.Prepares += S.Stats.Prepares;
+    Out.Reprepares += S.Stats.Reprepares;
     Out.Entries += S.Lru.size();
     Out.Bytes += S.Bytes;
+    // IC tallies live on the tier-1 modules themselves (flushed there by
+    // every executing TSAExec); aggregate what is resident.
+    for (const auto &KV : S.Map)
+      if (KV.second->PreparedT1) {
+        Out.ICHits +=
+            KV.second->PreparedT1->ICHits.load(std::memory_order_relaxed);
+        Out.ICMisses +=
+            KV.second->PreparedT1->ICMisses.load(std::memory_order_relaxed);
+      }
   }
   return Out;
 }

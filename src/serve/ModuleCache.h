@@ -58,6 +58,11 @@ struct CacheStats {
   uint64_t Decodes = 0;        ///< Decode attempts actually run.
   uint64_t DecodeFailures = 0; ///< Attempts that returned null.
   uint64_t Prepares = 0;       ///< Execution-prep lowerings actually run.
+  uint64_t Reprepares = 0;     ///< Tier-1 re-quickenings actually run.
+  /// Inline-cache guard hits/misses summed over *resident* tier-1
+  /// modules at read time (an evicted module takes its tallies with it).
+  uint64_t ICHits = 0;
+  uint64_t ICMisses = 0;
   size_t Entries = 0;          ///< Resident modules right now.
   size_t Bytes = 0;            ///< Charged bytes right now.
 };
@@ -79,6 +84,24 @@ public:
   /// error string on failure.
   using PrepareFn = std::function<std::shared_ptr<const PreparedModule>(
       const std::shared_ptr<const DecodedUnit> &Unit, std::string *Err)>;
+
+  /// Re-quickens a hot tier-0 prepared module into tier 1 using its own
+  /// gathered profile; called at most once per resident entry per flight,
+  /// outside all cache locks (same lifetime contract as PrepareFn).
+  /// Returns null and sets the error string on failure — the tier-0 form
+  /// then keeps serving.
+  using ReprepareFn = std::function<std::shared_ptr<const PreparedModule>(
+      const std::shared_ptr<const PreparedModule> &T0, std::string *Err)>;
+
+  /// Tier-escalation policy for the tiered getPrepared overload.
+  struct TierPolicy {
+    /// Highest tier to serve: 0 never re-prepares (pure profiling tier),
+    /// 1 re-quickens once a method crosses HotThreshold.
+    uint32_t MaxTier = 1;
+    /// Per-method invocation count that makes the module hot.
+    uint64_t HotThreshold = 32;
+    ReprepareFn Reprepare;
+  };
 
   /// \p CapacityBytes is split evenly across \p NumShards (each shard at
   /// least 1 byte so a zero/low capacity still admits-and-evicts sanely).
@@ -107,6 +130,19 @@ public:
                                                     const DecodeFn &Decode,
                                                     const PrepareFn &Prepare,
                                                     std::string *Err);
+
+  /// Tiered read path: serves the cached tier-1 form when one exists;
+  /// otherwise serves tier 0 and, when the module's profile has crossed
+  /// \p Tier.HotThreshold, re-quickens it to tier 1 first. Re-preparation
+  /// is single-flight per entry and NON-blocking for rivals: while one
+  /// thread re-quickens, every other request keeps executing tier 0, so a
+  /// storm of N threads on one hot module runs exactly one reprepare
+  /// (stats().Reprepares; asserted under TSan) and nobody stalls on the
+  /// optimizer.
+  std::shared_ptr<const PreparedModule>
+  getPrepared(const Digest &D, size_t Charge, const DecodeFn &Decode,
+              const PrepareFn &Prepare, const TierPolicy &Tier,
+              std::string *Err);
 
   /// Aggregated over all shards.
   CacheStats stats() const;

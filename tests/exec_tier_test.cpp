@@ -1,0 +1,557 @@
+//===- tests/exec_tier_test.cpp - Two-tier execution tests ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-guided execution tier (DESIGN.md §11), proved four ways:
+///
+///  1. Differential parity: tier-1 streams (inline caches, closed-world
+///     devirtualization, superinstruction fusion) behave identically to
+///     tier 0 and to the definitional tree-walker on the full corpus,
+///     including trap points and try/catch — with fusion on, off, and
+///     with inline caches masked.
+///  2. Deterministic replay: profile + re-preparation is a pure function
+///     — two independent profile/reprepare cycles over the same workload
+///     yield byte-identical tier-1 streams (unit pointers compared
+///     through their stable indices).
+///  3. The IC state machine: profiled-monomorphic sites become guarded
+///     direct calls (and count hits), guard misses fall back to the
+///     vtable (and count misses), 2..4 receiver classes form a bounded
+///     PIC, and overflow demotes the site back to the plain vtable path.
+///  4. Structure: fusion preserves stream length (shadow slots), so no
+///     branch target or handler index ever needs re-patching.
+///
+/// Registered under `ctest -L exec` with _asan/_tsan variants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+using namespace safetsa;
+
+namespace {
+
+struct Outcome {
+  RuntimeError Err = RuntimeError::None;
+  std::string Output;
+};
+
+Outcome runTreeWalk(const TSAModule &M, ClassTable &Table) {
+  Runtime RT(Table);
+  TSAInterpreter I(M, RT);
+  ExecResult R = I.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+Outcome runModule(const PreparedModule &PM, ClassTable &Table) {
+  Runtime RT(Table);
+  TSAExec X(PM, RT);
+  ExecResult R = X.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+/// One profile/re-quicken cycle with an effective HotThreshold of 1: a
+/// fresh tier-0 preparation, one profiling run of main, then tier 1 from
+/// the gathered profile.
+std::unique_ptr<PreparedModule> tier1AfterOneRun(const TSAModule &M,
+                                                 ClassTable &Table,
+                                                 PrepareOptions Opts = {}) {
+  auto T0 = prepareModule(M);
+  EXPECT_TRUE(T0);
+  if (!T0)
+    return nullptr;
+  runModule(*T0, Table);
+  return reprepareModule(*T0, Opts);
+}
+
+/// Tier parity on one module: tree-walk == tier 0 == tier 1 (fusion on),
+/// == tier 1 (fusion off) == tier 1 (ICs masked). Trap kind and full
+/// printed output must all agree.
+void expectTierParity(const TSAModule &M, ClassTable &Table,
+                      const char *Label) {
+  Outcome Ref = runTreeWalk(M, Table);
+  auto T0 = prepareModule(M);
+  ASSERT_TRUE(T0) << Label;
+  Outcome O0 = runModule(*T0, Table);
+  EXPECT_EQ(O0.Err, Ref.Err) << Label << ": tier-0 trap diverged";
+  EXPECT_EQ(O0.Output, Ref.Output) << Label << ": tier-0 output diverged";
+
+  struct Variant {
+    const char *Name;
+    PrepareOptions Opts;
+  };
+  PrepareOptions NoFuse;
+  NoFuse.NoFusion = true;
+  PrepareOptions NoIC;
+  NoIC.NoInlineCaches = true;
+  const Variant Variants[] = {
+      {"tier-1", {}}, {"tier-1/nofusion", NoFuse}, {"tier-1/noic", NoIC}};
+  for (const Variant &V : Variants) {
+    auto T1 = reprepareModule(*T0, V.Opts);
+    ASSERT_TRUE(T1) << Label << " " << V.Name;
+    EXPECT_EQ(T1->Tier, 1u);
+    Outcome O1 = runModule(*T1, Table);
+    EXPECT_EQ(O1.Err, Ref.Err)
+        << Label << " " << V.Name << ": trapped " << runtimeErrorName(O1.Err)
+        << ", oracle " << runtimeErrorName(Ref.Err);
+    EXPECT_EQ(O1.Output, Ref.Output)
+        << Label << " " << V.Name << ": output diverged";
+  }
+}
+
+void expectSourceTierParity(const std::string &Src) {
+  auto C = compileMJ("tier.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  expectTierParity(*C->TSA, *C->Table, "tier");
+}
+
+/// Structural identity of a prepared module, with raw ExecUnit pointers
+/// (which differ across independent preparations) rendered through their
+/// stable unit indices. Two byte-identical tier-1 streams produce equal
+/// fingerprints and vice versa; symbol/type pointers are stable because
+/// both preparations come from one compile.
+std::string fingerprint(const PreparedModule &PM) {
+  std::unordered_map<const void *, uint32_t> UnitIdx;
+  for (const auto &U : PM.Units)
+    UnitIdx[U.get()] = U->Index;
+  std::string S;
+  char Buf[192];
+  for (const auto &U : PM.Units) {
+    std::snprintf(Buf, sizeof(Buf), "unit %u slots=%u args=%u\n", U->Index,
+                  U->NumSlots, U->NumArgs);
+    S += Buf;
+    for (const ExecInst &In : U->Code) {
+      auto It = UnitIdx.find(In.P);
+      if (It != UnitIdx.end())
+        std::snprintf(Buf, sizeof(Buf),
+                      " %s a%u b%u c%u d%u x%d h%d s%d u%u\n",
+                      xopName(In.Op), In.A, In.B, In.C, In.Dst, In.X,
+                      In.Handler, In.S, It->second);
+      else
+        std::snprintf(Buf, sizeof(Buf),
+                      " %s a%u b%u c%u d%u x%d h%d s%d p%p\n",
+                      xopName(In.Op), In.A, In.B, In.C, In.Dst, In.X,
+                      In.Handler, In.S, In.P);
+      S += Buf;
+    }
+    for (const ICEntry &E : U->ICs) {
+      std::snprintf(Buf, sizeof(Buf), " ic ways=%u m%p", E.Ways,
+                    static_cast<const void *>(E.Method));
+      S += Buf;
+      for (unsigned W = 0; W != E.Ways; ++W) {
+        std::snprintf(Buf, sizeof(Buf), " %s->u%u", E.Classes[W]->Name.c_str(),
+                      UnitIdx.at(E.Targets[W]));
+        S += Buf;
+      }
+      S += '\n';
+    }
+  }
+  return S;
+}
+
+const MethodSymbol *findMethod(const ClassTable &Table, const char *Class,
+                               const char *Name) {
+  for (const auto &C : Table.getClasses())
+    if (C->Name == Class)
+      for (const auto &M : C->Methods)
+        if (M->Name == Name)
+          return M.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: every tier agrees with the oracle everywhere.
+//===----------------------------------------------------------------------===//
+
+class TierCorpusTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(TierCorpusTest, AllTiersMatchTreeWalk) {
+  expectSourceTierParity(GetParam().Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TierCorpusTest, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Trap points and try/catch at tier 1.
+//===----------------------------------------------------------------------===//
+
+TEST(TierTraps, NullPointerAcrossTiers) {
+  expectSourceTierParity(
+      "class C { int x; } class Main { static void main() { "
+      "IO.printInt(3); C c = null; IO.printInt(c.x); } }");
+}
+
+TEST(TierTraps, IndexOutOfBoundsInLoopKeepsPartialOutput) {
+  // The a[i] below fuses to IdxGetElt at tier 1; the trap point and the
+  // output printed before it must survive fusion.
+  expectSourceTierParity(
+      "class Main { static void main() { int[] a = new int[4]; "
+      "int i = 0; while (i < 10) { IO.printInt(a[i]); i = i + 1; } } }");
+}
+
+TEST(TierTraps, CalleeTrapUnwindsThroughVirtualCall) {
+  expectSourceTierParity(
+      "class A { int f(int[] a, int i) { return a[i]; } } "
+      "class B extends A { int f(int[] a, int i) { return a[i] + 1; } } "
+      "class Main { static void main() { A x = new B(); "
+      "int[] a = new int[2]; IO.printInt(x.f(a, 1)); "
+      "IO.printInt(x.f(a, 5)); } }");
+}
+
+TEST(TierTryCatch, CatchAcrossTiers) {
+  expectSourceTierParity(
+      "class Main { static void main() { int z = 0; int r; "
+      "try { r = 10 / z; } catch { r = -1; } IO.printInt(r); } }");
+}
+
+TEST(TierTryCatch, CaughtIndexTrapInsideFusedAccess) {
+  expectSourceTierParity(
+      "class Main { static void main() { int[] a = new int[3]; int s = 0; "
+      "int i = 0; while (i < 6) { try { s = s + a[i]; } "
+      "catch { s = s + 100; } i = i + 1; } IO.printInt(s); } }");
+}
+
+TEST(TierTryCatch, CaughtTrapInsideHotVirtualCallee) {
+  expectSourceTierParity(
+      "class A { int f(int z) { return 10 / z; } } "
+      "class B extends A { int f(int z) { return 20 / z; } } "
+      "class Main { static void main() { A x = new B(); int s = 0; "
+      "int i = 0 - 2; while (i < 3) { try { s = s + x.f(i); } "
+      "catch { s = s + 1000; } i = i + 1; } IO.printInt(s); } }");
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic replay: profile -> reprepare is a pure function.
+//===----------------------------------------------------------------------===//
+
+void expectDeterministicReplay(const std::string &Src) {
+  auto C = compileMJ("replay.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  // Two fully independent cycles over the same workload (effective
+  // HotThreshold = 1: one profiling run each).
+  auto A = tier1AfterOneRun(*C->TSA, *C->Table);
+  auto B = tier1AfterOneRun(*C->TSA, *C->Table);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(fingerprint(*A), fingerprint(*B))
+      << "tier-1 streams diverged across identical profile cycles";
+  // And the replayed tier-1 module still matches tier 0 / the oracle.
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  Outcome O1 = runModule(*A, *C->Table);
+  EXPECT_EQ(O1.Err, Ref.Err);
+  EXPECT_EQ(O1.Output, Ref.Output);
+}
+
+TEST(TierReplay, CorpusPrograms) {
+  for (const CorpusProgram &P : getCorpus()) {
+    SCOPED_TRACE(P.Name);
+    expectDeterministicReplay(P.Source);
+  }
+}
+
+TEST(TierReplay, TrapProgram) {
+  expectDeterministicReplay(
+      "class Main { static void main() { int[] a = new int[3]; "
+      "IO.printInt(a.length); IO.printInt(a[7]); } }");
+}
+
+TEST(TierReplay, TryCatchProgram) {
+  expectDeterministicReplay(
+      "class Main { static void main() { int z = 0; int r = 0; "
+      "try { try { r = 10 / z; } catch { r = 1; } "
+      "r = r + 10 / z; } catch { r = r + 10; } IO.printInt(r); } }");
+}
+
+TEST(TierReplay, PolymorphicProgram) {
+  expectDeterministicReplay(
+      "class A { int f() { return 1; } } "
+      "class B extends A { int f() { return 2; } } "
+      "class C extends A { int f() { return 3; } } "
+      "class Main { static void main() { int s = 0; int i = 0; "
+      "while (i < 9) { A x; if (i % 3 == 0) { x = new A(); } else { "
+      "if (i % 3 == 1) { x = new B(); } else { x = new C(); } } "
+      "s = s + x.f(); i = i + 1; } IO.printInt(s); } }");
+}
+
+//===----------------------------------------------------------------------===//
+// The IC state machine: mono -> poly -> megamorphic.
+//===----------------------------------------------------------------------===//
+
+/// Two classes overriding f (so closed-world devirt cannot fire), but a
+/// profile that only ever saw A: the site becomes DispatchMono.
+const char *kMonoSrc =
+    "class A { int f() { return 1; } } "
+    "class B extends A { int f() { return 2; } } "
+    "class Main { "
+    "static int go(A a) { return a.f(); } "
+    "static void main() { A x = new A(); int s = 0; int i = 0; "
+    "while (i < 10) { s = s + go(x); i = i + 1; } IO.printInt(s); } }";
+
+TEST(TierIC, MonomorphicSiteGetsGuardedDirectCall) {
+  auto C = compileMJ("mono.mj", kMonoSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  EXPECT_EQ(T0->Tier, 0u);
+  ASSERT_TRUE(T0->Profile);
+  EXPECT_EQ(T0->countOp(XOp::DispatchMono), 0u);
+  Outcome O0 = runModule(*T0, *C->Table);
+  EXPECT_EQ(O0.Output, "10");
+  EXPECT_GT(T0->Profile->totalDispatchSamples(), 0u);
+
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::DispatchMono), 1u);
+  EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
+  // Guard always hits on the same workload: all hits, no misses.
+  Outcome O1 = runModule(*T1, *C->Table);
+  EXPECT_EQ(O1.Output, "10");
+  EXPECT_EQ(T1->ICHits.load(), 10u);
+  EXPECT_EQ(T1->ICMisses.load(), 0u);
+}
+
+TEST(TierIC, GuardMissFallsBackToVtableAndCounts) {
+  auto C = compileMJ("miss.mj", kMonoSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table); // Profile records only A receivers.
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  ASSERT_EQ(T1->countOp(XOp::DispatchMono), 1u);
+
+  // Now feed go() a B: the mono guard (A) misses, the vtable fallback
+  // must still reach B.f, and the miss must be counted.
+  const MethodSymbol *Go = findMethod(*C->Table, "Main", "go");
+  const ClassSymbol *B = nullptr;
+  for (const auto &Cl : C->Table->getClasses())
+    if (Cl->Name == "B")
+      B = Cl.get();
+  ASSERT_TRUE(Go && B);
+  Runtime RT(*C->Table);
+  TSAExec X(*T1, RT);
+  ExecResult R = X.call(Go, {Value::makeRef(RT.allocObject(B))});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret.I, 2); // B.f, not the cached A.f.
+  EXPECT_EQ(T1->ICMisses.load(), 1u);
+  EXPECT_EQ(T1->ICHits.load(), 0u);
+}
+
+TEST(TierIC, PolymorphicSiteGetsBoundedPIC) {
+  auto C = compileMJ(
+      "poly.mj",
+      "class A { int f() { return 1; } } "
+      "class B extends A { int f() { return 2; } } "
+      "class C extends A { int f() { return 3; } } "
+      "class Main { static int go(A a) { return a.f(); } "
+      "static void main() { int s = 0; int i = 0; while (i < 12) { "
+      "A x; if (i % 3 == 0) { x = new A(); } else { "
+      "if (i % 3 == 1) { x = new B(); } else { x = new C(); } } "
+      "s = s + go(x); i = i + 1; } IO.printInt(s); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  Outcome O0 = runModule(*T0, *C->Table);
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::DispatchIC), 1u);
+  EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
+  Outcome O1 = runModule(*T1, *C->Table);
+  EXPECT_EQ(O1.Output, O0.Output);
+  EXPECT_EQ(T1->ICHits.load(), 12u); // All three ways resident.
+  EXPECT_EQ(T1->ICMisses.load(), 0u);
+}
+
+TEST(TierIC, MegamorphicSiteDemotesToVtable) {
+  // Five receiver classes at one site overflow the 4-way profile: the
+  // site must stay a plain vtable Dispatch at tier 1 (and still agree).
+  auto C = compileMJ(
+      "mega.mj",
+      "class A { int f() { return 1; } } "
+      "class B extends A { int f() { return 2; } } "
+      "class C extends A { int f() { return 3; } } "
+      "class D extends A { int f() { return 4; } } "
+      "class E extends A { int f() { return 5; } } "
+      "class Main { static int go(A a) { return a.f(); } "
+      "static void main() { int s = 0; int i = 0; while (i < 10) { "
+      "A x; int k = i % 5; if (k == 0) { x = new A(); } else { "
+      "if (k == 1) { x = new B(); } else { if (k == 2) { x = new C(); } "
+      "else { if (k == 3) { x = new D(); } else { x = new E(); } } } } "
+      "s = s + go(x); i = i + 1; } IO.printInt(s); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  Outcome O0 = runModule(*T0, *C->Table);
+  EXPECT_EQ(O0.Output, "30");
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::DispatchMono), 0u);
+  EXPECT_EQ(T1->countOp(XOp::DispatchIC), 0u);
+  EXPECT_EQ(T1->countOp(XOp::Dispatch), 1u);
+  Outcome O1 = runModule(*T1, *C->Table);
+  EXPECT_EQ(O1.Output, "30");
+  EXPECT_EQ(T1->ICHits.load(), 0u); // No caches formed, none counted.
+}
+
+TEST(TierIC, ClosedWorldMonomorphicDevirtualizesWithoutGuard) {
+  // No override anywhere: every possible receiver resolves the slot to
+  // A.f, so the site needs no guard at all — a plain direct call, even
+  // with an empty profile.
+  auto C = compileMJ("devirt.mj",
+                     "class A { int f() { return 7; } } "
+                     "class B extends A { } "
+                     "class Main { static void main() { A x = new B(); "
+                     "IO.printInt(x.f()); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  ASSERT_EQ(T0->countOp(XOp::Dispatch), 1u);
+  auto T1 = reprepareModule(*T0); // Note: no profiling run needed.
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
+  EXPECT_EQ(T1->countOp(XOp::DispatchMono), 0u);
+  Outcome O1 = runModule(*T1, *C->Table);
+  EXPECT_EQ(O1.Output, "7");
+  EXPECT_EQ(T1->ICHits.load(), 0u); // Direct call: no guard, no tally.
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion structure.
+//===----------------------------------------------------------------------===//
+
+TEST(TierFusion, FusesPairsAndPreservesStreamLength) {
+  // Stores assign from locals so the check and the access stay adjacent
+  // (the RHS is generated between lvalue checks and the store otherwise).
+  auto C = compileMJ(
+      "fuse.mj",
+      "class P { int v; } "
+      "class Main { static void main() { int[] a = new int[8]; "
+      "P p = new P(); int t = 3; p.v = t; int i = 0; "
+      "while (i < 8) { int w = i + p.v; a[i] = w; i = i + 1; } "
+      "int s = 0; i = 0; while (i < 8) { s = s + a[i]; i = i + 1; } "
+      "double d = 0.5; while (d < 4.0) { d = d + 1.0; } "
+      "IO.printInt(s); IO.printInt(p.v); IO.printDouble(d); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+
+  // Every fusion family fires at least once on this program.
+  size_t BrCmps = 0;
+  for (XOp Op : {XOp::BrCmpLtI, XOp::BrCmpLeI, XOp::BrCmpGtI, XOp::BrCmpGeI,
+                 XOp::BrCmpEqI, XOp::BrCmpNeI})
+    BrCmps += T1->countOp(Op);
+  EXPECT_GT(BrCmps, 0u);
+  size_t BrCmpDs = 0;
+  for (XOp Op : {XOp::BrCmpLtD, XOp::BrCmpLeD, XOp::BrCmpGtD, XOp::BrCmpGeD,
+                 XOp::BrCmpEqD, XOp::BrCmpNeD})
+    BrCmpDs += T1->countOp(Op);
+  EXPECT_GT(BrCmpDs, 0u);
+  EXPECT_GT(T1->countOp(XOp::IdxGetElt), 0u);
+  EXPECT_GT(T1->countOp(XOp::IdxSetElt), 0u);
+  EXPECT_GT(T1->countOp(XOp::NullGetField), 0u);
+  EXPECT_GT(T1->countOp(XOp::NullSetField), 0u);
+  // The loop back edges carry phi copies: the move fusions fire too.
+  EXPECT_GT(T1->countOp(XOp::Move2) + T1->countOp(XOp::MoveJmp), 0u);
+
+  // Fusion never moves code: same stream length per unit (shadow slots).
+  ASSERT_EQ(T1->Units.size(), T0->Units.size());
+  for (size_t I = 0; I != T0->Units.size(); ++I)
+    EXPECT_EQ(T1->Units[I]->Code.size(), T0->Units[I]->Code.size());
+
+  // And the NoFusion mask really masks.
+  PrepareOptions NoFuse;
+  NoFuse.NoFusion = true;
+  auto T1NF = reprepareModule(*T0, NoFuse);
+  ASSERT_TRUE(T1NF);
+  for (XOp Op : {XOp::BrCmpLtI, XOp::BrCmpLtD, XOp::NullGetField,
+                 XOp::NullSetField, XOp::IdxGetElt, XOp::IdxSetElt,
+                 XOp::Move2, XOp::MoveJmp})
+    EXPECT_EQ(T1NF->countOp(Op), 0u) << xopName(Op);
+
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, Ref.Output);
+  EXPECT_EQ(runModule(*T1NF, *C->Table).Output, Ref.Output);
+}
+
+TEST(TierFusion, TreeWalkOracleAgreesOnTier1) {
+  auto C = compileMJ("oracle1.mj",
+                     "class Main { static int fib(int n) { "
+                     "if (n < 2) { return n; } "
+                     "return fib(n - 1) + fib(n - 2); } "
+                     "static void main() { IO.printInt(fib(15)); } }");
+  ASSERT_TRUE(C->ok());
+  auto T1 = tier1AfterOneRun(*C->TSA, *C->Table);
+  ASSERT_TRUE(T1);
+  Runtime RT(*C->Table);
+  ExecOptions Opts;
+  Opts.TreeWalkOracle = true; // Same flag SAFETSA_EXEC_ORACLE sets.
+  TSAExec X(*T1, RT, Opts);
+  ExecResult R = X.runMain();
+  EXPECT_EQ(R.Err, RuntimeError::None);
+  EXPECT_FALSE(X.oracleDiverged());
+  EXPECT_EQ(RT.getOutput(), "610");
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: tier-0 profiling and tier-1 IC tallies are TSan-clean.
+//===----------------------------------------------------------------------===//
+
+TEST(TierConcurrency, ConcurrentProfilingAndTier1Execution) {
+  auto C = compileMJ("conc.mj", kMonoSrc);
+  ASSERT_TRUE(C->ok());
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+
+  // Phase 1: many threads profile one tier-0 module concurrently.
+  constexpr unsigned NumThreads = 8;
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&] {
+        Runtime RT(*C->Table);
+        TSAExec X(*T0, RT);
+        X.runMain();
+      });
+    for (auto &Th : Threads)
+      Th.join();
+  }
+  // Relaxed counters may drop no increments here: every activation of
+  // main was counted.
+  EXPECT_EQ(T0->Profile->invocations(T0->MainUnit->Index), NumThreads);
+
+  // Phase 2: many threads execute the re-quickened tier 1 concurrently;
+  // the per-call IC flushes must add up exactly.
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&] {
+        Runtime RT(*C->Table);
+        TSAExec X(*T1, RT);
+        X.runMain();
+      });
+    for (auto &Th : Threads)
+      Th.join();
+  }
+  EXPECT_EQ(T1->ICHits.load(), 10u * NumThreads);
+  EXPECT_EQ(T1->ICMisses.load(), 0u);
+}
+
+} // namespace

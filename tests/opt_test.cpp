@@ -208,6 +208,69 @@ TEST(Opt, FieldSensitiveMemKeepsUnrelatedLoads) {
   EXPECT_LT(FineLoads, CoarseLoads);
 }
 
+TEST(Opt, FieldSensitiveMemSameFieldStoreStillClobbers) {
+  // Sensitivity is per field, not per object: a store to v must still
+  // kill earlier loads of v.
+  OptOptions FS;
+  FS.FieldSensitiveMem = true;
+  Opt O = optimize(
+      "class C { int v; } class Main { static void main() { "
+      "C c = new C(); c.v = 1; int a = c.v; c.v = 2; int b = c.v; "
+      "IO.printInt(a + b); } }",
+      FS);
+  unsigned Loads = 0;
+  for (const auto &M : O.P->TSA->Methods)
+    Loads += M->countOpcode(Opcode::GetField);
+  EXPECT_EQ(Loads, 2u) << "load of v across a store to v must survive";
+  EXPECT_EQ(O.OutputAfter, "3");
+}
+
+TEST(Opt, FieldSensitiveMemIsConservativeAcrossObjects) {
+  // The partition key is the FieldSymbol alone (no points-to analysis),
+  // so a store to d.v must clobber a pending load of c.v — c and d may
+  // alias for all the pass knows.
+  OptOptions FS;
+  FS.FieldSensitiveMem = true;
+  Opt O = optimize(
+      "class C { int v; } class Main { static void main() { "
+      "C c = new C(); C d = new C(); c.v = 7; int a = c.v; "
+      "d.v = 9; int b = c.v; IO.printInt(a + b); } }",
+      FS);
+  unsigned Loads = 0;
+  for (const auto &M : O.P->TSA->Methods)
+    Loads += M->countOpcode(Opcode::GetField);
+  EXPECT_EQ(Loads, 2u) << "possible alias: second load of v must survive";
+  EXPECT_EQ(O.OutputAfter, "14");
+}
+
+TEST(Opt, FieldSensitiveMemPreservesCorpusSemantics) {
+  // Whole-corpus differential: optimizing with the finer memory
+  // partition never changes observable behaviour (output or trap).
+  OptOptions FS;
+  FS.FieldSensitiveMem = true;
+  for (const CorpusProgram &P : getCorpus()) {
+    SCOPED_TRACE(P.Name);
+    auto Before = compileMJ(P.Name, P.Source);
+    ASSERT_TRUE(Before->ok()) << Before->renderDiagnostics();
+    Runtime RTB(*Before->Table);
+    TSAInterpreter IB(*Before->TSA, RTB);
+    ExecResult RB = IB.runMain();
+
+    auto After = compileMJ(P.Name, P.Source);
+    ASSERT_TRUE(After->ok());
+    optimizeModule(*After->TSA, FS);
+    TSAVerifier V(*After->TSA);
+    ASSERT_TRUE(V.verify())
+        << (V.getErrors().empty() ? "" : V.getErrors().front());
+    Runtime RTA(*After->Table);
+    TSAInterpreter IA(*After->TSA, RTA);
+    ExecResult RA = IA.runMain();
+
+    EXPECT_EQ(RA.Err, RB.Err) << runtimeErrorName(RA.Err);
+    EXPECT_EQ(RTA.getOutput(), RTB.getOutput());
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Check elimination (the Figure 6 mechanism)
 //===----------------------------------------------------------------------===//

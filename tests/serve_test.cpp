@@ -565,6 +565,170 @@ TEST(Serve, PreparedUnitSurvivesCacheEviction) {
 }
 
 //===----------------------------------------------------------------------===//
+// Execution tiers through the server: re-preparation + STATS counters
+//===----------------------------------------------------------------------===//
+
+// Every field — including the tier counters added for the profiling
+// tier — survives the fixed-width LE wire encoding bit-exactly.
+TEST(Serve, StatsWireFormatRoundTripsTierCounters) {
+  ServeStats In;
+  In.StoreModules = 1;
+  In.StoreBytes = 2;
+  In.DuplicatePublishes = 3;
+  In.Publishes = 4;
+  In.Fetches = 5;
+  In.FetchNotFound = 6;
+  In.VerifyFailures = 7;
+  In.CacheHits = 8;
+  In.CacheMisses = 9;
+  In.CacheCoalesced = 10;
+  In.CacheEvictions = 11;
+  In.CacheDecodes = 12;
+  In.CacheDecodeFailures = 13;
+  In.CacheEntries = 14;
+  In.CacheBytes = 15;
+  In.CachePrepares = 16;
+  In.CacheReprepares = 0x1122334455667788ull;
+  In.CacheICHits = 17;
+  In.CacheICMisses = 18;
+
+  std::vector<uint8_t> Bytes = encodeStats(In);
+  EXPECT_EQ(Bytes.size(), kServeStatsFields * 8);
+  ServeStats Out;
+  ASSERT_TRUE(decodeStats(ByteSpan(Bytes), Out));
+  EXPECT_EQ(Out.CachePrepares, 16u);
+  EXPECT_EQ(Out.CacheReprepares, 0x1122334455667788ull);
+  EXPECT_EQ(Out.CacheICHits, 17u);
+  EXPECT_EQ(Out.CacheICMisses, 18u);
+  EXPECT_EQ(Out.StoreModules, 1u);
+  EXPECT_EQ(Out.CacheBytes, 15u);
+
+  // A frame from the pre-tier protocol (16 fields) is rejected, not
+  // misparsed.
+  Bytes.resize(16 * 8);
+  EXPECT_FALSE(decodeStats(ByteSpan(Bytes), Out));
+}
+
+const char *kVirtualSrc =
+    "class A { int f() { return 1; } } "
+    "class B extends A { int f() { return 2; } } "
+    "class Main { "
+    "static int go(A a) { return a.f(); } "
+    "static void main() { A x = new A(); int s = 0; int i = 0; "
+    "while (i < 10) { s = s + go(x); i = i + 1; } IO.printInt(s); } }";
+
+// A module that crosses the hot threshold is re-quickened exactly once,
+// even under a concurrent loadPrepared storm: one thread runs the
+// re-preparation while rivals are served the profiling tier without
+// blocking. Afterwards everyone gets the cached tier-1 form, and the
+// STATS reply carries the reprepare + inline-cache counters.
+TEST(Serve, HotModuleIsRequickenedOnceUnderStorm) {
+  CodeServerOptions Opts;
+  Opts.HotThreshold = 1;
+  CodeServer Server(Opts);
+  std::string Err;
+  Digest D =
+      Server.publish(ByteSpan(encodeProgram("hot.mj", kVirtualSrc)), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+
+  auto Unit = Server.load(D, &Err);
+  ASSERT_TRUE(Unit) << Err;
+
+  // Cold load serves the profiling tier.
+  auto T0 = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(T0) << Err;
+  EXPECT_EQ(T0->Tier, 0u);
+  EXPECT_EQ(Server.stats().CacheReprepares, 0u);
+
+  // One run crosses HotThreshold=1 and seeds the receiver profile.
+  {
+    Runtime RT(*Unit->Table);
+    TSAExec X(*T0, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+    EXPECT_EQ(RT.getOutput(), "10");
+  }
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&] {
+      std::string E;
+      auto P = Server.loadPrepared(D, &E);
+      // Rivals may legitimately see tier 0 (non-blocking single-flight)
+      // but never a failure.
+      if (!P || P->Tier > 1)
+        ++Failures;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Server.stats().CacheReprepares, 1u);
+
+  // The storm has settled: tier 1 is cached and served to everyone.
+  auto T1 = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(T1) << Err;
+  EXPECT_EQ(T1->Tier, 1u);
+  EXPECT_NE(T1.get(), T0.get());
+  EXPECT_EQ(Server.loadPrepared(D, &Err).get(), T1.get());
+  EXPECT_EQ(Server.stats().CacheReprepares, 1u);
+
+  // A caller that pins the profiling tier still gets it.
+  auto Pinned = Server.loadPrepared(D, /*MaxTier=*/0, &Err);
+  ASSERT_TRUE(Pinned) << Err;
+  EXPECT_EQ(Pinned->Tier, 0u);
+  EXPECT_EQ(Pinned.get(), T0.get());
+
+  // Running the re-quickened form hits its inline caches; stats() sums
+  // the tallies over resident tier-1 modules.
+  {
+    Runtime RT(*Unit->Table);
+    TSAExec X(*T1, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+    EXPECT_EQ(RT.getOutput(), "10");
+  }
+  ServeStats S = Server.stats();
+  EXPECT_GE(S.CacheICHits, 10u);
+  EXPECT_EQ(S.CacheICMisses, 0u);
+
+  // And over the wire: the STATS frame carries the tier counters.
+  Session Sess(Server);
+  CodeClient Client(Sess.clientEnd());
+  ServeStats WireStats;
+  ASSERT_TRUE(Client.stats(WireStats, &Err)) << Err;
+  EXPECT_EQ(WireStats.CacheReprepares, 1u);
+  EXPECT_EQ(WireStats.CacheICHits, S.CacheICHits);
+  EXPECT_EQ(WireStats.CacheICMisses, 0u);
+}
+
+// A server capped at MaxExecTier=0 never re-quickens, no matter how hot
+// the module runs.
+TEST(Serve, ServerTierCapPinsProfilingTier) {
+  CodeServerOptions Opts;
+  Opts.MaxExecTier = 0;
+  Opts.HotThreshold = 1;
+  CodeServer Server(Opts);
+  std::string Err;
+  Digest D =
+      Server.publish(ByteSpan(encodeProgram("cap.mj", kVirtualSrc)), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  auto Unit = Server.load(D, &Err);
+  ASSERT_TRUE(Unit) << Err;
+  auto T0 = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(T0) << Err;
+  {
+    Runtime RT(*Unit->Table);
+    TSAExec X(*T0, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  }
+  auto Again = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(Again) << Err;
+  EXPECT_EQ(Again->Tier, 0u);
+  EXPECT_EQ(Again.get(), T0.get());
+  EXPECT_EQ(Server.stats().CacheReprepares, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Store persistence
 //===----------------------------------------------------------------------===//
 
