@@ -1,0 +1,235 @@
+//===- bench/bench_json_check.cpp - BENCH_*.json validator ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates that every file named on the command line parses as JSON
+/// (full-document, recursive-descent, no dependencies) — the loud-
+/// failure backstop run_benches.sh runs after each bench so a broken
+/// BENCH_<suite>.json emitter fails the run instead of silently
+/// corrupting the tracked perf trajectory. Exits non-zero naming the
+/// first offending file and byte offset.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  /// Whole-document parse; on failure Error/At describe the problem.
+  bool run() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    if (I != S.size())
+      return fail("trailing content after document");
+    return true;
+  }
+
+  std::string Error;
+  size_t At = 0;
+
+private:
+  bool fail(const char *Msg) {
+    if (Error.empty()) {
+      Error = Msg;
+      At = I;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (I != S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
+                             S[I] == '\r'))
+      ++I;
+  }
+
+  bool lit(const char *L) {
+    size_t N = std::char_traits<char>::length(L);
+    if (S.compare(I, N, L) != 0)
+      return fail("invalid literal");
+    I += N;
+    return true;
+  }
+
+  bool string() {
+    if (I == S.size() || S[I] != '"')
+      return fail("expected string");
+    ++I;
+    while (I != S.size() && S[I] != '"') {
+      if (static_cast<unsigned char>(S[I]) < 0x20)
+        return fail("raw control character in string");
+      if (S[I] == '\\') {
+        ++I;
+        if (I == S.size())
+          return fail("truncated escape");
+        char E = S[I];
+        if (E == 'u') {
+          for (unsigned K = 0; K != 4; ++K)
+            if (++I == S.size() || !std::isxdigit(
+                                       static_cast<unsigned char>(S[I])))
+              return fail("bad \\u escape");
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape character");
+        }
+      }
+      ++I;
+    }
+    if (I == S.size())
+      return fail("unterminated string");
+    ++I; // Closing quote.
+    return true;
+  }
+
+  bool number() {
+    size_t Start = I;
+    if (I != S.size() && S[I] == '-')
+      ++I;
+    if (I == S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+      return fail("expected digit");
+    while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+      ++I;
+    if (I != S.size() && S[I] == '.') {
+      ++I;
+      if (I == S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return fail("expected fraction digits");
+      while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    if (I != S.size() && (S[I] == 'e' || S[I] == 'E')) {
+      ++I;
+      if (I != S.size() && (S[I] == '+' || S[I] == '-'))
+        ++I;
+      if (I == S.size() || !std::isdigit(static_cast<unsigned char>(S[I])))
+        return fail("expected exponent digits");
+      while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    return I != Start;
+  }
+
+  bool value() {
+    if (++Depth > 128)
+      return fail("nesting too deep");
+    bool Ok = valueInner();
+    --Depth;
+    return Ok;
+  }
+
+  bool valueInner() {
+    skipWs();
+    if (I == S.size())
+      return fail("unexpected end of document");
+    switch (S[I]) {
+    case '{': {
+      ++I;
+      skipWs();
+      if (I != S.size() && S[I] == '}') {
+        ++I;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        if (!string())
+          return false;
+        skipWs();
+        if (I == S.size() || S[I] != ':')
+          return fail("expected ':' in object");
+        ++I;
+        if (!value())
+          return false;
+        skipWs();
+        if (I != S.size() && S[I] == ',') {
+          ++I;
+          continue;
+        }
+        if (I != S.size() && S[I] == '}') {
+          ++I;
+          return true;
+        }
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++I;
+      skipWs();
+      if (I != S.size() && S[I] == ']') {
+        ++I;
+        return true;
+      }
+      for (;;) {
+        if (!value())
+          return false;
+        skipWs();
+        if (I != S.size() && S[I] == ',') {
+          ++I;
+          continue;
+        }
+        if (I != S.size() && S[I] == ']') {
+          ++I;
+          return true;
+        }
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      return string();
+    case 't':
+      return lit("true");
+    case 'f':
+      return lit("false");
+    case 'n':
+      return lit("null");
+    default:
+      return number();
+    }
+  }
+
+  const std::string &S;
+  size_t I = 0;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+    return 2;
+  }
+  for (int A = 1; A != argc; ++A) {
+    std::ifstream In(argv[A], std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "bench_json_check: cannot open %s\n", argv[A]);
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Doc = Buf.str();
+    if (Doc.empty()) {
+      std::fprintf(stderr, "bench_json_check: %s is empty\n", argv[A]);
+      return 1;
+    }
+    JsonParser P(Doc);
+    if (!P.run()) {
+      std::fprintf(stderr,
+                   "bench_json_check: %s: invalid JSON at byte %zu: %s\n",
+                   argv[A], P.At, P.Error.c_str());
+      return 1;
+    }
+    std::printf("bench_json_check: %s OK\n", argv[A]);
+  }
+  return 0;
+}

@@ -1,18 +1,31 @@
 #!/usr/bin/env sh
 # Runs the tracked benchmark suites and drops their machine-readable
-# results (BENCH_exec.json, BENCH_serve.json) at the repository root so
-# the perf trajectory is comparable across checkouts.
+# results (BENCH_exec.json, BENCH_serve.json, BENCH_scaling.json) at the
+# repository root so the perf trajectory is comparable across checkouts.
+# Every emitted BENCH_*.json is validated with bench_json_check; a bench
+# that emits invalid (or no) JSON fails the run loudly.
 #
-# Usage: bench/run_benches.sh [build-dir]
+# Usage: bench/run_benches.sh [--smoke] [build-dir]
 #   build-dir defaults to ./build (must already be configured and built;
-#   `cmake --build <build-dir> --target bench_exec bench_serve` first).
+#   `cmake --build <build-dir>` first).
+#   --smoke: tiny iteration counts, results written under
+#   <build-dir>/bench-smoke instead of the repo root (so a smoke run
+#   never clobbers the tracked numbers), acceptance gates reported but
+#   not enforced. This is what the bench_smoke ctest entry runs, so the
+#   bench binaries are exercised in tier-1 verification.
 set -eu
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 BENCH_DIR="$BUILD_DIR/bench"
 
-for BIN in bench_exec bench_serve; do
+for BIN in bench_exec bench_serve bench_scaling bench_json_check; do
   if [ ! -x "$BENCH_DIR/$BIN" ]; then
     echo "error: $BENCH_DIR/$BIN not found or not executable." >&2
     echo "Build it with: cmake --build \"$BUILD_DIR\" --target $BIN" >&2
@@ -20,14 +33,43 @@ for BIN in bench_exec bench_serve; do
   fi
 done
 
-export SAFETSA_BENCH_DIR="$REPO_ROOT"
+if [ "$SMOKE" = 1 ]; then
+  export SAFETSA_BENCH_SMOKE=1
+  export SAFETSA_BENCH_DIR="$BUILD_DIR/bench-smoke"
+  mkdir -p "$SAFETSA_BENCH_DIR"
+  GBENCH_ARGS="--benchmark_min_time=0.01"
+else
+  export SAFETSA_BENCH_DIR="$REPO_ROOT"
+  GBENCH_ARGS=""
+fi
+
+# Fails loudly (exit 1) when the just-emitted BENCH_<suite>.json is
+# missing or not valid JSON.
+check_json() {
+  JSON="$SAFETSA_BENCH_DIR/BENCH_$1.json"
+  if [ ! -f "$JSON" ]; then
+    echo "error: $1 bench did not emit $JSON" >&2
+    exit 1
+  fi
+  "$BENCH_DIR/bench_json_check" "$JSON"
+}
 
 echo "== bench_exec (tree-walk vs tier 0 vs tier 1) =="
 "$BENCH_DIR/bench_exec"
+check_json exec
+
+echo
+echo "== bench_scaling (warm-path thread scaling) =="
+"$BENCH_DIR/bench_scaling"
+check_json scaling
 
 echo
 echo "== bench_serve (distribution layer) =="
-"$BENCH_DIR/bench_serve"
+# shellcheck disable=SC2086
+"$BENCH_DIR/bench_serve" $GBENCH_ARGS
+check_json serve
 
 echo
-echo "Results: $REPO_ROOT/BENCH_exec.json $REPO_ROOT/BENCH_serve.json"
+echo "Results: $SAFETSA_BENCH_DIR/BENCH_exec.json" \
+     "$SAFETSA_BENCH_DIR/BENCH_scaling.json" \
+     "$SAFETSA_BENCH_DIR/BENCH_serve.json"

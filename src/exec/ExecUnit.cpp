@@ -509,9 +509,10 @@ DispatchLoop:
     assert(MS->VTableSlot >= 0 &&
            static_cast<size_t>(MS->VTableSlot) < Cell.Class->VTable.size() &&
            "bad vtable slot");
-    // Tier 0: feed the receiver-class profile for this site.
+    // Tier 0: feed the receiver-class profile for this site (striped per
+    // thread, so concurrent profiling never shares a counter line).
     if (Prof && In->S >= 0)
-      Prof->site(static_cast<uint32_t>(In->S)).record(Cell.Class);
+      Prof->recordDispatch(static_cast<uint32_t>(In->S), Cell.Class);
     const MethodSymbol *Target = Cell.Class->VTable[MS->VTableSlot];
     const ExecUnit *Callee = PM.unitFor(Target);
     if (!Callee)

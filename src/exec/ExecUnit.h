@@ -123,11 +123,13 @@ struct ExecInst {
 /// One resolved inline cache (tier 1): receiver-class guards with direct
 /// callee units, plus the statically-named method for the vtable fallback
 /// on a guard miss. Ways is 1 for a monomorphic site (DispatchMono) and
-/// 2..DispatchProfile::kWays for a polymorphic one (DispatchIC); sites
+/// 2..ProfileData::kWays for a polymorphic one (DispatchIC); sites
 /// whose profile overflowed are demoted to the plain Dispatch vtable
 /// path. Immutable after re-preparation, like all prepared state.
 struct ICEntry {
   static constexpr unsigned kMaxWays = 4;
+  static_assert(kMaxWays == ProfileData::kWays,
+                "IC ways must match the profile's tracked ways");
   const ClassSymbol *Classes[kMaxWays] = {};
   const ExecUnit *Targets[kMaxWays] = {};
   uint8_t Ways = 0;
@@ -163,6 +165,11 @@ public:
   /// Tier-1 inline caches (DispatchMono / DispatchIC sites, by
   /// ExecInst::S); empty in tier 0.
   std::vector<ICEntry> ICs;
+  /// Tier-1 only: dispatch sites in this unit lowered to a guard-free
+  /// direct call by closed-world devirtualization. Together with ICs,
+  /// this is the "did tier 1 improve any call in this unit" signal the
+  /// fusion guard consults (see prepareModule pass 3).
+  uint32_t DevirtSites = 0;
 };
 
 /// A module lowered for execution. Holds no ownership of the source
@@ -185,10 +192,38 @@ public:
   /// mutable-by-design — all counters are relaxed atomics — so profiling
   /// works through the const module the cache shares.
   std::unique_ptr<ProfileData> Profile;
+  /// How tier-1 lowering classified the module's dispatch sites — the
+  /// prepare-time truth the benches report. Runtime opcode counts alone
+  /// cannot see this: closed-world devirtualization turns most
+  /// profiled-monomorphic sites into plain CallUnit, indistinguishable
+  /// from static calls, which is why countOp(DispatchMono) reads 0 on a
+  /// whole-program corpus (every single-receiver site is also
+  /// single-implementation). Zeroed at tier 0.
+  struct TierStats {
+    uint32_t ProfiledMono = 0;   ///< Sites whose profile saw one class.
+    uint32_t ProfiledPoly = 0;   ///< 2..kWays classes, no overflow.
+    uint32_t Megamorphic = 0;    ///< Overflowed; stay on the vtable.
+    uint32_t DevirtCalls = 0;    ///< Closed-world guard-free direct calls.
+    uint32_t MonoICs = 0;        ///< DispatchMono (one-guard direct call).
+    uint32_t PolyICs = 0;        ///< DispatchIC (bounded PIC).
+    uint32_t VtableSites = 0;    ///< Left on the generic Dispatch path.
+    /// Profiled-monomorphic sites that ended as a direct call — guarded
+    /// (DispatchMono) or guard-free (devirtualized). The bench's
+    /// tier1_mono_sites metric.
+    uint32_t MonoLoweredDirect = 0;
+    /// Units whose tier-1 stream kept the tier-0 shape because fusion
+    /// was vetoed by the per-unit guard (see fuseUnit's caller).
+    uint32_t FusionGuardedUnits = 0;
+  };
+  TierStats Tiering;
+
   /// Tier-1 runtime counters: guard hits / vtable fallbacks across every
   /// executing thread (TSAExec flushes per-call local tallies here).
-  mutable std::atomic<uint64_t> ICHits{0};
-  mutable std::atomic<uint64_t> ICMisses{0};
+  /// Cache-line-padded: these are the only shared mutable words on a
+  /// tier-1 module, and they must not false-share with the adjacent
+  /// immutable fields every executing thread reads.
+  alignas(64) mutable std::atomic<uint64_t> ICHits{0};
+  alignas(64) mutable std::atomic<uint64_t> ICMisses{0};
 
   const ExecUnit *unitFor(const MethodSymbol *M) const {
     return M && M->GlobalId < ByGlobalId.size() ? ByGlobalId[M->GlobalId]
@@ -219,6 +254,14 @@ struct PrepareOptions {
   uint32_t Tier = 0;
   /// Tier 1: skip superinstruction fusion (env: SAFETSA_EXEC_NOFUSION).
   bool NoFusion = false;
+  /// Tier 1: disable the per-unit fusion guard, fusing every unit
+  /// unconditionally. The guard keeps a unit's tier-0 stream shape when
+  /// re-preparation found no call improvement there (no ICs, no devirt)
+  /// and fusion would only rewrite compare+branch pairs — the one fusion
+  /// family with a measured-regression history on branchy, call-free
+  /// units (tier1_speedup dips below 1x when data-dependent branch
+  /// chains pay the fused handler's double dispatch).
+  bool NoFusionGuard = false;
   /// Tier 1: skip inline caches and speculative/closed-world
   /// devirtualization; dispatches stay on the vtable path.
   bool NoInlineCaches = false;

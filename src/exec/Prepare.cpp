@@ -68,8 +68,9 @@ namespace {
 class MethodLowerer {
 public:
   MethodLowerer(const PreparedModule &PM, const TSAMethod &M, ExecUnit &U,
-                const PrepareOptions &Opts, uint32_t &NextSite)
-      : PM(PM), M(M), U(U), Opts(Opts), NextSite(NextSite) {}
+                const PrepareOptions &Opts, uint32_t &NextSite,
+                PreparedModule::TierStats &Stats)
+      : PM(PM), M(M), U(U), Opts(Opts), NextSite(NextSite), Stats(Stats) {}
 
   /// False when the method exceeds prepared-form limits (frame slots or
   /// call arity); the unit is then unusable.
@@ -568,36 +569,57 @@ private:
     }
     if (Opts.NoInlineCaches)
       return;
+    // Classify the site from the tier-0 profile *before* deciding how to
+    // lower it: closed-world devirtualization below subsumes most
+    // profiled-monomorphic sites (single receiver class implies single
+    // implementation on a whole-program corpus), so classification by
+    // emitted opcode alone would undercount them — the tier1_mono_sites
+    // == 0 artifact this bookkeeping exists to fix.
+    const ProfileData *Prof = Opts.Profile;
+    ProfileData::SiteSummary DP;
+    if (Prof && Site < Prof->numSites())
+      DP = Prof->site(Site);
+    unsigned Ways = DP.distinct();
+    bool Mega = DP.megamorphic();
+    if (Mega)
+      ++Stats.Megamorphic;
+    else if (Ways == 1)
+      ++Stats.ProfiledMono;
+    else if (Ways > 1)
+      ++Stats.ProfiledPoly;
     // Closed-world devirtualization: MJ modules are whole programs, so
     // when every class that can reach this site resolves the vtable slot
     // to one unit, no guard is needed — the site becomes a direct call.
     if (const ExecUnit *Only = closedWorldTarget(I.Method)) {
       X.Op = XOp::CallUnit;
       X.P = Only;
+      ++Stats.DevirtCalls;
+      ++U.DevirtSites;
+      if (Ways == 1 && !Mega)
+        ++Stats.MonoLoweredDirect;
       return;
     }
     // Speculative inline cache from the tier-0 receiver-class profile:
     // 1 recorded class -> monomorphic guard, 2..kWays -> bounded PIC,
     // overflow -> megamorphic demotion back to the plain vtable path.
-    const ProfileData *Prof = Opts.Profile;
-    if (!Prof || Site >= Prof->numSites())
+    if (Ways == 0 || Mega) {
+      ++Stats.VtableSites;
       return;
-    const DispatchProfile &DP = Prof->site(Site);
-    unsigned Ways = DP.distinct();
-    if (Ways == 0 || DP.megamorphic())
-      return;
+    }
     ICEntry E;
     E.Method = I.Method;
     for (unsigned W = 0; W != Ways; ++W) {
-      const ClassSymbol *C = DP.Classes[W].load(std::memory_order_relaxed);
+      const ClassSymbol *C = DP.Classes[W];
       size_t Slot = static_cast<size_t>(I.Method->VTableSlot);
       const MethodSymbol *T =
           I.Method->VTableSlot >= 0 && Slot < C->VTable.size()
               ? C->VTable[Slot]
               : nullptr;
       const ExecUnit *TU = PM.unitFor(T);
-      if (!TU)
+      if (!TU) {
+        ++Stats.VtableSites;
         return; // Native/bodyless override: keep the generic path.
+      }
       E.Classes[W] = C;
       E.Targets[W] = TU;
     }
@@ -605,6 +627,12 @@ private:
     X.Op = Ways == 1 ? XOp::DispatchMono : XOp::DispatchIC;
     X.S = static_cast<int32_t>(U.ICs.size());
     U.ICs.push_back(E);
+    if (Ways == 1) {
+      ++Stats.MonoICs;
+      ++Stats.MonoLoweredDirect;
+    } else {
+      ++Stats.PolyICs;
+    }
   }
 
   /// The single unit every possible receiver of \p MS resolves to, or
@@ -651,6 +679,8 @@ private:
   /// Module-wide dispatch-site counter, shared across units (profile
   /// slot allocation at tier 0, profile lookup at tier 1).
   uint32_t &NextSite;
+  /// Module-wide tier-1 site-classification tallies (PM->Tiering).
+  PreparedModule::TierStats &Stats;
 
   std::unordered_map<const Instruction *, uint16_t> Slot;
   std::unordered_map<const BasicBlock *, size_t> BlockEntry;
@@ -758,6 +788,56 @@ static void fuseUnit(ExecUnit &U) {
   }
 }
 
+/// Per-unit fusion guard: true when fusing \p U could only produce
+/// compare+branch superinstructions AND tier 1 found no call improvement
+/// in the unit (no inline caches, no devirtualized sites). Cmp+BrFalse
+/// is the one fusion family with a measured-regression history — its
+/// handler branches and redispatches per arm, which loses on
+/// data-dependent branch chains (a cmov PC select was worse still, see
+/// DESIGN.md §11) — so when a unit offers nothing else, the re-prepared
+/// stream is not a predictable improvement and the tier-0 shape is kept.
+/// Units with any unconditional-win fusion (move coalescing, fused
+/// null/index-checked accesses) or any IC/devirt gain always fuse.
+static bool fusionOnlyCondBranches(const ExecUnit &U) {
+  if (!U.ICs.empty() || U.DevirtSites != 0)
+    return false;
+  // Mirror fuseUnit's pair matching (targets included) in a dry run.
+  const size_t N = U.Code.size();
+  std::vector<bool> IsTarget(N + 1, false);
+  for (const ExecInst &X : U.Code) {
+    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse)
+      IsTarget[static_cast<size_t>(X.X)] = true;
+    if (X.Handler >= 0)
+      IsTarget[static_cast<size_t>(X.Handler)] = true;
+  }
+  bool AnyCondBr = false;
+  for (size_t I = 0; I + 1 < N; ++I) {
+    if (IsTarget[I + 1])
+      continue;
+    const ExecInst &A = U.Code[I];
+    const ExecInst &B = U.Code[I + 1];
+    bool CmpBr = ((A.Op >= XOp::CmpLtI && A.Op <= XOp::CmpNeI) ||
+                  (A.Op >= XOp::CmpLtD && A.Op <= XOp::CmpNeD)) &&
+                 B.Op == XOp::BrFalse && B.A == A.Dst;
+    if (CmpBr) {
+      AnyCondBr = true;
+      ++I;
+      continue;
+    }
+    bool OtherPair =
+        (A.Op == XOp::Move &&
+         (B.Op == XOp::Jmp || B.Op == XOp::Move)) ||
+        (A.Op == XOp::NullCheck &&
+         (B.Op == XOp::GetField || B.Op == XOp::SetField) && B.A == A.Dst) ||
+        (A.Op == XOp::IndexCheck &&
+         (B.Op == XOp::GetElt || B.Op == XOp::SetElt) && B.A == A.A &&
+         B.B == A.Dst);
+    if (OtherPair)
+      return false; // An unconditional-win fusion exists; fuse the unit.
+  }
+  return AnyCondBr;
+}
+
 static bool envFlag(const char *Name) {
   const char *E = std::getenv(Name);
   return E && *E && !(E[0] == '0' && E[1] == '\0');
@@ -794,16 +874,23 @@ safetsa::prepareModule(const TSAModule &Module, const PrepareOptions &Opts) {
   // module-wide in lowering order (deterministic across preparations).
   uint32_t NextSite = 0;
   for (auto &U : PM->Units) {
-    MethodLowerer L(*PM, *U->Method, *U, Opts, NextSite);
+    MethodLowerer L(*PM, *U->Method, *U, Opts, NextSite, PM->Tiering);
     if (!L.run())
       return nullptr;
   }
 
   // Pass 3 (tier 1): fuse after every handler stub and branch target has
-  // been patched, so the peephole sees final indices.
+  // been patched, so the peephole sees final indices. The per-unit guard
+  // keeps the tier-0 stream shape where the re-prepared form would not
+  // be an improvement (compare+branch-only units with no call gains).
   if (Opts.Tier >= 1 && !Opts.NoFusion && !envFlag("SAFETSA_EXEC_NOFUSION"))
-    for (auto &U : PM->Units)
+    for (auto &U : PM->Units) {
+      if (!Opts.NoFusionGuard && fusionOnlyCondBranches(*U)) {
+        ++PM->Tiering.FusionGuardedUnits;
+        continue;
+      }
       fuseUnit(*U);
+    }
 
   // Tier 0 carries the side profile the optimizing tier will consume.
   if (Opts.Tier == 0)

@@ -1,4 +1,4 @@
-//===- exec/Profile.cpp - Profile/tier introspection ----------*- C++ -*-===//
+//===- exec/Profile.cpp - Profile storage + tier introspection -*- C++ -*-===//
 //
 // Part of the SafeTSA reproduction. MIT license.
 //
@@ -7,8 +7,54 @@
 #include "exec/ExecUnit.h"
 
 #include <cstdio>
+#include <new>
 
 using namespace safetsa;
+
+/// 64-byte-aligned zeroed atomic array, so each stripe's counters start
+/// on their own cache line and never false-share with a neighbour
+/// stripe's allocation.
+static std::atomic<uint64_t> *allocCounterArray(size_t N) {
+  if (N == 0)
+    return nullptr;
+  size_t Bytes = (N * sizeof(std::atomic<uint64_t>) + 63) / 64 * 64;
+  void *Raw = ::operator new(Bytes, std::align_val_t(64));
+  auto *P = static_cast<std::atomic<uint64_t> *>(Raw);
+  for (size_t I = 0; I != N; ++I)
+    new (P + I) std::atomic<uint64_t>(0);
+  return P;
+}
+
+static void freeCounterArray(std::atomic<uint64_t> *P) {
+  // std::atomic<uint64_t> is trivially destructible.
+  if (P)
+    ::operator delete(P, std::align_val_t(64));
+}
+
+ProfileData::ProfileData(size_t NumUnits, size_t NumSites)
+    : NUnits(NumUnits), NSites(NumSites), Classes(NumSites * kWays) {
+  for (auto &W : Classes)
+    W.store(nullptr, std::memory_order_relaxed);
+  for (Stripe &S : Stripes) {
+    S.Inv = allocCounterArray(NUnits);
+    S.Cnt = allocCounterArray(NSites * kCols);
+  }
+}
+
+ProfileData::~ProfileData() {
+  for (Stripe &S : Stripes) {
+    freeCounterArray(S.Inv);
+    freeCounterArray(S.Cnt);
+  }
+}
+
+uint64_t ProfileData::totalDispatchSamples() const {
+  uint64_t T = 0;
+  for (const Stripe &S : Stripes)
+    for (size_t I = 0, N = NSites * kCols; I != N; ++I)
+      T += S.Cnt[I].load(std::memory_order_relaxed);
+  return T;
+}
 
 /// Superinstructions occupy two code slots: the fused instruction plus
 /// the (never-dispatched) original second instruction kept behind it so
@@ -31,20 +77,24 @@ size_t PreparedModule::countOp(XOp Op) const {
 }
 
 std::string safetsa::renderTierSummary(const PreparedModule &PM) {
-  char Buf[256];
+  char Buf[320];
   size_t Fused = 0;
   for (unsigned Op = static_cast<unsigned>(XOp::BrCmpLtI);
        Op <= static_cast<unsigned>(XOp::MoveJmp); ++Op)
     Fused += PM.countOp(static_cast<XOp>(Op));
-  std::snprintf(Buf, sizeof(Buf),
-                "tier=%u units=%zu insts=%zu mono=%zu poly=%zu "
-                "vtable=%zu direct=%zu fused=%zu ichits=%llu icmisses=%llu",
-                PM.Tier, PM.Units.size(), PM.totalCode(),
-                PM.countOp(XOp::DispatchMono), PM.countOp(XOp::DispatchIC),
-                PM.countOp(XOp::Dispatch), PM.countOp(XOp::CallUnit), Fused,
-                static_cast<unsigned long long>(
-                    PM.ICHits.load(std::memory_order_relaxed)),
-                static_cast<unsigned long long>(
-                    PM.ICMisses.load(std::memory_order_relaxed)));
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "tier=%u units=%zu insts=%zu mono=%zu poly=%zu "
+      "vtable=%zu direct=%zu fused=%zu profmono=%u monodirect=%u "
+      "devirt=%u fguard=%u ichits=%llu icmisses=%llu",
+      PM.Tier, PM.Units.size(), PM.totalCode(),
+      PM.countOp(XOp::DispatchMono), PM.countOp(XOp::DispatchIC),
+      PM.countOp(XOp::Dispatch), PM.countOp(XOp::CallUnit), Fused,
+      PM.Tiering.ProfiledMono, PM.Tiering.MonoLoweredDirect,
+      PM.Tiering.DevirtCalls, PM.Tiering.FusionGuardedUnits,
+      static_cast<unsigned long long>(
+          PM.ICHits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          PM.ICMisses.load(std::memory_order_relaxed)));
   return Buf;
 }

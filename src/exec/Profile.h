@@ -13,9 +13,21 @@
 /// prepared code stays immutable and shareable, and every counter is a
 /// relaxed atomic, so any number of TSAExec instances can execute (and
 /// profile) one PreparedModule concurrently with no races (TSan-proved
-/// by the exec-tier tests). Profiling writes are cheap — one fetch_add
-/// per activation, one bounded scan + fetch_add per virtual dispatch —
-/// which is what lets tier 0 profile always-on.
+/// by the exec-tier tests).
+///
+/// Counters are *striped per thread* (ShardedCounter::threadStripe picks
+/// the stripe, each stripe's arrays are cache-line-aligned allocations)
+/// so always-on tier-0 profiling does not ping-pong one cache line
+/// between executing threads: recordInvocation / recordDispatch touch
+/// only the calling thread's stripe. The one shared piece is the
+/// first-seen receiver-class table (Ways below), claimed by CAS exactly
+/// as before — it is written at most kWays times per site ever, so
+/// sharing it costs nothing, and it preserves the deterministic
+/// first-seen recording order the replay tests assert (single-threaded
+/// executions still yield identical tier-1 streams). Readers merge the
+/// stripes on demand: site() returns a summed SiteSummary snapshot, the
+/// flush/merge point reprepareModule() reads through when it consumes
+/// the profile.
 ///
 /// When a method crosses the hot threshold, reprepareModule() consumes
 /// the profile and produces a tier-1 stream with inline caches,
@@ -24,14 +36,14 @@
 /// re-preparation time from the recorded classes: one distinct receiver
 /// class -> monomorphic cache, up to kWays -> polymorphic cache, more
 /// (Overflow != 0) -> megamorphic demotion back to the plain vtable
-/// dispatch. Because recording is first-seen-ordered and re-preparation
-/// only reads, identical executions yield identical tier-1 streams — the
-/// determinism the replay tests assert.
+/// dispatch.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SAFETSA_EXEC_PROFILE_H
 #define SAFETSA_EXEC_PROFILE_H
+
+#include "support/ShardedCounter.h"
 
 #include <atomic>
 #include <cstdint>
@@ -42,111 +54,142 @@ namespace safetsa {
 
 struct ClassSymbol;
 
-/// Bounded receiver-class profile for one virtual-dispatch site.
-/// Classes are claimed first-seen via CAS; samples of classes beyond the
-/// kWays distinct ones land in Overflow (the megamorphic signal).
-struct DispatchProfile {
+/// The full profile side table for one tier-0 PreparedModule. Sized at
+/// preparation time (one invocation slot per unit, one bounded
+/// receiver-class profile per lowered Dispatch site, module-wide);
+/// indices are baked into ExecUnit::Index and ExecInst::S so recording
+/// is a stripe pick plus a direct array access.
+class ProfileData {
+public:
+  /// Distinct receiver classes tracked per site; more overflow into the
+  /// megamorphic tally. Must match ICEntry::kMaxWays (static_assert in
+  /// ExecUnit.h).
   static constexpr unsigned kWays = 4;
+  /// Counter stripes. A power of two; modest because each stripe carries
+  /// full per-unit/per-site arrays.
+  static constexpr unsigned kStripes = 8;
 
-  std::atomic<const ClassSymbol *> Classes[kWays];
-  std::atomic<uint64_t> Counts[kWays];
-  std::atomic<uint64_t> Overflow;
+  /// Merged read-side snapshot of one dispatch site: classes in
+  /// first-seen claim order with per-class sample counts summed across
+  /// all thread stripes.
+  struct SiteSummary {
+    const ClassSymbol *Classes[kWays] = {};
+    uint64_t Counts[kWays] = {};
+    uint64_t Overflow = 0;
 
-  DispatchProfile() : Overflow(0) {
-    for (unsigned I = 0; I != kWays; ++I) {
-      Classes[I].store(nullptr, std::memory_order_relaxed);
-      Counts[I].store(0, std::memory_order_relaxed);
+    /// Number of distinct receiver classes recorded (<= kWays).
+    unsigned distinct() const {
+      unsigned N = 0;
+      while (N != kWays && Classes[N])
+        ++N;
+      return N;
     }
+    bool megamorphic() const { return Overflow != 0; }
+    /// Total samples, including overflow.
+    uint64_t total() const {
+      uint64_t T = Overflow;
+      for (uint64_t C : Counts)
+        T += C;
+      return T;
+    }
+  };
+
+  ProfileData(size_t NumUnits, size_t NumSites);
+  ~ProfileData();
+  ProfileData(const ProfileData &) = delete;
+  ProfileData &operator=(const ProfileData &) = delete;
+
+  /// Records one activation of unit \p UnitIdx. Lock-free; touches only
+  /// the calling thread's stripe.
+  void recordInvocation(uint32_t UnitIdx) {
+    stripe().Inv[UnitIdx].fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Records one dispatch with receiver class \p C. Lock-free; safe from
-  /// any number of threads.
-  void record(const ClassSymbol *C) {
+  /// Records one dispatch at site \p SiteIdx with receiver class \p C.
+  /// Lock-free; safe from any number of threads. The class way is
+  /// claimed first-seen via CAS in the shared table; the sample count
+  /// lands in the calling thread's stripe.
+  void recordDispatch(uint32_t SiteIdx, const ClassSymbol *C) {
+    std::atomic<const ClassSymbol *> *Ways = &Classes[SiteIdx * kWays];
+    Stripe &S = stripe();
     for (unsigned I = 0; I != kWays; ++I) {
-      const ClassSymbol *Cur = Classes[I].load(std::memory_order_relaxed);
+      const ClassSymbol *Cur = Ways[I].load(std::memory_order_relaxed);
       if (Cur == nullptr) {
         // Claim the first free way; on a lost race fall through to
         // whatever the winner installed.
-        if (Classes[I].compare_exchange_strong(Cur, C,
-                                               std::memory_order_relaxed))
+        if (Ways[I].compare_exchange_strong(Cur, C,
+                                            std::memory_order_relaxed))
           Cur = C;
       }
       if (Cur == C) {
-        Counts[I].fetch_add(1, std::memory_order_relaxed);
+        S.Cnt[SiteIdx * kCols + I].fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
-    Overflow.fetch_add(1, std::memory_order_relaxed);
+    S.Cnt[SiteIdx * kCols + kWays].fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Number of distinct receiver classes recorded (<= kWays).
-  unsigned distinct() const {
-    unsigned N = 0;
-    while (N != kWays && Classes[N].load(std::memory_order_relaxed))
-      ++N;
-    return N;
-  }
-
-  /// Total samples, including overflow.
-  uint64_t total() const {
-    uint64_t T = Overflow.load(std::memory_order_relaxed);
-    for (unsigned I = 0; I != kWays; ++I)
-      T += Counts[I].load(std::memory_order_relaxed);
+  /// Activations of unit \p UnitIdx, summed across stripes.
+  uint64_t invocations(uint32_t UnitIdx) const {
+    uint64_t T = 0;
+    for (const Stripe &S : Stripes)
+      T += S.Inv[UnitIdx].load(std::memory_order_relaxed);
     return T;
   }
 
-  bool megamorphic() const {
-    return Overflow.load(std::memory_order_relaxed) != 0;
-  }
-};
-
-/// The full profile side table for one tier-0 PreparedModule. Sized at
-/// preparation time (one slot per unit, one DispatchProfile per lowered
-/// Dispatch site, module-wide); indices are baked into ExecUnit::Index
-/// and ExecInst::S so recording is a direct array access.
-class ProfileData {
-public:
-  ProfileData(size_t NumUnits, size_t NumSites)
-      : Invocations(NumUnits), Sites(NumSites) {
-    for (auto &C : Invocations)
-      C.store(0, std::memory_order_relaxed);
-  }
-
-  void recordInvocation(uint32_t UnitIdx) {
-    Invocations[UnitIdx].fetch_add(1, std::memory_order_relaxed);
-  }
-  uint64_t invocations(uint32_t UnitIdx) const {
-    return Invocations[UnitIdx].load(std::memory_order_relaxed);
+  /// Merged snapshot of site \p SiteIdx (the re-preparation flush/merge
+  /// point; also what tests read).
+  SiteSummary site(uint32_t SiteIdx) const {
+    SiteSummary Out;
+    const std::atomic<const ClassSymbol *> *Ways = &Classes[SiteIdx * kWays];
+    for (unsigned I = 0; I != kWays; ++I)
+      Out.Classes[I] = Ways[I].load(std::memory_order_relaxed);
+    for (const Stripe &S : Stripes) {
+      for (unsigned I = 0; I != kWays; ++I)
+        Out.Counts[I] +=
+            S.Cnt[SiteIdx * kCols + I].load(std::memory_order_relaxed);
+      Out.Overflow +=
+          S.Cnt[SiteIdx * kCols + kWays].load(std::memory_order_relaxed);
+    }
+    return Out;
   }
 
-  DispatchProfile &site(uint32_t SiteIdx) { return Sites[SiteIdx]; }
-  const DispatchProfile &site(uint32_t SiteIdx) const {
-    return Sites[SiteIdx];
-  }
-
-  size_t numUnits() const { return Invocations.size(); }
-  size_t numSites() const { return Sites.size(); }
+  size_t numUnits() const { return NUnits; }
+  size_t numSites() const { return NSites; }
 
   /// True when any method has been entered at least \p Threshold times —
   /// the re-quickening trigger the cache polls.
   bool anyHot(uint64_t Threshold) const {
-    for (const auto &C : Invocations)
-      if (C.load(std::memory_order_relaxed) >= Threshold)
+    for (size_t U = 0; U != NUnits; ++U)
+      if (invocations(static_cast<uint32_t>(U)) >= Threshold)
         return true;
     return false;
   }
 
   /// Total recorded virtual-dispatch samples (call-heaviness metric).
-  uint64_t totalDispatchSamples() const {
-    uint64_t T = 0;
-    for (const auto &S : Sites)
-      T += S.total();
-    return T;
-  }
+  uint64_t totalDispatchSamples() const;
 
 private:
-  std::vector<std::atomic<uint64_t>> Invocations;
-  std::vector<DispatchProfile> Sites;
+  /// Columns per site in a stripe's count matrix: kWays class tallies
+  /// plus the overflow (megamorphic) tally.
+  static constexpr unsigned kCols = kWays + 1;
+
+  /// One thread stripe: separate 64-byte-aligned atomic arrays, so two
+  /// stripes never share a cache line.
+  struct Stripe {
+    std::atomic<uint64_t> *Inv = nullptr; ///< [NumUnits]
+    std::atomic<uint64_t> *Cnt = nullptr; ///< [NumSites * kCols]
+  };
+
+  Stripe &stripe() {
+    return Stripes[ShardedCounter::threadStripe() % kStripes];
+  }
+
+  size_t NUnits;
+  size_t NSites;
+  /// Shared first-seen class ways, [NumSites * kWays], CAS-claimed.
+  std::vector<std::atomic<const ClassSymbol *>> Classes;
+  Stripe Stripes[kStripes];
 };
 
 } // namespace safetsa

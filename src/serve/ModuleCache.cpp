@@ -9,6 +9,7 @@
 #include "exec/ExecUnit.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace safetsa;
 
@@ -29,25 +30,82 @@ struct ModuleCache::Entry {
   bool Ready = false;
   bool Preparing = false; ///< A thread is lowering this entry right now.
   bool RepreparingT1 = false; ///< A thread is re-quickening right now.
-  bool InLru = false;
-  std::list<Digest>::iterator LruIt; ///< Valid iff InLru.
+  /// CLOCK second-chance bit. Set (relaxed, lock-free) by every hit;
+  /// cleared by the evicting sweep under the shard lock. Starts false so
+  /// an entry that is admitted and never re-referenced is first in line,
+  /// which preserves the LRU-like victim order the eviction tests pin.
+  std::atomic<bool> Touched{false};
+};
+
+/// One slot of a shard's published index: the digest, the entry (for the
+/// Touched bit), and plain copies of the servable forms. Views are built
+/// under the shard lock and immutable afterwards — readers only ever
+/// copy these shared_ptrs, so no field is ever written concurrently with
+/// a read.
+struct ModuleCache::View {
+  Digest D{0, 0};
+  std::shared_ptr<Entry> E; ///< Null = empty slot.
+  std::shared_ptr<const DecodedUnit> Unit;
+  std::shared_ptr<const PreparedModule> Prepared;
+  std::shared_ptr<const PreparedModule> PreparedT1;
+};
+
+/// Immutable open-addressed index of a shard's ready entries (linear
+/// probing, power-of-two capacity, load factor <= 1/2 so a probe always
+/// terminates on an empty slot).
+struct ModuleCache::Snapshot {
+  size_t Mask = 0;
+  std::vector<View> Slots;
+
+  const View *find(const Digest &D) const {
+    for (size_t I = DigestHash()(D) & Mask;; I = (I + 1) & Mask) {
+      const View &V = Slots[I];
+      if (!V.E)
+        return nullptr;
+      if (V.D == D)
+        return &V;
+    }
+  }
 };
 
 struct ModuleCache::Shard {
   std::mutex M;
   std::condition_variable ReadyCV;
+  /// Authoritative state (ready + in-flight entries). Guarded by M.
   std::unordered_map<Digest, std::shared_ptr<Entry>, DigestHash> Map;
-  std::list<Digest> Lru; ///< Front = most recently used.
+  /// CLOCK ring of resident (ready) digests + the sweep hand. Guarded by
+  /// M. Invariant: ring members are exactly the Ready entries of Map.
+  std::vector<Digest> Clock;
+  size_t Hand = 0;
   size_t Bytes = 0;
-  CacheStats Stats; ///< Entries/Bytes are recomputed at read time.
+  /// Index publication (the lock-free read path's source of truth).
+  /// Snap is guarded by PubM — a tiny critical section touched only by
+  /// publishers (who already hold M) and by readers *refreshing a stale
+  /// thread-local copy*; a reader whose cached SnapId still matches
+  /// never takes any lock. SnapId values come from a process-global
+  /// monotonic counter, so no two shards (even at a reused address)
+  /// ever publish the same id — which is what makes the thread-local
+  /// cache's (shard, id) match test sound.
+  std::mutex PubM;
+  std::shared_ptr<const Snapshot> Snap; ///< Guarded by PubM.
+  std::atomic<uint64_t> SnapId{0};      ///< Globally unique; release-stored.
 };
+
+/// Process-global snapshot id allocator (never reused, never zero).
+static std::atomic<uint64_t> NextSnapId{0};
 
 ModuleCache::ModuleCache(size_t CapacityBytes, unsigned NumShards)
     : NumShards(std::max(1u, NumShards)),
       ShardCapacity(std::max<size_t>(1, CapacityBytes / this->NumShards)) {
   Shards.reserve(this->NumShards);
-  for (unsigned I = 0; I != this->NumShards; ++I)
+  for (unsigned I = 0; I != this->NumShards; ++I) {
     Shards.push_back(std::make_unique<Shard>());
+    // A fresh id even for the empty shard keeps ids unique per shard
+    // instance, so a stale thread-local slot from a destroyed cache at
+    // the same address can never false-match.
+    Shards.back()->SnapId.store(NextSnapId.fetch_add(1) + 1,
+                                std::memory_order_relaxed);
+  }
 }
 
 ModuleCache::~ModuleCache() = default;
@@ -57,10 +115,105 @@ ModuleCache::Shard &ModuleCache::shardFor(const Digest &D) {
   return *Shards[static_cast<size_t>(D.Hi ^ D.Lo) % NumShards];
 }
 
+void ModuleCache::publishIndex(Shard &S) {
+  size_t N = S.Clock.size();
+  size_t Cap = 8;
+  while (Cap < 2 * (N + 1))
+    Cap <<= 1;
+  auto Snap = std::make_shared<Snapshot>();
+  Snap->Mask = Cap - 1;
+  Snap->Slots.resize(Cap);
+  for (const auto &KV : S.Map) {
+    const std::shared_ptr<Entry> &E = KV.second;
+    if (!E->Ready)
+      continue; // In-flight: not servable, not published.
+    size_t I = DigestHash()(KV.first) & Snap->Mask;
+    while (Snap->Slots[I].E)
+      I = (I + 1) & Snap->Mask;
+    View &V = Snap->Slots[I];
+    V.D = KV.first;
+    V.E = E;
+    V.Unit = E->Unit;
+    V.Prepared = E->Prepared;
+    V.PreparedT1 = E->PreparedT1;
+  }
+  // Publish under PubM, then release-store the new id. A reader either
+  // (a) observes the new id via its acquire load, misses its
+  // thread-local cache, and copies Snap under PubM (the mutex orders the
+  // View contents), or (b) still observes the old id and keeps serving
+  // its cached — fully constructed — old snapshot. Either way it never
+  // sees a partially built index.
+  uint64_t Id = NextSnapId.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> PubLock(S.PubM);
+  S.Snap = std::move(Snap);
+  S.SnapId.store(Id, std::memory_order_release);
+}
+
+const ModuleCache::Snapshot *ModuleCache::currentSnapshot(Shard &S) {
+  // Per-thread direct-mapped cache of (shard, id) -> snapshot. The hot
+  // path is one acquire load plus a TLS compare: no lock, no shared
+  // atomic RMW (in particular no shared_ptr refcount ping-pong — the
+  // reason this is not std::atomic<shared_ptr>; libstdc++ 12's
+  // _Sp_atomic also unlocks its internal spinlock with a relaxed RMW on
+  // load, which TSan rightly flags as racing the store side).
+  //
+  // The returned raw pointer stays valid until *this thread* next
+  // refreshes the same slot, so callers must finish probing before any
+  // nested call that might touch the same shard's snapshot.
+  struct TLSlot {
+    const void *Key = nullptr;
+    uint64_t Id = 0;
+    std::shared_ptr<const Snapshot> Snap;
+  };
+  static thread_local TLSlot Slots[8];
+  TLSlot &Slot = Slots[(reinterpret_cast<uintptr_t>(&S) >> 6) & 7];
+  uint64_t Id = S.SnapId.load(std::memory_order_acquire);
+  if (Slot.Key == &S && Slot.Id == Id)
+    return Slot.Snap.get();
+  // Stale (or foreign) slot: refresh under the publication mutex. Id and
+  // Snap are copied together under PubM, so a slot id match always pairs
+  // with that id's snapshot.
+  std::lock_guard<std::mutex> PubLock(S.PubM);
+  Slot.Key = &S;
+  Slot.Id = S.SnapId.load(std::memory_order_relaxed);
+  Slot.Snap = S.Snap;
+  return Slot.Snap.get();
+}
+
+void ModuleCache::evictUnderLock(Shard &S, const Entry *JustAdmitted) {
+  // CLOCK second chance: sweep the ring, clearing Touched bits; evict
+  // the first candidate found untouched since the last sweep. Terminates
+  // because each pass strips every second chance and the just-admitted
+  // entry is the only permanent skip (guarded by size() > 1).
+  while (S.Bytes > ShardCapacity && S.Clock.size() > 1) {
+    if (S.Hand >= S.Clock.size())
+      S.Hand = 0;
+    auto It = S.Map.find(S.Clock[S.Hand]);
+    Entry &E = *It->second;
+    if (&E == JustAdmitted ||
+        E.Touched.exchange(false, std::memory_order_relaxed)) {
+      ++S.Hand;
+      continue;
+    }
+    S.Bytes -= E.Charge;
+    S.Map.erase(It);
+    S.Clock.erase(S.Clock.begin() + static_cast<long>(S.Hand));
+    Evictions.add();
+  }
+}
+
 std::shared_ptr<const DecodedUnit>
 ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
                  std::string *Err) {
   Shard &S = shardFor(D);
+  // Lock-free hit path: current snapshot, probe, touch, count.
+  if (const Snapshot *Snap = currentSnapshot(S))
+    if (const View *V = Snap->find(D)) {
+      V->E->Touched.store(true, std::memory_order_relaxed);
+      Hits.add();
+      return V->Unit;
+    }
+
   std::shared_ptr<Entry> E;
   {
     std::unique_lock<std::mutex> Lock(S.M);
@@ -68,15 +221,14 @@ ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
     if (It != S.Map.end()) {
       E = It->second;
       if (E->Ready) {
-        // Only successful entries stay mapped, so Unit is non-null here.
-        ++S.Stats.Hits;
-        if (E->InLru)
-          S.Lru.splice(S.Lru.begin(), S.Lru, E->LruIt);
+        // Admitted between our snapshot load and the lock: still a hit.
+        E->Touched.store(true, std::memory_order_relaxed);
+        Hits.add();
         return E->Unit;
       }
       // Single-flight: another thread is decoding this digest right now.
       // Wait for its verdict instead of decoding redundantly.
-      ++S.Stats.Coalesced;
+      Coalesced.add();
       S.ReadyCV.wait(Lock, [&] { return E->Ready; });
       if (!E->Unit && Err)
         *Err = E->Error;
@@ -84,7 +236,7 @@ ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
     }
     // Miss: claim the flight while still under the lock, then decode
     // outside it so other shard traffic keeps flowing.
-    ++S.Stats.Misses;
+    Misses.add();
     E = std::make_shared<Entry>();
     S.Map.emplace(D, E);
   }
@@ -93,14 +245,14 @@ ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
   std::unique_ptr<DecodedUnit> Unit = Decode(&DecodeErr);
 
   std::lock_guard<std::mutex> Lock(S.M);
-  ++S.Stats.Decodes;
+  Decodes.add();
   // clear() may have dropped our in-flight mapping; re-inserting would
   // resurrect cleared state, so only admit while still the mapped flight.
   auto It = S.Map.find(D);
   bool StillMapped = It != S.Map.end() && It->second == E;
 
   if (!Unit) {
-    ++S.Stats.DecodeFailures;
+    DecodeFailures.add();
     E->Error = DecodeErr.empty() ? "decode failed" : DecodeErr;
     E->Ready = true;
     // Failures are not cached: the next fetch of this digest retries.
@@ -116,21 +268,12 @@ ModuleCache::get(const Digest &D, size_t Charge, const DecodeFn &Decode,
   E->Charge = Charge;
   E->Ready = true;
   if (StillMapped) {
-    S.Lru.push_front(D);
-    E->LruIt = S.Lru.begin();
-    E->InLru = true;
+    S.Clock.push_back(D);
     S.Bytes += Charge;
-    // Evict least-recently-used until back under budget; the entry just
-    // admitted (front) is never evicted even when alone over budget.
-    while (S.Bytes > ShardCapacity && S.Lru.size() > 1) {
-      const Digest Victim = S.Lru.back();
-      auto VIt = S.Map.find(Victim);
-      S.Bytes -= VIt->second->Charge;
-      VIt->second->InLru = false;
-      S.Map.erase(VIt);
-      S.Lru.pop_back();
-      ++S.Stats.Evictions;
-    }
+    // Evict until back under budget; the entry just admitted is never
+    // evicted even when alone over budget.
+    evictUnderLock(S, E.get());
+    publishIndex(S);
   }
   S.ReadyCV.notify_all();
   return E->Unit;
@@ -140,11 +283,20 @@ std::shared_ptr<const PreparedModule>
 ModuleCache::getPrepared(const Digest &D, size_t Charge,
                          const DecodeFn &Decode, const PrepareFn &Prepare,
                          std::string *Err) {
+  Shard &S = shardFor(D);
+  // Lock-free warm hit: decoded AND prepared forms already published.
+  if (const Snapshot *Snap = currentSnapshot(S))
+    if (const View *V = Snap->find(D))
+      if (V->Prepared) {
+        V->E->Touched.store(true, std::memory_order_relaxed);
+        Hits.add();
+        return V->Prepared;
+      }
+
   std::shared_ptr<const DecodedUnit> Unit = get(D, Charge, Decode, Err);
   if (!Unit)
     return nullptr;
 
-  Shard &S = shardFor(D);
   std::shared_ptr<Entry> E;
   {
     std::unique_lock<std::mutex> Lock(S.M);
@@ -167,11 +319,13 @@ ModuleCache::getPrepared(const Digest &D, size_t Charge,
   std::shared_ptr<const PreparedModule> PM = Prepare(Unit, &PrepErr);
 
   std::lock_guard<std::mutex> Lock(S.M);
-  ++S.Stats.Prepares;
+  Prepares.add();
   if (E) {
     E->Preparing = false;
-    if (PM) // Failures are not cached; the next request retries.
+    if (PM) { // Failures are not cached; the next request retries.
       E->Prepared = PM;
+      publishIndex(S);
+    }
     S.ReadyCV.notify_all();
   }
   if (!PM && Err)
@@ -183,12 +337,35 @@ std::shared_ptr<const PreparedModule>
 ModuleCache::getPrepared(const Digest &D, size_t Charge,
                          const DecodeFn &Decode, const PrepareFn &Prepare,
                          const TierPolicy &Tier, std::string *Err) {
+  Shard &S = shardFor(D);
+  // Lock-free warm hits: the settled states — tier 1 cached, or tier 0
+  // cached and not (yet) hot — never take the lock. The hot-but-not-yet-
+  // re-prepared window goes through the locked escalation below.
+  if (const Snapshot *Snap = currentSnapshot(S))
+    if (const View *V = Snap->find(D)) {
+      if (Tier.MaxTier >= 1 && V->PreparedT1) {
+        V->E->Touched.store(true, std::memory_order_relaxed);
+        Hits.add();
+        return V->PreparedT1;
+      }
+      if (V->Prepared) {
+        // A MaxTier==0 caller pins the profiling tier even when a
+        // tier-1 form is cached (ServerTierCapPinsProfilingTier).
+        const ProfileData *Prof = V->Prepared->Profile.get();
+        if (Tier.MaxTier == 0 || !Tier.Reprepare || !Prof ||
+            !Prof->anyHot(Tier.HotThreshold)) {
+          V->E->Touched.store(true, std::memory_order_relaxed);
+          Hits.add();
+          return V->Prepared;
+        }
+      }
+    }
+
   std::shared_ptr<const PreparedModule> T0 =
       getPrepared(D, Charge, Decode, Prepare, Err);
   if (!T0 || Tier.MaxTier == 0 || !Tier.Reprepare)
     return T0;
 
-  Shard &S = shardFor(D);
   std::shared_ptr<Entry> E;
   {
     std::unique_lock<std::mutex> Lock(S.M);
@@ -212,7 +389,7 @@ ModuleCache::getPrepared(const Digest &D, size_t Charge,
   std::shared_ptr<const PreparedModule> T1 = Tier.Reprepare(T0, &RepErr);
 
   std::lock_guard<std::mutex> Lock(S.M);
-  ++S.Stats.Reprepares;
+  Reprepares.add();
   E->RepreparingT1 = false;
   if (!T1) {
     // Failures are not cached: tier 0 keeps serving and the next hot
@@ -222,23 +399,24 @@ ModuleCache::getPrepared(const Digest &D, size_t Charge,
     return T0;
   }
   E->PreparedT1 = T1;
+  publishIndex(S);
   return T1;
 }
 
 CacheStats ModuleCache::stats() const {
   CacheStats Out;
+  Out.Hits = Hits.sum();
+  Out.Misses = Misses.sum();
+  Out.Coalesced = Coalesced.sum();
+  Out.Evictions = Evictions.sum();
+  Out.Decodes = Decodes.sum();
+  Out.DecodeFailures = DecodeFailures.sum();
+  Out.Prepares = Prepares.sum();
+  Out.Reprepares = Reprepares.sum();
   for (const auto &SP : Shards) {
     Shard &S = *SP;
     std::lock_guard<std::mutex> Lock(S.M);
-    Out.Hits += S.Stats.Hits;
-    Out.Misses += S.Stats.Misses;
-    Out.Coalesced += S.Stats.Coalesced;
-    Out.Evictions += S.Stats.Evictions;
-    Out.Decodes += S.Stats.Decodes;
-    Out.DecodeFailures += S.Stats.DecodeFailures;
-    Out.Prepares += S.Stats.Prepares;
-    Out.Reprepares += S.Stats.Reprepares;
-    Out.Entries += S.Lru.size();
+    Out.Entries += S.Clock.size();
     Out.Bytes += S.Bytes;
     // IC tallies live on the tier-1 modules themselves (flushed there by
     // every executing TSAExec); aggregate what is resident.
@@ -257,11 +435,11 @@ void ModuleCache::clear() {
   for (const auto &SP : Shards) {
     Shard &S = *SP;
     std::lock_guard<std::mutex> Lock(S.M);
-    for (auto &KV : S.Map)
-      KV.second->InLru = false;
     S.Map.clear(); // In-flight owners see themselves unmapped and skip
                    // admission; their waiters still get the result.
-    S.Lru.clear();
+    S.Clock.clear();
+    S.Hand = 0;
     S.Bytes = 0;
+    publishIndex(S);
   }
 }

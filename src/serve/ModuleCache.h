@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An N-way sharded LRU cache of *decoded+verified* modules, keyed by
+/// An N-way sharded cache of *decoded+verified* modules, keyed by
 /// content digest. Because the fused codec makes decode success mean
 /// verified (DESIGN.md §8), and because the key is the digest of the
 /// exact encoded bytes, a cache hit soundly skips both decoding and
@@ -13,24 +13,45 @@
 /// paid once per distinct module, not once per fetch — the economics the
 /// distribution layer is built on.
 ///
-/// Concurrency:
-///  - Shards: the digest picks a shard; each shard has its own mutex,
-///    LRU list, and byte budget (Capacity / NumShards), so unrelated
-///    fetches never contend.
-///  - Single-flight admission: the first fetcher of a digest inserts an
-///    in-flight entry and decodes OUTSIDE the shard lock; concurrent
-///    fetchers of the same digest block on the shard's condvar until the
-///    entry is ready instead of redundantly decoding (getDecodes() counts
-///    exactly one decode per storm; tests assert it under TSan).
+/// Concurrency (full memory-ordering argument in DESIGN.md §12):
+///  - Lock-free hit path: each shard publishes an immutable
+///    open-addressed index of its ready entries under a globally-unique
+///    snapshot id; readers keep a per-thread (shard, id) -> snapshot
+///    cache validated by one acquire load of the id. A warm
+///    get()/getPrepared() whose cached id still matches is an id load,
+///    a probe, a relaxed Touched store, and a striped counter bump — no
+///    lock and no shared atomic RMW at all, so warm throughput scales
+///    with cores instead of serializing on the shard mutex (a stale
+///    thread-local copy refreshes under a tiny publication mutex that
+///    hits otherwise never touch).
+///  - Shards: the digest picks a shard; each shard has its own mutex
+///    (misses only), index, and byte budget (Capacity / NumShards).
+///  - Single-flight admission: unchanged lock+condvar protocol. The
+///    first fetcher of a digest inserts an in-flight entry and decodes
+///    OUTSIDE the shard lock; concurrent fetchers of the same digest
+///    block on the shard's condvar until the entry is ready instead of
+///    redundantly decoding (stats().Decodes counts exactly one decode
+///    per storm; tests assert it under TSan).
 ///  - Failed decodes are not cached: the entry is removed after waiters
 ///    are released, so a transiently missing/corrupt byte provider does
 ///    not poison the digest forever.
+///  - Counters are support/ShardedCounter (cache-line-padded per-thread
+///    stripes): hits never contend on a stats word either, and stats()
+///    still sums to exact totals for the STATS wire.
 ///
-/// Eviction is LRU by charged bytes (callers charge the wire size — a
-/// stable, cheap proxy for decoded footprint). In-flight entries are not
-/// evictable; the most-recently-inserted entry survives even when it
-/// alone exceeds the shard budget (an oversized module still serves, it
-/// just evicts everything else in its shard).
+/// Eviction is CLOCK (second chance) by charged bytes — callers charge
+/// the wire size, a stable, cheap proxy for decoded footprint. A hit
+/// sets the entry's Touched bit (relaxed; no lock); the evicting thread
+/// sweeps the shard's ring under the lock, clearing Touched bits and
+/// evicting the first untouched entry. Recency is thus approximate — a
+/// concurrent hit may land just after the sweep passed — but that only
+/// staleness-ranks *eviction*, never contents: whatever snapshot a
+/// reader holds keeps its entries alive through shared_ptr, and a hit
+/// served from a just-evicted snapshot still returns the correct,
+/// immutable module for that digest. In-flight entries are not
+/// evictable; the entry just admitted survives even when it alone
+/// exceeds the shard budget (an oversized module still serves, it just
+/// evicts everything else in its shard).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,10 +60,10 @@
 
 #include "codec/Codec.h"
 #include "support/Digest.h"
+#include "support/ShardedCounter.h"
 
 #include <condition_variable>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -115,6 +136,7 @@ public:
   /// \p D, decoding via \p Decode on a miss (charging \p Charge bytes).
   /// Null only when the decode failed, with *Err set. Safe from any
   /// number of threads; concurrent calls for one digest decode once.
+  /// Warm calls are lock-free (snapshot probe; see file header).
   std::shared_ptr<const DecodedUnit> get(const Digest &D, size_t Charge,
                                          const DecodeFn &Decode,
                                          std::string *Err);
@@ -123,8 +145,8 @@ public:
   /// lowering it on first request and caching it on the same entry as the
   /// decoded module — so a warm hit returns executable code with zero
   /// re-decoding AND zero re-lowering (stats().Prepares counts lowerings
-  /// actually run). Single-flight per digest, like decoding. Null only on
-  /// decode or prepare failure, with *Err set.
+  /// actually run), lock-free. Single-flight per digest, like decoding.
+  /// Null only on decode or prepare failure, with *Err set.
   std::shared_ptr<const PreparedModule> getPrepared(const Digest &D,
                                                     size_t Charge,
                                                     const DecodeFn &Decode,
@@ -138,30 +160,50 @@ public:
   /// thread re-quickens, every other request keeps executing tier 0, so a
   /// storm of N threads on one hot module runs exactly one reprepare
   /// (stats().Reprepares; asserted under TSan) and nobody stalls on the
-  /// optimizer.
+  /// optimizer. Warm tier-1 (and cold-profile tier-0) hits are lock-free.
   std::shared_ptr<const PreparedModule>
   getPrepared(const Digest &D, size_t Charge, const DecodeFn &Decode,
               const PrepareFn &Prepare, const TierPolicy &Tier,
               std::string *Err);
 
-  /// Aggregated over all shards.
+  /// Aggregated over all shards. Exact: every get() lands in exactly one
+  /// of Hits/Misses/Coalesced, and each counter is a ShardedCounter whose
+  /// sum never loses or double-counts an increment.
   CacheStats stats() const;
 
   /// Drops every resident entry (in-flight decodes complete and are then
-  /// dropped by their own admission path finding the generation moved).
+  /// dropped by their own admission path finding themselves unmapped).
   void clear();
 
   unsigned getNumShards() const { return NumShards; }
 
 private:
   struct Entry;
+  struct View;
+  struct Snapshot;
   struct Shard;
 
   Shard &shardFor(const Digest &D);
+  /// Rebuilds and publishes \p S's snapshot index from its authoritative
+  /// map under a fresh globally-unique id. Caller holds S.M.
+  static void publishIndex(Shard &S);
+  /// The calling thread's view of \p S's index (may be null for an empty
+  /// shard): lock-free when the thread-local cached id is current,
+  /// refreshed under S.PubM otherwise. The pointer stays valid until
+  /// this thread next refreshes the same cache slot — finish probing
+  /// before any nested call that may load a snapshot again.
+  static const Snapshot *currentSnapshot(Shard &S);
+  /// CLOCK sweep until the shard is back under \p Capacity (or only the
+  /// just-admitted entry remains). Caller holds S.M; caller publishes.
+  void evictUnderLock(Shard &S, const Entry *JustAdmitted);
 
   const unsigned NumShards;
   const size_t ShardCapacity;
   std::vector<std::unique_ptr<Shard>> Shards;
+
+  /// Striped event counters (lock-free add on hits; exact sums).
+  ShardedCounter Hits, Misses, Coalesced, Evictions, Decodes,
+      DecodeFailures, Prepares, Reprepares;
 };
 
 } // namespace safetsa

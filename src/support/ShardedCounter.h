@@ -1,0 +1,75 @@
+//===- support/ShardedCounter.h - Striped relaxed counters ----*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-mostly event counter striped across cache-line-padded slots so
+/// concurrent increments from different threads never contend on one
+/// line. Each thread hashes to a stripe by a process-wide thread ordinal
+/// (threadStripe(), also used by exec/Profile to stripe its tables);
+/// add() is a single relaxed fetch_add on that stripe, and sum() folds
+/// the stripes.
+///
+/// Exactness: every add() lands in exactly one atomic slot, so once the
+/// writing threads are quiescent (joined, or simply not mid-add), sum()
+/// is the exact total of all add() calls — not an approximation. A sum()
+/// racing live writers returns a value between the counts at its first
+/// and last stripe load (each load is atomic; no increment is ever lost
+/// or double-counted), which is all the STATS wire needs: totals are
+/// exact whenever they are observable.
+///
+/// Ordering: increments are relaxed on purpose. A counter never guards
+/// other memory — readers of cached *contents* synchronize through the
+/// cache's own acquire/release publication (DESIGN.md §12) — so the only
+/// requirement is atomicity of each add, not ordering between adds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_SUPPORT_SHARDEDCOUNTER_H
+#define SAFETSA_SUPPORT_SHARDEDCOUNTER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace safetsa {
+
+class ShardedCounter {
+public:
+  /// Power of two; 16 stripes of one cache line each (1 KiB per counter)
+  /// is enough that even a 16-thread storm rarely shares a slot.
+  static constexpr unsigned kStripes = 16;
+
+  /// Process-wide small ordinal for the calling thread (0, 1, 2, ... in
+  /// first-use order). Stable for the thread's lifetime; shared by every
+  /// striped structure so one TLS slot serves them all.
+  static unsigned threadStripe() {
+    static std::atomic<unsigned> Next{0};
+    thread_local const unsigned Stripe =
+        Next.fetch_add(1, std::memory_order_relaxed);
+    return Stripe;
+  }
+
+  void add(uint64_t N = 1) {
+    Slots[threadStripe() % kStripes].V.fetch_add(N,
+                                                 std::memory_order_relaxed);
+  }
+
+  uint64_t sum() const {
+    uint64_t T = 0;
+    for (const Slot &S : Slots)
+      T += S.V.load(std::memory_order_relaxed);
+    return T;
+  }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> V{0};
+  };
+  Slot Slots[kStripes];
+};
+
+} // namespace safetsa
+
+#endif // SAFETSA_SUPPORT_SHARDEDCOUNTER_H

@@ -317,11 +317,49 @@ TEST(TierIC, MonomorphicSiteGetsGuardedDirectCall) {
   ASSERT_TRUE(T1);
   EXPECT_EQ(T1->countOp(XOp::DispatchMono), 1u);
   EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
+  // The lowering-time tallies agree: one profiled-monomorphic site,
+  // lowered to a one-guard direct call (a mono IC), nothing devirted.
+  EXPECT_EQ(T1->Tiering.ProfiledMono, 1u);
+  EXPECT_EQ(T1->Tiering.MonoICs, 1u);
+  EXPECT_EQ(T1->Tiering.MonoLoweredDirect, 1u);
+  EXPECT_EQ(T1->Tiering.DevirtCalls, 0u);
+  EXPECT_EQ(T1->Tiering.PolyICs, 0u);
+  EXPECT_EQ(T1->Tiering.Megamorphic, 0u);
   // Guard always hits on the same workload: all hits, no misses.
   Outcome O1 = runModule(*T1, *C->Table);
   EXPECT_EQ(O1.Output, "10");
   EXPECT_EQ(T1->ICHits.load(), 10u);
   EXPECT_EQ(T1->ICMisses.load(), 0u);
+}
+
+// The "tier1_mono_sites == 0" artifact, pinned: on a closed-world corpus
+// a profiled-monomorphic site is usually subsumed by devirtualization
+// (single receiver class implies single implementation), so it never
+// emits DispatchMono — classification must happen at lowering time, not
+// by counting opcodes. The site still counts as profiled-mono AND as
+// lowered-direct.
+TEST(TierIC, DevirtSubsumesProfiledMonoSiteInStats) {
+  auto C = compileMJ("devstat.mj",
+                     "class A { int f() { return 7; } } "
+                     "class B extends A { } "
+                     "class Main { static void main() { A x = new B(); "
+                     "int s = 0; int i = 0; while (i < 4) { "
+                     "s = s + x.f(); i = i + 1; } IO.printInt(s); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table); // Profile records only B receivers.
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  // Opcode census alone would report zero mono sites...
+  EXPECT_EQ(T1->countOp(XOp::DispatchMono), 0u);
+  EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
+  // ...but the site was profiled-mono and lowered direct via devirt.
+  EXPECT_EQ(T1->Tiering.ProfiledMono, 1u);
+  EXPECT_EQ(T1->Tiering.DevirtCalls, 1u);
+  EXPECT_EQ(T1->Tiering.MonoLoweredDirect, 1u);
+  EXPECT_EQ(T1->Tiering.MonoICs, 0u);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "28");
 }
 
 TEST(TierIC, GuardMissFallsBackToVtableAndCounts) {
@@ -487,6 +525,55 @@ TEST(TierFusion, FusesPairsAndPreservesStreamLength) {
   Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
   EXPECT_EQ(runModule(*T1, *C->Table).Output, Ref.Output);
   EXPECT_EQ(runModule(*T1NF, *C->Table).Output, Ref.Output);
+}
+
+// The per-unit fusion guard: when a unit's only fusable pairs are
+// compare+conditional-branch (the one family with a measured-regression
+// history) and it has no ICs or devirted calls to gain from re-lowering,
+// tier 1 keeps the tier-0 stream for that unit. NoFusionGuard forces the
+// old behavior; semantics agree either way.
+TEST(TierFusion, CompareBranchOnlyUnitKeepsTier0Stream) {
+  auto C = compileMJ(
+      "guard.mj",
+      "class Main { "
+      "static int clamp(int x) { if (x < 0) { return 0; } return x; } "
+      "static void main() { IO.printInt(clamp(0 - 5)); "
+      "IO.printInt(clamp(7)); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table);
+  const MethodSymbol *Clamp = findMethod(*C->Table, "Main", "clamp");
+  ASSERT_TRUE(Clamp);
+  auto BrCmpsIn = [&](const PreparedModule &PM) {
+    size_t N = 0;
+    for (const auto &U : PM.Units) {
+      if (U->Symbol != Clamp)
+        continue;
+      for (const ExecInst &In : U->Code)
+        for (XOp Op : {XOp::BrCmpLtI, XOp::BrCmpLeI, XOp::BrCmpGtI,
+                       XOp::BrCmpGeI, XOp::BrCmpEqI, XOp::BrCmpNeI})
+          if (In.Op == Op)
+            ++N;
+    }
+    return N;
+  };
+
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  EXPECT_GE(T1->Tiering.FusionGuardedUnits, 1u);
+  EXPECT_EQ(BrCmpsIn(*T1), 0u) << "guarded unit was fused anyway";
+
+  PrepareOptions Force;
+  Force.NoFusionGuard = true;
+  auto T1F = reprepareModule(*T0, Force);
+  ASSERT_TRUE(T1F);
+  EXPECT_EQ(T1F->Tiering.FusionGuardedUnits, 0u);
+  EXPECT_GT(BrCmpsIn(*T1F), 0u) << "unguarded compare+branch not fused";
+
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, Ref.Output);
+  EXPECT_EQ(runModule(*T1F, *C->Table).Output, Ref.Output);
 }
 
 TEST(TierFusion, TreeWalkOracleAgreesOnTier1) {

@@ -437,6 +437,88 @@ TEST(ModuleCacheTest, ConcurrentMixedDigests) {
   EXPECT_EQ(Failures.load(), 0u);
 }
 
+// Counter exactness under concurrency (acceptance criterion): the
+// striped counters lose nothing, so with N threads each performing M
+// gets, stats() must satisfy Hits + Misses + Coalesced == N*M exactly —
+// every get() increments exactly one of the three — and each decode run
+// was a counted miss.
+TEST(ModuleCacheTest, CountersAreExactUnderConcurrency) {
+  constexpr unsigned kThreads = 8, kItersPerThread = 300, kDigests = 12;
+  // Capacity far above kDigests * charge: no eviction, so each distinct
+  // digest decodes exactly once across the whole storm.
+  ModuleCache Cache(/*CapacityBytes=*/1 << 20, /*NumShards=*/4);
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != kItersPerThread; ++I) {
+        uint64_t Key = (T * 7 + I) % kDigests;
+        std::string Err;
+        if (!Cache.get(
+                Digest{Key, Key * 131}, /*Charge=*/64,
+                [](std::string *) { return std::make_unique<DecodedUnit>(); },
+                &Err))
+          ++Failures;
+      }
+    });
+  for (auto &Thr : Threads)
+    Thr.join();
+  ASSERT_EQ(Failures.load(), 0u);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses + S.Coalesced,
+            uint64_t(kThreads) * kItersPerThread);
+  EXPECT_EQ(S.Misses, S.Decodes);
+  EXPECT_EQ(S.Decodes, kDigests);
+  EXPECT_EQ(S.DecodeFailures, 0u);
+  EXPECT_EQ(S.Entries, kDigests);
+}
+
+// Lock-free hits racing CLOCK eviction: half the threads hammer a hot
+// working set through the snapshot fast path while the other half cycle
+// cold digests through a tiny budget, forcing continuous eviction and
+// snapshot republication underneath the readers. Primarily a TSan proof
+// (runs under the serve_tsan entry); the exactness invariant is asserted
+// here too since eviction must not perturb it.
+TEST(ModuleCacheTest, LockFreeHitsRaceEvictionStorm) {
+  constexpr unsigned kReaders = 4, kChurners = 4, kIters = 400;
+  // Budget fits the two hot entries plus very little else.
+  ModuleCache Cache(/*CapacityBytes=*/256, /*NumShards=*/2);
+  auto DecodeStub = [](std::string *) {
+    return std::make_unique<DecodedUnit>();
+  };
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T != kReaders; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned I = 0; I != kIters; ++I) {
+        uint64_t Key = I % 2; // Hot pair: mostly snapshot hits.
+        std::string Err;
+        if (!Cache.get(Digest{Key, Key * 31}, 32, DecodeStub, &Err))
+          ++Failures;
+      }
+    });
+  for (unsigned T = 0; T != kChurners; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I != kIters; ++I) {
+        // Distinct cold keys (disjoint from the hot pair) overflow the
+        // budget and keep the CLOCK hand sweeping.
+        uint64_t Key = 100 + T * kIters + I;
+        std::string Err;
+        if (!Cache.get(Digest{Key, Key * 31}, 64, DecodeStub, &Err))
+          ++Failures;
+      }
+    });
+  for (auto &Thr : Threads)
+    Thr.join();
+  ASSERT_EQ(Failures.load(), 0u);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses + S.Coalesced,
+            uint64_t(kReaders + kChurners) * kIters);
+  EXPECT_EQ(S.Misses, S.Decodes);
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Bytes, 256u + 64u); // Oversize slack: one in-flight charge.
+}
+
 // Warm-cache serving through the real server: the second load of every
 // corpus digest does no decoding at all (acceptance criterion).
 TEST(Serve, WarmCacheServesWithoutRedecode) {
