@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Runs the tracked benchmark suites and drops their machine-readable
-# results (BENCH_exec.json, BENCH_serve.json, BENCH_scaling.json) at the
+# results (BENCH_exec.json, BENCH_gc.json, BENCH_serve.json,
+# BENCH_scaling.json) at the
 # repository root so the perf trajectory is comparable across checkouts.
 # Every emitted BENCH_*.json is validated with bench_json_check; a bench
 # that emits invalid (or no) JSON fails the run loudly.
@@ -25,7 +26,7 @@ REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 BENCH_DIR="$BUILD_DIR/bench"
 
-for BIN in bench_exec bench_serve bench_scaling bench_json_check; do
+for BIN in bench_exec bench_gc bench_serve bench_scaling bench_json_check; do
   if [ ! -x "$BENCH_DIR/$BIN" ]; then
     echo "error: $BENCH_DIR/$BIN not found or not executable." >&2
     echo "Build it with: cmake --build \"$BUILD_DIR\" --target $BIN" >&2
@@ -59,6 +60,11 @@ echo "== bench_exec (tree-walk vs tier 0 vs tier 1) =="
 check_json exec
 
 echo
+echo "== bench_gc (safepoint overhead + reclaim throughput) =="
+"$BENCH_DIR/bench_gc"
+check_json gc
+
+echo
 echo "== bench_scaling (warm-path thread scaling) =="
 "$BENCH_DIR/bench_scaling"
 check_json scaling
@@ -71,5 +77,6 @@ check_json serve
 
 echo
 echo "Results: $SAFETSA_BENCH_DIR/BENCH_exec.json" \
+     "$SAFETSA_BENCH_DIR/BENCH_gc.json" \
      "$SAFETSA_BENCH_DIR/BENCH_scaling.json" \
      "$SAFETSA_BENCH_DIR/BENCH_serve.json"

@@ -67,6 +67,10 @@ struct BatchOptions {
   /// own MaxExecTier): 0 pins the profiling tier, 1 (default) lets hot
   /// modules come back re-quickened with inline caches and fusion.
   uint32_t MaxExecTier = 1;
+  /// Heap-collection policy for Runtimes callers construct to execute
+  /// batch-loaded modules (thread through Runtime's constructor or
+  /// ExecOptions::Gc; see gc/GC.h).
+  GcOptions Gc = {};
 };
 
 /// Consumer-side artifacts for one wire buffer pushed through the batch

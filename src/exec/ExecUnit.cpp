@@ -50,7 +50,28 @@ TSAExec::TSAExec(const PreparedModule &PM, Runtime &RT, ExecOptions Opts)
   const char *Env = std::getenv("SAFETSA_EXEC_ORACLE");
   if (Env && *Env && !(Env[0] == '0' && Env[1] == '\0'))
     this->Opts.TreeWalkOracle = true;
+  if (this->Opts.Gc)
+    RT.setGcOptions(*this->Opts.Gc);
+  GcOn = RT.gcEnabled();
+  if (GcOn)
+    RT.gcAddRootProvider(*this);
   RegStack.resize(1024);
+}
+
+TSAExec::~TSAExec() {
+  if (GcOn)
+    RT.gcRemoveRootProvider(*this);
+}
+
+void TSAExec::enumerateRoots(GcMarker &M) {
+  // Precision comes straight from the lowering: each frame's RefSlots is
+  // the plane-derived slot map, so only reference-kinded slots are
+  // scanned and no integer can masquerade as a ref.
+  for (const GcFrame &F : FrameChain) {
+    const Value *R = RegStack.data() + F.Base;
+    for (uint16_t S : F.U->RefSlots)
+      M.mark(R[S].R);
+  }
 }
 
 void TSAExec::initializeStatics() { applyStaticInitializers(*PM.Module, RT); }
@@ -70,6 +91,8 @@ ExecResult TSAExec::call(const ExecUnit *Unit, const std::vector<Value> &Args) {
   Depth = 1;
   R.Err = execute(*Unit, 0);
   Depth = 0;
+  if (GcOn)
+    FrameChain.pop_back(); // Matches execute()'s entry push.
   // IC tallies stay thread-local while executing and publish once per
   // top-level call, keeping shared-cacheline traffic out of the hot loop.
   if (LocalICHits || LocalICMisses) {
@@ -109,7 +132,10 @@ void TSAExec::runOracle(ExecResult &R) {
   // exhausted run has no comparable trap point.
   if (R.Err == RuntimeError::OutOfFuel)
     return;
-  Runtime OracleRT(*PM.Module->Table);
+  // The oracle runtime inherits this run's GC configuration so both
+  // executions collect under the same policy (collection points differ,
+  // but output stays byte-equal — program output never contains refs).
+  Runtime OracleRT(*PM.Module->Table, 200'000'000, RT.gcOptions());
   TSAInterpreter Oracle(*PM.Module, OracleRT);
   ExecResult O = Oracle.runMain();
   if (O.Err == RuntimeError::OutOfFuel)
@@ -134,6 +160,33 @@ RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
   const ExecInst *In = nullptr;
   Type *CharTy = PM.Module->Types->getChar();
 
+  // Call-entry safepoint work (GC only; both callers pop FrameChain).
+  // Body ref slots are nulled so a root scan before their first
+  // definition cannot resurrect stale refs left by a dead frame that
+  // occupied this RegStack window; argument slots were just written by
+  // the caller and are skipped. Then poll: with the frame registered,
+  // every live ref is scannable here.
+  if (GcOn) {
+    for (size_t I = U.NumRefArgs, E = U.RefSlots.size(); I != E; ++I)
+      R[U.RefSlots[I]] = Value::makeNull();
+    FrameChain.push_back({&U, Base});
+    if (RT.gcPending())
+      RT.gcSafepoint();
+  }
+
+// Backward-transfer safepoint poll: loops are the only unbounded work
+// between call entries, and every loop back edge in lowered code is a
+// backward Jmp/MoveJmp (conditionals branch forward), so polling on
+// backward targets bounds the collector's latency. The handlers are
+// shared by the tier-0 and tier-1 streams (same X-macro table), so both
+// tiers poll identically. Cost on the hot path: an always-predicted
+// compare, plus one relaxed load only on actual back edges.
+#define SAFETSA_BACKEDGE_POLL()                                              \
+  do {                                                                       \
+    if (PC <= static_cast<size_t>(In - Code) && RT.gcPending())              \
+      RT.gcSafepoint();                                                      \
+  } while (0)
+
 // Shared call sequence for every direct/dispatched unit call: frame
 // push, recursive execute, frame pop, trap propagation, result store.
 // Expects a non-null callee.
@@ -154,6 +207,8 @@ RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
     ++Depth;                                                                 \
     RuntimeError E_ = execute(*Callee_, CB);                                 \
     --Depth;                                                                 \
+    if (GcOn)                                                                \
+      FrameChain.pop_back(); /* Matches execute()'s entry push. */           \
     R = RegStack.data() + Base; /* Callee may have grown the stack. */       \
     if (E_ != RuntimeError::None)                                            \
       SAFETSA_TRAP(E_); /* Callee traps surface at this call site. */        \
@@ -206,11 +261,16 @@ DispatchLoop:
     R[In->Dst] = Value::makeRef(RT.internString(*U.StrPool[In->X], CharTy));
   }
   SAFETSA_NEXT();
-  SAFETSA_CASE(Jmp) { PC = static_cast<size_t>(In->X); }
+  SAFETSA_CASE(Jmp) {
+    PC = static_cast<size_t>(In->X);
+    SAFETSA_BACKEDGE_POLL();
+  }
   SAFETSA_NEXT();
   SAFETSA_CASE(BrFalse) {
-    if (R[In->A].I == 0)
+    if (R[In->A].I == 0) {
       PC = static_cast<size_t>(In->X);
+      SAFETSA_BACKEDGE_POLL();
+    }
   }
   SAFETSA_NEXT();
   SAFETSA_CASE(RetVoid) {
@@ -584,6 +644,7 @@ DispatchLoop:
       SAFETSA_NEXT();                                                        \
     }                                                                        \
     PC = static_cast<size_t>(In->X);                                         \
+    SAFETSA_BACKEDGE_POLL();                                                 \
   }                                                                          \
   SAFETSA_NEXT()
 
@@ -612,6 +673,7 @@ DispatchLoop:
   SAFETSA_CASE(MoveJmp) {
     R[In->Dst] = R[In->A];
     PC = static_cast<size_t>(In->X); // Shadow Jmp is never reached.
+    SAFETSA_BACKEDGE_POLL();
   }
   SAFETSA_NEXT();
 
@@ -663,4 +725,5 @@ DispatchLoop:
 #undef SAFETSA_NEXT
 #undef SAFETSA_TRAP
 #undef SAFETSA_INVOKE
+#undef SAFETSA_BACKEDGE_POLL
 }

@@ -43,6 +43,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace safetsa {
@@ -170,6 +171,20 @@ public:
   /// this is the "did tier 1 improve any call in this unit" signal the
   /// fusion guard consults (see prepareModule pass 3).
   uint32_t DevirtSites = 0;
+
+  /// The unit's GC slot map: every frame slot that holds a reference,
+  /// ascending. Derived at lowering time from the verifier's plane
+  /// tables (a slot is a ref iff its plane is SafeRef, or Base over a
+  /// ref type) plus the signature for the argument region — the same
+  /// plane walk that assigned the slots, so the map is exact, not
+  /// conservative. Root enumeration scans exactly these slots of each
+  /// active frame; no stack map compression is needed at this scale.
+  std::vector<uint16_t> RefSlots;
+  /// Leading RefSlots entries that fall in the argument region
+  /// [0, NumArgs). Arguments are written by the caller before entry, so
+  /// frame setup only nulls RefSlots[NumRefArgs..] (the not-yet-defined
+  /// body slots, which must not leak stale refs into a root scan).
+  uint32_t NumRefArgs = 0;
 };
 
 /// A module lowered for execution. Holds no ownership of the source
@@ -301,13 +316,25 @@ struct ExecOptions {
   /// RuntimeError::Internal. Also enabled by setting the
   /// SAFETSA_EXEC_ORACLE environment variable non-empty and non-"0".
   bool TreeWalkOracle = false;
+  /// When set, applied to the Runtime (Runtime::setGcOptions) before
+  /// execution — the per-call policy view of the same knobs
+  /// BatchOptions/CodeServerOptions carry. Unset leaves the Runtime's
+  /// own configuration untouched.
+  std::optional<GcOptions> Gc;
 };
 
 /// Register-frame interpreter for prepared modules. One instance per
 /// executing thread; the PreparedModule itself is shared and const.
-class TSAExec {
+/// Registers with the Runtime's collector as the root provider for its
+/// active frame chain (deregistered on destruction).
+class TSAExec : public GcRootProvider {
 public:
   TSAExec(const PreparedModule &PM, Runtime &RT, ExecOptions Opts = {});
+  ~TSAExec() override;
+
+  /// Marks every reference slot of every active frame (GC root scan;
+  /// only runs inside a safepoint collection).
+  void enumerateRoots(GcMarker &M) override;
 
   /// Applies the module's static-field initializers.
   void initializeStatics();
@@ -341,6 +368,16 @@ private:
   /// free of shared-cacheline traffic).
   uint64_t LocalICHits = 0;
   uint64_t LocalICMisses = 0;
+  /// Active-frame bookkeeping for precise root enumeration: one entry
+  /// per live activation, innermost last. Maintained (and the frame's
+  /// body ref slots nulled at entry) only when the Runtime's collector
+  /// is enabled; GcOn caches that decision out of the hot path.
+  struct GcFrame {
+    const ExecUnit *U;
+    size_t Base;
+  };
+  std::vector<GcFrame> FrameChain;
+  bool GcOn = false;
   /// Contiguous register stack; frames are [Base, Base + NumSlots) windows
   /// re-anchored after nested calls (growth may reallocate).
   std::vector<Value> RegStack;

@@ -121,6 +121,16 @@ private:
     if (NArgs > 255)
       return false;
     U.NumArgs = static_cast<uint32_t>(NArgs);
+    // GC slot map, argument region first: the receiver (always a ref)
+    // and each ref-typed parameter. The caller writes these before
+    // entry, so frame setup never nulls them.
+    if (!Sym->IsStatic)
+      U.RefSlots.push_back(0);
+    for (size_t I = 0; I != Sym->ParamTys.size(); ++I)
+      if (Sym->ParamTys[I]->isRef())
+        U.RefSlots.push_back(
+            static_cast<uint16_t>(I + (Sym->IsStatic ? 0 : 1)));
+    U.NumRefArgs = static_cast<uint32_t>(U.RefSlots.size());
     uint32_t Next = static_cast<uint32_t>(NArgs);
     for (const BasicBlock *BB : M.Blocks) {
       unsigned BlockVals = 0;
@@ -135,6 +145,14 @@ private:
         } else {
           if (Next >= ExecInst::NoSlot)
             return false;
+          // Body half of the GC slot map, straight from the verifier's
+          // plane tables: a slot holds a reference iff its value lives
+          // on a safe-ref plane (null/index certificates included) or a
+          // base plane over a ref type. SafeIndex planes hold ints.
+          const PlaneKey &K = M.Planes.key(I->PlaneId);
+          if (K.K == PlaneKey::Kind::SafeRef ||
+              (K.K == PlaneKey::Kind::Base && K.Ty && K.Ty->isRef()))
+            U.RefSlots.push_back(static_cast<uint16_t>(Next));
           Slot[I] = static_cast<uint16_t>(Next++);
         }
       }

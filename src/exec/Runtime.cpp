@@ -9,6 +9,7 @@
 #include "tsa/Method.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 using namespace safetsa;
@@ -119,37 +120,60 @@ Value Runtime::zeroValue(const Type *Ty) {
   return Value::makeNull();
 }
 
+// All allocation funnels through GcHeap::acquireIndex, which recycles
+// swept indices before growing the vector and never hands out cell 0 —
+// ref 0 stays the null reference forever, so a null-ref access can only
+// reach cell() (which rejects it), never alias a real object. Collection
+// is deferred to safepoints, so nothing here can be swept mid-sequence.
+
 uint32_t Runtime::allocObject(const ClassSymbol *Class) {
-  HeapCell Cell;
+  uint32_t Ref = Gc.acquireIndex();
+  HeapCell &Cell = Heap[Ref];
   Cell.Class = Class;
   Cell.Slots.reserve(Class->InstanceLayout.size());
   for (const FieldSymbol *F : Class->InstanceLayout)
     Cell.Slots.push_back(zeroValue(F->Ty));
-  Heap.push_back(std::move(Cell));
-  return static_cast<uint32_t>(Heap.size() - 1);
+  Gc.onAllocated(Cell.Slots.size());
+  return Ref;
 }
 
 uint32_t Runtime::allocArray(Type *ElemTy, int32_t Length) {
   assert(Length >= 0 && "caller checks for negative sizes");
-  HeapCell Cell;
+  uint32_t Ref = Gc.acquireIndex();
+  HeapCell &Cell = Heap[Ref];
   Cell.ArrayElemTy = ElemTy;
   Cell.Slots.assign(static_cast<size_t>(Length), zeroValue(ElemTy));
-  Heap.push_back(std::move(Cell));
-  return static_cast<uint32_t>(Heap.size() - 1);
+  Gc.onAllocated(Cell.Slots.size());
+  return Ref;
 }
 
 uint32_t Runtime::internString(const std::string &S, Type *CharTy) {
   for (const auto &[Str, Ref] : StringPool)
     if (Str == S)
       return Ref;
-  HeapCell Cell;
+  uint32_t Ref = Gc.acquireIndex();
+  HeapCell &Cell = Heap[Ref];
   Cell.ArrayElemTy = CharTy;
   for (char C : S)
     Cell.Slots.push_back(Value::makeChar(C));
-  Heap.push_back(std::move(Cell));
-  uint32_t Ref = static_cast<uint32_t>(Heap.size() - 1);
   StringPool.push_back({S, Ref});
+  Gc.onAllocated(Cell.Slots.size());
   return Ref;
+}
+
+void Runtime::enumerateRoots(GcMarker &M) {
+  for (const Value &V : Statics)
+    if (V.K == Value::Kind::Ref)
+      M.mark(V.R);
+  // Interned constants are canonical for the Runtime's lifetime (repeat
+  // LoadStr must return the same ref), so the pool pins them.
+  for (const auto &[Str, Ref] : StringPool)
+    M.mark(Ref);
+}
+
+void Runtime::heapTrap(uint32_t Ref) {
+  std::fprintf(stderr, "safetsa: PARANOID heap trap: invalid ref #%u\n", Ref);
+  std::abort();
 }
 
 Value Runtime::callNative(NativeMethod M, const std::vector<Value> &Args) {

@@ -16,9 +16,11 @@
 #ifndef SAFETSA_EXEC_RUNTIME_H
 #define SAFETSA_EXEC_RUNTIME_H
 
+#include "gc/GC.h"
 #include "sema/ClassTable.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -100,13 +102,21 @@ struct HeapCell {
   bool isArray() const { return Class == nullptr; }
 };
 
-/// Execution state shared across method activations.
-class Runtime {
+/// Execution state shared across method activations. Owns the cell heap
+/// and its collector (gc/GC.h); the Runtime itself is the root provider
+/// for static fields and the interned-string pool, while interpreters
+/// register additional providers for their active frame stacks.
+class Runtime : public GcRootProvider {
 public:
-  explicit Runtime(ClassTable &Table, uint64_t Fuel = 200'000'000)
+  explicit Runtime(ClassTable &Table, uint64_t Fuel = 200'000'000,
+                   const GcOptions &GcOpts = {})
       : Table(Table), FuelLeft(Fuel) {
     Heap.emplace_back(); // Cell 0 is the never-used null slot.
     Statics.resize(Table.getNumStaticSlots());
+    Gc.attach(&Heap, this);
+    Gc.setOptions(GcOpts);
+    const char *Env = std::getenv("SAFETSA_PARANOID");
+    Paranoid = Env && *Env && !(Env[0] == '0' && Env[1] == '\0');
   }
 
   ClassTable &getTable() { return Table; }
@@ -123,6 +133,12 @@ public:
 
   HeapCell &cell(uint32_t Ref) {
     assert(Ref != 0 && Ref < Heap.size() && "bad heap reference");
+    // Paranoid mode (SAFETSA_PARANOID env): keep the check in release
+    // builds and extend it to swept cells, trapping hard instead of
+    // corrupting memory when hostile/fuzzed input slips a bad ref
+    // through. The branch costs one predictable compare when off.
+    if (Paranoid && !Gc.isLive(Ref))
+      heapTrap(Ref);
     return Heap[Ref];
   }
 
@@ -141,13 +157,49 @@ public:
   const std::string &getOutput() const { return Output; }
   void clearOutput() { Output.clear(); }
 
+  /// --- Garbage collection (see gc/GC.h, DESIGN.md §13) ---
+
+  const GcOptions &gcOptions() const { return Gc.options(); }
+  void setGcOptions(const GcOptions &O) { Gc.setOptions(O); }
+  bool gcEnabled() const { return Gc.enabled(); }
+
+  /// The safepoint poll: one relaxed load. Interpreters branch to
+  /// gcSafepoint() only when this is set.
+  bool gcPending() const { return Gc.pending(); }
+  /// Safepoint slow path: collect now. Only call where every live
+  /// reference is in an enumerable root (frame slots, statics, interned
+  /// strings) — i.e. at back edges and call entry.
+  void gcSafepoint() { Gc.collect(); }
+  /// Forces a full collection regardless of the pending flag (tests).
+  /// Returns the number of cells reclaimed; 0 when GC is disabled.
+  uint64_t collectNow() { return Gc.collect(); }
+
+  void gcAddRootProvider(GcRootProvider &P) { Gc.addRootProvider(&P); }
+  void gcRemoveRootProvider(GcRootProvider &P) { Gc.removeRootProvider(&P); }
+
+  /// Statics + interned string constants are this heap's baseline roots.
+  void enumerateRoots(GcMarker &M) override;
+
+  /// Introspection for tests/benches.
+  size_t heapCells() const { return Heap.size(); }
+  size_t gcLiveCells() const { return Gc.liveCells(); }
+  const GcStats &gcStats() const { return Gc.stats(); }
+  const std::vector<std::pair<std::string, uint32_t>> &stringPool() const {
+    return StringPool;
+  }
+
 private:
+  /// Paranoid-mode hard stop on an invalid heap reference.
+  [[noreturn]] static void heapTrap(uint32_t Ref);
+
   ClassTable &Table;
   std::vector<HeapCell> Heap;
   std::vector<Value> Statics;
   std::vector<std::pair<std::string, uint32_t>> StringPool;
   std::string Output;
   uint64_t FuelLeft;
+  GcHeap Gc;
+  bool Paranoid = false;
 };
 
 class TSAModule;

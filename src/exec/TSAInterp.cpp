@@ -43,6 +43,17 @@ ExecResult TSAInterpreter::call(const MethodSymbol *Method,
   return R;
 }
 
+void TSAInterpreter::enumerateRoots(GcMarker &M) {
+  for (const Frame *F : Frames) {
+    for (const Value &V : F->Args)
+      if (V.K == Value::Kind::Ref)
+        M.mark(V.R);
+    for (const auto &[I, V] : F->Vals)
+      if (V.K == Value::Kind::Ref)
+        M.mark(V.R);
+  }
+}
+
 Value TSAInterpreter::callMethodValue(const MethodSymbol *Callee,
                                       std::vector<Value> Args, bool &Ok) {
   if (Callee->isNative())
@@ -66,7 +77,16 @@ Value TSAInterpreter::callMethodValue(const MethodSymbol *Callee,
   for (const auto &BB : Body->Blocks)
     NumInsts += BB->Insts.size();
   F.Vals.reserve(NumInsts);
+  // Call-entry safepoint (mirrors the prepared interpreter): register
+  // the frame, then poll with every live ref in an enumerable root.
+  if (GcOn) {
+    Frames.push_back(&F);
+    if (RT.gcPending())
+      RT.gcSafepoint();
+  }
   Signal Sig = execSeq(Body->Root, F);
+  if (GcOn)
+    Frames.pop_back();
   --Depth;
   if (Sig == Signal::Error) {
     Ok = false;
@@ -115,7 +135,11 @@ TSAInterpreter::Signal TSAInterpreter::execSeq(const CSTSeq &Seq, Frame &F) {
           return Sig;
         if (Sig == Signal::Break)
           break; // PrevBlock is the breaking block.
-        // Normal fall-through or Continue: next iteration.
+        // Normal fall-through or Continue: next iteration. This is the
+        // loop back edge — the tree-walker's safepoint, matching the
+        // prepared streams' backward-branch poll.
+        if (GcOn && RT.gcPending())
+          RT.gcSafepoint();
       }
       break;
     }

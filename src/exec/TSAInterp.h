@@ -25,10 +25,26 @@
 
 namespace safetsa {
 
-class TSAInterpreter {
+class TSAInterpreter : public GcRootProvider {
 public:
   TSAInterpreter(const TSAModule &Module, Runtime &RT)
-      : Module(Module), RT(RT) {}
+      : Module(Module), RT(RT) {
+    GcOn = RT.gcEnabled();
+    if (GcOn)
+      RT.gcAddRootProvider(*this);
+  }
+  ~TSAInterpreter() override {
+    if (GcOn)
+      RT.gcRemoveRootProvider(*this);
+  }
+
+  /// GC root scan: every Value of every active frame (the Vals
+  /// environment plus the argument region). The tree-walker keeps no
+  /// slot map — it marks all ref-kinded values it holds, which is the
+  /// same set (its environments are typed per SSA value). Runs only
+  /// inside a safepoint collection; mark order does not matter, so the
+  /// unordered environment walk stays deterministic in effect.
+  void enumerateRoots(GcMarker &M) override;
 
   /// Applies the module's static-field initializers.
   void initializeStatics();
@@ -83,6 +99,10 @@ private:
   Runtime &RT;
   RuntimeError Err = RuntimeError::None;
   unsigned Depth = 0;
+  /// Active frames, innermost last (GC root enumeration). Maintained
+  /// only when the Runtime's collector is enabled.
+  std::vector<Frame *> Frames;
+  bool GcOn = false;
   static constexpr unsigned MaxDepth = 400;
 };
 

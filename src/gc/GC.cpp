@@ -1,0 +1,133 @@
+//===- gc/GC.cpp - Precise mark-sweep collection --------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GC.h"
+
+#include "exec/Runtime.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace safetsa;
+
+GcCounters &safetsa::gcCounters() {
+  static GcCounters C;
+  return C;
+}
+
+/// Byte accounting for one cell: the header plus its Value payload. Only
+/// relative consistency matters (the same formula at allocation and
+/// sweep), so capacity slack is deliberately ignored.
+static size_t cellBytes(size_t PayloadSlots) {
+  return sizeof(HeapCell) + PayloadSlots * sizeof(Value);
+}
+
+void GcHeap::attach(std::vector<HeapCell> *HeapV,
+                    GcRootProvider *RuntimeRoots) {
+  Heap = HeapV;
+  State.assign(Heap->size(), 0); // Pre-existing cells (cell 0) stay dead.
+  Providers.push_back(RuntimeRoots);
+  NextTrigger = Opts.HeapBudget;
+}
+
+void GcHeap::setOptions(const GcOptions &O) {
+  Opts = O;
+  NextTrigger = std::max(Opts.HeapBudget, LiveBytes);
+}
+
+void GcHeap::removeRootProvider(GcRootProvider *P) {
+  Providers.erase(std::remove(Providers.begin(), Providers.end(), P),
+                  Providers.end());
+}
+
+uint32_t GcHeap::acquireIndex() {
+  if (!FreeList.empty()) {
+    uint32_t Ref = FreeList.back();
+    FreeList.pop_back();
+    State[Ref] = 1;
+    return Ref;
+  }
+  uint32_t Ref = static_cast<uint32_t>(Heap->size());
+  Heap->emplace_back();
+  State.push_back(1);
+  return Ref;
+}
+
+void GcHeap::onAllocated(size_t PayloadSlots) {
+  LiveBytes += cellBytes(PayloadSlots);
+  if (Opts.Disable)
+    return;
+  if (LiveBytes >= NextTrigger)
+    armPending();
+  if (Opts.StressEveryNAllocs &&
+      ++AllocsSinceStress >= Opts.StressEveryNAllocs) {
+    AllocsSinceStress = 0;
+    armPending();
+  }
+}
+
+size_t GcHeap::liveCells() const {
+  size_t N = 0;
+  for (uint8_t S : State)
+    N += S != 0;
+  return N;
+}
+
+uint64_t GcHeap::collect() {
+  Pending.store(false, std::memory_order_relaxed);
+  if (Opts.Disable || !Heap)
+    return 0;
+  auto T0 = std::chrono::steady_clock::now();
+
+  // Mark: grey every root, then drain the worklist through cell slots.
+  // Transitive marking is iterative (no recursion) so arbitrarily deep
+  // object graphs cannot overflow the native stack.
+  Marks.assign(Heap->size(), 0);
+  Worklist.clear();
+  GcMarker Marker(Marks, Worklist);
+  for (GcRootProvider *P : Providers)
+    P->enumerateRoots(Marker);
+  while (!Worklist.empty()) {
+    uint32_t Ref = Worklist.back();
+    Worklist.pop_back();
+    for (const Value &V : (*Heap)[Ref].Slots)
+      if (V.K == Value::Kind::Ref)
+        Marker.mark(V.R);
+  }
+
+  // Sweep, in index order (deterministic free-list layout): every
+  // allocated-but-unmarked cell is cleared and its index recycled. Cells
+  // are never moved, so every surviving uint32_t ref stays valid.
+  uint64_t Reclaimed = 0;
+  for (uint32_t Ref = 1; Ref < Heap->size(); ++Ref) {
+    if (State[Ref] == 0 || Marks[Ref])
+      continue;
+    size_t Payload = (*Heap)[Ref].Slots.size();
+    (*Heap)[Ref] = HeapCell();
+    State[Ref] = 0;
+    FreeList.push_back(Ref);
+    LiveBytes -= std::min(LiveBytes, cellBytes(Payload));
+    ++Reclaimed;
+  }
+
+  // Re-arm: keep headroom above the surviving live set so a workload
+  // whose live heap legitimately exceeds the budget makes progress
+  // between collections instead of collecting at every safepoint.
+  NextTrigger = std::max(Opts.HeapBudget, LiveBytes + LiveBytes / 2);
+
+  uint64_t Pause = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  ++Stats.Cycles;
+  Stats.CellsReclaimed += Reclaimed;
+  Stats.PauseNs += Pause;
+  GcCounters &C = gcCounters();
+  C.Cycles.add(1);
+  C.CellsReclaimed.add(Reclaimed);
+  C.PauseNs.add(Pause);
+  return Reclaimed;
+}

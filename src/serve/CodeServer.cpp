@@ -20,7 +20,8 @@ std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
       S.CacheCoalesced, S.CacheEvictions, S.CacheDecodes,
       S.CacheDecodeFailures, S.CacheEntries, S.CacheBytes,
       S.CachePrepares, S.CacheReprepares, S.CacheICHits,
-      S.CacheICMisses};
+      S.CacheICMisses, S.GcCycles, S.GcCellsReclaimed,
+      S.GcPauseNs};
   std::vector<uint8_t> Out;
   Out.reserve(kServeStatsFields * 8);
   for (uint64_t F : Fields)
@@ -57,6 +58,9 @@ bool safetsa::decodeStats(ByteSpan Bytes, ServeStats &Out) {
   Out.CacheReprepares = Fields[16];
   Out.CacheICHits = Fields[17];
   Out.CacheICMisses = Fields[18];
+  Out.GcCycles = Fields[19];
+  Out.GcCellsReclaimed = Fields[20];
+  Out.GcPauseNs = Fields[21];
   return true;
 }
 
@@ -195,6 +199,12 @@ ServeStats CodeServer::stats() const {
   S.CacheReprepares = C.Reprepares;
   S.CacheICHits = C.ICHits;
   S.CacheICMisses = C.ICMisses;
+  // Process-wide striped aggregates; exact once collectors are quiescent
+  // (same contract as the cache's counters).
+  GcCounters &G = gcCounters();
+  S.GcCycles = G.Cycles.sum();
+  S.GcCellsReclaimed = G.CellsReclaimed.sum();
+  S.GcPauseNs = G.PauseNs.sum();
   return S;
 }
 

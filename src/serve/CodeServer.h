@@ -24,6 +24,7 @@
 #ifndef SAFETSA_SERVE_CODESERVER_H
 #define SAFETSA_SERVE_CODESERVER_H
 
+#include "gc/GC.h"
 #include "serve/ModuleCache.h"
 #include "serve/ModuleStore.h"
 #include "serve/Protocol.h"
@@ -57,10 +58,16 @@ struct ServeStats {
   uint64_t CacheReprepares = 0; ///< Tier-1 re-quickenings actually run.
   uint64_t CacheICHits = 0;     ///< IC guard hits, resident tier-1 modules.
   uint64_t CacheICMisses = 0;   ///< IC guard misses (vtable fallbacks).
+  /// Process-wide GC telemetry (gc/GC.h gcCounters(), striped like the
+  /// profile counters): collections, cells reclaimed, and total
+  /// stop-the-world pause time across every Runtime this process ran.
+  uint64_t GcCycles = 0;
+  uint64_t GcCellsReclaimed = 0;
+  uint64_t GcPauseNs = 0;
 };
 
 /// Number of u64 fields in the STATS payload.
-constexpr size_t kServeStatsFields = 19;
+constexpr size_t kServeStatsFields = 22;
 
 std::vector<uint8_t> encodeStats(const ServeStats &S);
 bool decodeStats(ByteSpan Bytes, ServeStats &Out);
@@ -87,6 +94,11 @@ struct CodeServerOptions {
   /// Disable superinstruction fusion in tier-1 streams (also settable
   /// process-wide via SAFETSA_EXEC_NOFUSION).
   bool NoFusion = false;
+  /// Heap-collection policy for executions this server's modules feed:
+  /// workers executing a loaded module construct their Runtime with
+  /// these knobs (see gc/GC.h). The default keeps long-running servers
+  /// bounded at ~64 MiB of live cells per runtime.
+  GcOptions Gc = {};
 };
 
 class CodeServer {

@@ -1,0 +1,438 @@
+//===- tests/gc_test.cpp - Precise GC correctness -------------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Correctness proofs for the precise mark-sweep heap (src/gc, DESIGN.md
+/// §13): allocation-churn stays bounded under StressEveryNAllocs=1, the
+/// full exec corpus (all tiers, traps, try/catch) behaves identically
+/// with GC stressed vs. disabled, a forced collection retains exactly
+/// the reachable set (checked against an independent test-side
+/// reachability walk), cell 0 is never handed out, free-list reuse keeps
+/// indices stable, paranoid mode traps on dead refs, and 8 threads
+/// executing a shared served module with stress GC stay clean (run under
+/// TSan via gc_test_tsan, ASan via gc_test_asan).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+#include "serve/CodeClient.h"
+#include "serve/CodeServer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+using namespace safetsa;
+
+namespace {
+
+GcOptions stressGc() {
+  GcOptions G;
+  G.StressEveryNAllocs = 1;
+  return G;
+}
+
+GcOptions disabledGc() {
+  GcOptions G;
+  G.Disable = true;
+  return G;
+}
+
+struct Outcome {
+  RuntimeError Err = RuntimeError::None;
+  std::string Output;
+};
+
+Outcome runTreeWalk(const TSAModule &M, ClassTable &Table,
+                    const GcOptions &G) {
+  Runtime RT(Table, 200'000'000, G);
+  TSAInterpreter I(M, RT);
+  ExecResult R = I.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+Outcome runTier(const TSAModule &M, ClassTable &Table, uint32_t Tier,
+                const GcOptions &G) {
+  auto T0 = prepareModule(M);
+  EXPECT_TRUE(T0) << "prepareModule failed";
+  if (!T0)
+    return {RuntimeError::Internal, ""};
+  const PreparedModule *PM = T0.get();
+  std::unique_ptr<PreparedModule> T1;
+  if (Tier == 1) {
+    // Profile with GC disabled (the baseline), then re-quicken; the
+    // GC-stressed run below executes the identical tier-1 streams.
+    Runtime ProfRT(Table);
+    TSAExec Warm(*T0, ProfRT);
+    Warm.runMain();
+    T1 = reprepareModule(*T0);
+    EXPECT_TRUE(T1) << "reprepareModule failed";
+    if (!T1)
+      return {RuntimeError::Internal, ""};
+    PM = T1.get();
+  }
+  Runtime RT(Table, 200'000'000, G);
+  TSAExec X(*PM, RT);
+  ExecResult R = X.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+/// Core differential: for one module, every engine (tree-walk, tier 0,
+/// tier 1) must produce byte-identical output and the same trap kind
+/// with a collection after every allocation as with GC off entirely.
+void expectGcParity(const TSAModule &M, ClassTable &Table,
+                    const char *Label) {
+  Outcome TwOff = runTreeWalk(M, Table, disabledGc());
+  Outcome TwOn = runTreeWalk(M, Table, stressGc());
+  EXPECT_EQ(TwOn.Err, TwOff.Err) << Label << ": tree-walk trap diverged";
+  EXPECT_EQ(TwOn.Output, TwOff.Output)
+      << Label << ": tree-walk output diverged under stress GC";
+  for (uint32_t Tier = 0; Tier != 2; ++Tier) {
+    Outcome Off = runTier(M, Table, Tier, disabledGc());
+    Outcome On = runTier(M, Table, Tier, stressGc());
+    EXPECT_EQ(On.Err, Off.Err)
+        << Label << ": tier " << Tier << " trap diverged";
+    EXPECT_EQ(On.Output, Off.Output)
+        << Label << ": tier " << Tier << " output diverged under stress GC";
+    EXPECT_EQ(Off.Err, TwOff.Err) << Label << ": tier vs tree-walk trap";
+    EXPECT_EQ(Off.Output, TwOff.Output)
+        << Label << ": tier vs tree-walk output";
+  }
+}
+
+void expectSourceGcParity(const std::string &Src) {
+  auto C = compileMJ("gc.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  expectGcParity(*C->TSA, *C->Table, "gc-parity");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus-wide parity: stress GC vs. disabled across every engine.
+//===----------------------------------------------------------------------===//
+
+class GcCorpusTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(GcCorpusTest, StressedRunMatchesGcOff) {
+  expectSourceGcParity(GetParam().Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GcCorpusTest, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+// Traps and try/catch under stress: collections between the faulting
+// allocation sites must not move the trap point or the caught value.
+TEST(GcParity, TrapsAndTryCatch) {
+  expectSourceGcParity(
+      "class Node { int v; Node next; } class Main { static void main() { "
+      "Node head = null; int i = 0; "
+      "while (i < 50) { Node n = new Node(); n.v = i; n.next = head; "
+      "head = n; i = i + 1; } "
+      "Node bad = null; IO.printInt(head.v); IO.printInt(bad.v); } }");
+  expectSourceGcParity(
+      "class Main { static void main() { int i = 0; int s = 0; "
+      "while (i < 40) { try { int[] a = new int[i % 5]; s = s + a[i % 7]; } "
+      "catch { s = s + 1000; } i = i + 1; } IO.printInt(s); } }");
+  expectSourceGcParity(
+      "class C { int x; } class Main { static void main() { int i = 0; "
+      "while (i < 30) { try { C c = null; if (i % 2 == 0) { c = new C(); } "
+      "c.x = i; IO.printInt(c.x); } catch { IO.printChar('!'); } "
+      "i = i + 1; } } }");
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded churn: a loop that allocates and drops garbage every iteration
+// must not grow the heap under StressEveryNAllocs=1.
+//===----------------------------------------------------------------------===//
+
+const char *kChurnSrc =
+    "class Box { int v; int[] payload; } "
+    "class Main { static int work(int i) { "
+    "Box b = new Box(); b.v = i; b.payload = new int[8]; "
+    "b.payload[3] = i * 2; return b.v + b.payload[3]; } "
+    "static void main() { int i = 0; int s = 0; "
+    "while (i < 2000) { s = s + work(i); i = i + 1; } "
+    "IO.printInt(s); } }";
+
+TEST(GcStress, HeapStaysBoundedUnderChurn) {
+  auto C = compileMJ("churn.mj", kChurnSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  Runtime RT(*C->Table, 200'000'000, stressGc());
+  TSAExec X(*PM, RT);
+  ExecResult R = X.runMain();
+  ASSERT_EQ(R.Err, RuntimeError::None) << runtimeErrorName(R.Err);
+  // 2000 iterations x 2 cells each; with a collection after every
+  // allocation the cell vector must stay at a handful of live cells plus
+  // the in-flight allocation window, not grow with the iteration count.
+  EXPECT_LT(RT.heapCells(), 64u) << "heap grew despite stress collection";
+  EXPECT_GT(RT.gcStats().Cycles, 1000u);
+  EXPECT_GT(RT.gcStats().CellsReclaimed, 3000u);
+  // Sanity: GC off on the same workload really does grow the heap, so
+  // the bound above is meaningful.
+  Runtime Grow(*C->Table, 200'000'000, disabledGc());
+  TSAExec XG(*PM, Grow);
+  ASSERT_EQ(XG.runMain().Err, RuntimeError::None);
+  EXPECT_GT(Grow.heapCells(), 2000u);
+  EXPECT_EQ(Grow.getOutput(), RT.getOutput());
+}
+
+TEST(GcStress, TreeWalkHeapStaysBounded) {
+  auto C = compileMJ("churn.mj", kChurnSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Runtime RT(*C->Table, 200'000'000, stressGc());
+  TSAInterpreter I(*C->TSA, RT);
+  ASSERT_EQ(I.runMain().Err, RuntimeError::None);
+  EXPECT_LT(RT.heapCells(), 64u);
+  EXPECT_GT(RT.gcStats().Cycles, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reachability: after a forced collection with no frames live, the
+// retained set must equal an independent walk from statics + interned
+// strings — exactly the unreachable cells were reclaimed, no more, no
+// less.
+//===----------------------------------------------------------------------===//
+
+TEST(GcReachability, LiveCellsMatchOracleReachableSet) {
+  // main() leaves a static list of 10 nodes (each with an 8-elt array)
+  // plus a static string, and makes plenty of garbage on the way.
+  auto C = compileMJ(
+      "reach.mj",
+      "class Node { int v; Node next; int[] data; } "
+      "class Main { static Node keep; "
+      "static void main() { int i = 0; "
+      "while (i < 10) { Node n = new Node(); n.data = new int[8]; "
+      "n.v = i; n.next = keep; keep = n; i = i + 1; } "
+      "i = 0; while (i < 500) { Node junk = new Node(); "
+      "junk.data = new int[3]; i = i + 1; } "
+      "IO.printStr(\"done\"); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto PM = prepareModule(*C->TSA);
+  ASSERT_TRUE(PM);
+  Runtime RT(*C->Table); // Default options: budget never trips here.
+  TSAExec X(*PM, RT);
+  ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  EXPECT_EQ(RT.getOutput(), "done");
+
+  size_t Before = RT.gcLiveCells();
+  uint64_t Reclaimed = RT.collectNow();
+  EXPECT_GT(Reclaimed, 0u);
+  EXPECT_EQ(RT.gcLiveCells(), Before - Reclaimed);
+
+  // Independent reachability walk over the same roots the collector
+  // enumerates once frames are gone: statics and the string pool.
+  std::vector<uint32_t> Work;
+  std::set<uint32_t> Reachable;
+  auto Push = [&](uint32_t Ref) {
+    if (Ref != 0 && Reachable.insert(Ref).second)
+      Work.push_back(Ref);
+  };
+  ClassTable &Table = RT.getTable();
+  for (unsigned S = 0; S != Table.getNumStaticSlots(); ++S) {
+    Value V = RT.getStatic(S);
+    if (V.K == Value::Kind::Ref)
+      Push(V.R);
+  }
+  for (const auto &[Str, Ref] : RT.stringPool())
+    Push(Ref);
+  while (!Work.empty()) {
+    uint32_t Ref = Work.back();
+    Work.pop_back();
+    for (const Value &V : RT.cell(Ref).Slots)
+      if (V.K == Value::Kind::Ref)
+        Push(V.R);
+  }
+  // 10 nodes + 10 arrays via Main.keep, + the interned "done".
+  EXPECT_EQ(Reachable.size(), 21u);
+  EXPECT_EQ(RT.gcLiveCells(), Reachable.size());
+
+  // A second forced collection reclaims nothing: the live set is stable.
+  EXPECT_EQ(RT.collectNow(), 0u);
+  EXPECT_EQ(RT.gcLiveCells(), Reachable.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Null-slot convention and free-list reuse.
+//===----------------------------------------------------------------------===//
+
+TEST(GcHeapInvariants, CellZeroIsNeverHandedOut) {
+  auto C = compileMJ("null.mj",
+                     "class C { int x; } "
+                     "class Main { static void main() { } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  ClassTable &Table = *C->Table;
+  const ClassSymbol *Cls = nullptr;
+  for (const auto &Sym : Table.getClasses())
+    if (Sym->Name == "C")
+      Cls = Sym.get();
+  ASSERT_NE(Cls, nullptr);
+
+  Runtime RT(Table, 200'000'000, stressGc());
+  Type *CharTy = C->TSA->Types->getChar();
+  // Fresh allocations, swept-and-recycled allocations, and interned
+  // strings must all avoid index 0 — ref 0 stays the null reference.
+  for (int Round = 0; Round != 3; ++Round) {
+    for (int I = 0; I != 100; ++I) {
+      EXPECT_NE(RT.allocObject(Cls), 0u);
+      EXPECT_NE(RT.allocArray(CharTy, 4), 0u);
+    }
+    EXPECT_NE(RT.internString("s" + std::to_string(Round), CharTy), 0u);
+    RT.collectNow(); // Everything unrooted dies; indices recycle.
+  }
+}
+
+TEST(GcHeapInvariants, NullRefAccessTrapsNotUB) {
+  // Field and element access through null must raise NullPointer — the
+  // trap, not a read of cell 0 — on every engine, stressed or not.
+  expectSourceGcParity(
+      "class C { int x; } class Main { static void main() { "
+      "C c = null; IO.printInt(c.x); } }");
+  expectSourceGcParity(
+      "class Main { static void main() { "
+      "int[] a = null; IO.printInt(a[0]); } }");
+  auto C = compileMJ("nulltrap.mj",
+                     "class C { int x; } class Main { static void main() { "
+                     "C c = null; IO.printInt(c.x); } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome O = runTreeWalk(*C->TSA, *C->Table, stressGc());
+  EXPECT_EQ(O.Err, RuntimeError::NullPointer);
+}
+
+TEST(GcHeapInvariants, FreeListReusesIndicesWithoutGrowth) {
+  auto C = compileMJ("reuse.mj", "class C { int x; } "
+                                 "class Main { static void main() { } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  ClassTable &Table = *C->Table;
+  const ClassSymbol *Cls = nullptr;
+  for (const auto &Sym : Table.getClasses())
+    if (Sym->Name == "C")
+      Cls = Sym.get();
+  ASSERT_NE(Cls, nullptr);
+
+  Runtime RT(Table);
+  uint32_t First = RT.allocObject(Cls);
+  size_t CellsAfterFirst = RT.heapCells();
+  ASSERT_EQ(RT.collectNow(), 1u); // Unrooted: swept.
+  // The recycled allocation reuses the swept index; the vector does not
+  // grow, and the non-moving discipline means the index is bit-identical.
+  uint32_t Second = RT.allocObject(Cls);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(RT.heapCells(), CellsAfterFirst);
+}
+
+TEST(GcHeapInvariants, DisabledGcNeverCollects) {
+  auto C = compileMJ("off.mj", "class C { int x; } "
+                               "class Main { static void main() { } }");
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  const ClassSymbol *Cls = nullptr;
+  for (const auto &Sym : C->Table->getClasses())
+    if (Sym->Name == "C")
+      Cls = Sym.get();
+  ASSERT_NE(Cls, nullptr);
+  GcOptions G = stressGc();
+  G.Disable = true;
+  Runtime RT(*C->Table, 200'000'000, G);
+  for (int I = 0; I != 50; ++I)
+    RT.allocObject(Cls);
+  EXPECT_FALSE(RT.gcPending());
+  EXPECT_EQ(RT.collectNow(), 0u);
+  EXPECT_EQ(RT.gcStats().Cycles, 0u);
+  EXPECT_EQ(RT.heapCells(), 51u); // 50 + the null cell: grow-only.
+}
+
+//===----------------------------------------------------------------------===//
+// Paranoid mode: a dead (swept) ref read through cell() aborts instead
+// of silently returning recycled memory.
+//===----------------------------------------------------------------------===//
+
+TEST(GcParanoidDeathTest, DeadRefTrapsUnderParanoid) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        setenv("SAFETSA_PARANOID", "1", 1);
+        auto C = compileMJ("paranoid.mj",
+                           "class C { int x; } "
+                           "class Main { static void main() { } }");
+        const ClassSymbol *Cls = nullptr;
+        for (const auto &Sym : C->Table->getClasses())
+          if (Sym->Name == "C")
+            Cls = Sym.get();
+        Runtime RT(*C->Table);
+        uint32_t Ref = RT.allocObject(Cls);
+        RT.collectNow(); // Unrooted: Ref is now dead.
+        RT.cell(Ref);    // Paranoid trap: abort, not recycled memory.
+      },
+      "PARANOID heap trap");
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: 8 threads execute one served module, each with its own
+// stress-collected Runtime. Safepoint polls, striped GC counters, and
+// the shared PreparedModule must stay race-free (gc_test_tsan).
+//===----------------------------------------------------------------------===//
+
+TEST(GcConcurrency, EightThreadServeStormWithStressGc) {
+  CodeServerOptions Opts;
+  Opts.Gc = stressGc();
+  CodeServer Server(Opts);
+  std::string Err;
+  auto Prog = compileMJ("storm.mj", kChurnSrc);
+  ASSERT_TRUE(Prog->ok()) << Prog->renderDiagnostics();
+  std::vector<uint8_t> Wire = encodeModule(*Prog->TSA);
+  Digest D = Server.publish(ByteSpan(Wire), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  auto Unit = Server.load(D, &Err);
+  ASSERT_TRUE(Unit) << Err;
+  auto PM = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(PM) << Err;
+
+  uint64_t CyclesBefore = gcCounters().Cycles.sum();
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  std::string Expected;
+  {
+    Runtime RT(*Unit->Table, 200'000'000, disabledGc());
+    TSAExec X(*PM, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+    Expected = RT.getOutput();
+  }
+  for (unsigned T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&] {
+      // Per-thread Runtime under the server's GC policy; the prepared
+      // module is shared and const.
+      Runtime RT(*Unit->Table, 200'000'000, Opts.Gc);
+      TSAExec X(*PM, RT);
+      ExecResult R = X.runMain();
+      if (R.Err != RuntimeError::None || RT.getOutput() != Expected ||
+          RT.gcStats().Cycles == 0 || RT.heapCells() > 64)
+        ++Failures;
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  // Every thread's collections landed in the process-wide striped
+  // aggregate, and the STATS verb reports them.
+  uint64_t CyclesNow = gcCounters().Cycles.sum();
+  EXPECT_GE(CyclesNow - CyclesBefore, kThreads);
+  ServeStats S = Server.stats();
+  EXPECT_GE(S.GcCycles, CyclesNow);
+  EXPECT_GT(S.GcCellsReclaimed, 0u);
+}
+
+} // namespace

@@ -673,6 +673,9 @@ TEST(Serve, StatsWireFormatRoundTripsTierCounters) {
   In.CacheReprepares = 0x1122334455667788ull;
   In.CacheICHits = 17;
   In.CacheICMisses = 18;
+  In.GcCycles = 19;
+  In.GcCellsReclaimed = 20;
+  In.GcPauseNs = 0x8877665544332211ull;
 
   std::vector<uint8_t> Bytes = encodeStats(In);
   EXPECT_EQ(Bytes.size(), kServeStatsFields * 8);
@@ -682,11 +685,16 @@ TEST(Serve, StatsWireFormatRoundTripsTierCounters) {
   EXPECT_EQ(Out.CacheReprepares, 0x1122334455667788ull);
   EXPECT_EQ(Out.CacheICHits, 17u);
   EXPECT_EQ(Out.CacheICMisses, 18u);
+  EXPECT_EQ(Out.GcCycles, 19u);
+  EXPECT_EQ(Out.GcCellsReclaimed, 20u);
+  EXPECT_EQ(Out.GcPauseNs, 0x8877665544332211ull);
   EXPECT_EQ(Out.StoreModules, 1u);
   EXPECT_EQ(Out.CacheBytes, 15u);
 
-  // A frame from the pre-tier protocol (16 fields) is rejected, not
-  // misparsed.
+  // Frames from older protocol revisions (16 fields pre-tier, 19 fields
+  // pre-GC) are rejected, not misparsed.
+  Bytes.resize(19 * 8);
+  EXPECT_FALSE(decodeStats(ByteSpan(Bytes), Out));
   Bytes.resize(16 * 8);
   EXPECT_FALSE(decodeStats(ByteSpan(Bytes), Out));
 }
