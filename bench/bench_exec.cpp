@@ -12,10 +12,19 @@
 /// speedup has to amortize, and prepared-execution throughput at 1/4/8
 /// threads sharing one PreparedModule per program. A second section
 /// re-quickens every profiled module to tier 1 (inline caches,
-/// devirtualization, superinstruction fusion) and times it against the
-/// tier-0 profiling interpreter; the call-heavy subset — programs whose
-/// profile recorded at least one virtual dispatch — carries its own
-/// geomean (acceptance: tier 1 >= 1.25x). Emits BENCH_exec.json.
+/// devirtualization, superinstruction fusion, speculative inlining) and
+/// times it against the tier-0 profiling interpreter; the call-heavy
+/// subset — programs whose profile recorded at least one virtual
+/// dispatch — carries its own geomean (acceptance: tier 1 >= 1.25x). A
+/// third section isolates speculative inlining (DESIGN.md §14): the same
+/// profiled modules re-quickened with splicing disabled versus the
+/// spliced forms, interleaved best-of-five; the call-heavy subset here
+/// is picked by flattened-call density — at least one dynamic call
+/// through a spliced site per 16 executed instructions (spliced-site
+/// profile heat per tier-0 run over fuel-metered instructions per run),
+/// with a 100k-instruction floor so the ratio reflects steady-state
+/// interpretation rather than per-run VM setup — and must show >= 1.15x.
+/// Emits BENCH_exec.json.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,9 +63,14 @@ struct ProgramRun {
   std::string Name;
   std::unique_ptr<CompiledProgram> Program;
   std::unique_ptr<PreparedModule> Prepared;
+  std::unique_ptr<PreparedModule> Tier1; ///< Default (spliced) tier 1.
   double TreeSeconds = 0;   ///< Per tree-walk runMain.
   double PrepSeconds = 0;   ///< Per prepared runMain.
   unsigned Reps = 1;
+  /// Profiled tier-0 executions at the moment the spliced tier 1 was
+  /// built: Tiering.InlinedHeat summed over this many runs, so dividing
+  /// recovers per-run flattened-call counts for the density rule.
+  uint64_t Tier0Runs = 0;
 };
 
 ExecResult runTree(const TSAModule &M, ClassTable &Table,
@@ -217,6 +231,9 @@ int main() {
   for (ProgramRun &R : Runs) {
     const bool CallHeavy = R.Prepared->Profile &&
                            R.Prepared->Profile->totalDispatchSamples() > 0;
+    if (R.Prepared->Profile && R.Prepared->MainUnit)
+      R.Tier0Runs =
+          R.Prepared->Profile->invocations(R.Prepared->MainUnit->Index);
     Clock::time_point Start = Clock::now();
     auto T1 = reprepareModule(*R.Prepared);
     ReprepareSeconds += secondsSince(Start);
@@ -281,6 +298,7 @@ int main() {
     FusionGuardedTotal += T1->Tiering.FusionGuardedUnits;
     ICHitsTotal += T1->ICHits.load();
     ICMissesTotal += T1->ICMisses.load();
+    R.Tier1 = std::move(T1); // The inlining section below re-times it.
   }
   double T1Geomean = std::exp(T1LogSum / Runs.size());
   double CallGeomean =
@@ -305,6 +323,112 @@ int main() {
               static_cast<unsigned long long>(ICHitsTotal),
               static_cast<unsigned long long>(ICMissesTotal));
 
+  // Speculative inlining isolated: the same profiled modules
+  // re-quickened with splicing disabled are the pre-inlining tier 1;
+  // the section above already built (and parity-checked) the spliced
+  // forms under the default budget. Both sides interleaved at the same
+  // rep counts, best of five rounds, so the ratio charges inlining
+  // alone — not drift in cache or frequency state.
+  std::printf("\nTier-1 speculative inlining (spliced vs call-preserving "
+              "tier 1):\n");
+  std::printf("%-20s | %10s %10s | %7s\n", "Program", "off us", "on us",
+              "speedup");
+  std::printf("---------------------+-----------------------+--------\n");
+  double InlLogSum = 0, InlCallLogSum = 0;
+  unsigned InlCallCount = 0;
+  uint64_t InlinedSitesTotal = 0, InlineGuardMissTotal = 0;
+  double InlMinSpeedup = 1e30;
+  std::string InlMinProgram;
+  for (ProgramRun &R : Runs) {
+    PrepareOptions Off;
+    Off.NoInlining = true;
+    auto T1Off = reprepareModule(*R.Prepared, Off);
+    if (!T1Off) {
+      std::fprintf(stderr, "%s failed to re-quicken (NoInlining)\n",
+                   R.Name.c_str());
+      return 1;
+    }
+    std::string TreeOut, OffOut;
+    ExecResult TR = runTree(*R.Program->TSA, *R.Program->Table, &TreeOut);
+    ExecResult PR = runPrep(*T1Off, *R.Program->Table, &OffOut);
+    if (TR.Err != PR.Err || TreeOut != OffOut) {
+      std::fprintf(stderr,
+                   "%s inline-free tier 1 diverged from tree-walk: "
+                   "%s vs %s\n",
+                   R.Name.c_str(), runtimeErrorName(TR.Err),
+                   runtimeErrorName(PR.Err));
+      return 1;
+    }
+
+    const uint32_t Spliced = R.Tier1->Tiering.InlinedSites;
+    // Call-heavy membership is decided by flattened-call density, and
+    // both inputs are deterministic: spliced-site profile heat divided
+    // by the tier-0 runs that accumulated it gives dynamic calls per
+    // run, and one fuel-metered execution of the splice-free tier 1
+    // gives instructions per run. Short programs are floored out —
+    // under ~100k instructions a run is mostly VM setup, which splicing
+    // cannot touch, so the ratio would misclassify them.
+    const uint64_t MeterFuel = 1'000'000'000;
+    uint64_t InstsPerRun = 0;
+    {
+      Runtime RT(*R.Program->Table, MeterFuel);
+      TSAExec Exec(*T1Off, RT);
+      Exec.runMain();
+      InstsPerRun = MeterFuel - RT.fuelLeft();
+    }
+    double HeatPerRun =
+        static_cast<double>(R.Tier1->Tiering.InlinedHeat) /
+        static_cast<double>(R.Tier0Runs ? R.Tier0Runs : 1);
+    double CallsPerKilo =
+        InstsPerRun ? 1e3 * HeatPerRun / static_cast<double>(InstsPerRun)
+                    : 0.0;
+    const bool InlCallHeavy =
+        CallsPerKilo * 16 >= 1000 && InstsPerRun >= 100000;
+    double OffSeconds = 1e30, OnSeconds = 1e30;
+    for (unsigned Round = 0, Rounds = Smoke ? 2 : 5; Round != Rounds;
+         ++Round) {
+      OffSeconds = std::min(
+          OffSeconds,
+          timePerRun(R.Reps, [&] { runPrep(*T1Off, *R.Program->Table); }));
+      OnSeconds = std::min(
+          OnSeconds, timePerRun(R.Reps, [&] {
+            runPrep(*R.Tier1, *R.Program->Table);
+          }));
+    }
+    double Speedup = OffSeconds / OnSeconds;
+    InlLogSum += std::log(Speedup);
+    if (InlCallHeavy) {
+      InlCallLogSum += std::log(Speedup);
+      ++InlCallCount;
+    }
+    if (Speedup < InlMinSpeedup) {
+      InlMinSpeedup = Speedup;
+      InlMinProgram = R.Name;
+    }
+    std::printf("%-20s | %10.1f %10.1f | %6.2fx  %s%u site%s spliced, "
+                "%.0f flattened calls/kinst\n",
+                R.Name.c_str(), OffSeconds * 1e6, OnSeconds * 1e6, Speedup,
+                InlCallHeavy ? "[call-heavy] " : "", Spliced,
+                Spliced == 1 ? "" : "s", CallsPerKilo);
+    Json.add("inline_speedup/" + R.Name, Speedup, "x");
+    InlinedSitesTotal += Spliced;
+    InlineGuardMissTotal += R.Tier1->InlineGuardMisses.load();
+  }
+  double InlGeomean = std::exp(InlLogSum / Runs.size());
+  double InlCallGeomean =
+      InlCallCount ? std::exp(InlCallLogSum / InlCallCount) : 1.0;
+  std::printf("---------------------+-----------------------+--------\n");
+  std::printf("%-20s | %21s | %6.2fx\n", "GEOMEAN (all)", "", InlGeomean);
+  std::printf("%-20s | %21s | %6.2fx  (acceptance: >= 1.15x, %u programs)\n",
+              "GEOMEAN (call-heavy)", "", InlCallGeomean, InlCallCount);
+  std::printf("%-20s | %21s | %6.2fx  (%s)\n", "MIN", "", InlMinSpeedup,
+              InlMinProgram.c_str());
+  std::printf("\nSplices: %llu sites inlined corpus-wide; %llu receiver-"
+              "guard misses during timing (misses fall back to the "
+              "preserved DispatchMono, no deoptimization)\n",
+              static_cast<unsigned long long>(InlinedSitesTotal),
+              static_cast<unsigned long long>(InlineGuardMissTotal));
+
   Json.add("geomean_speedup", Geomean, "x");
   Json.add("prepare_ms_total", PrepareSeconds * 1e3, "ms");
   Json.add("prepared_insts_total", static_cast<double>(TotalCode), "insts");
@@ -323,6 +447,15 @@ int main() {
   Json.add("tier1_min_speedup", MinSpeedup, "x");
   Json.add("tier1_ic_hits", static_cast<double>(ICHitsTotal), "");
   Json.add("tier1_ic_misses", static_cast<double>(ICMissesTotal), "");
+  Json.add("inline_geomean", InlGeomean, "x");
+  Json.add("inline_geomean_callheavy", InlCallGeomean, "x");
+  Json.add("inline_callheavy_programs",
+           static_cast<double>(InlCallCount), "");
+  Json.add("inline_min_speedup", InlMinSpeedup, "x");
+  Json.add("inline_sites_total", static_cast<double>(InlinedSitesTotal),
+           "sites");
+  Json.add("inline_guard_misses",
+           static_cast<double>(InlineGuardMissTotal), "");
   Json.write();
 
   if (Smoke) {
@@ -348,6 +481,18 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: tier-1 min speedup %.2fx (%s) below 0.95x gate\n",
                  MinSpeedup, MinProgram.c_str());
+    Failed = true;
+  }
+  // Inlining gate: over the call-heavy subset (>= 1 flattened dynamic
+  // call per 16 executed instructions, >= 100k instructions per run),
+  // the spliced tier 1 must beat the call-preserving tier 1 by
+  // >= 1.15x. An empty subset also fails: the corpus contains programs
+  // built to qualify, so losing them means the splicer regressed.
+  if (!InlCallCount || InlCallGeomean < 1.15) {
+    std::fprintf(stderr,
+                 "FAIL: inlining call-heavy geomean %.2fx below 1.15x "
+                 "target (%u programs)\n",
+                 InlCallGeomean, InlCallCount);
     Failed = true;
   }
   return Failed ? 1 : 0;

@@ -12,6 +12,12 @@
 /// corrupting the tracked perf trajectory. Exits non-zero naming the
 /// first offending file and byte offset.
 ///
+/// `--require a,b,c` additionally demands that each named metric appears
+/// in every file (as a BenchJson `"name": "<key>"` entry), so a bench
+/// that silently stops emitting a tracked metric — e.g. the inlining
+/// section of BENCH_exec.json — fails the run instead of leaving a hole
+/// in the trajectory.
+///
 //===----------------------------------------------------------------------===//
 
 #include <cctype>
@@ -20,6 +26,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -202,14 +209,39 @@ private:
   unsigned Depth = 0;
 };
 
+/// True when the document carries a BenchJson metric entry named \p Key
+/// (the emitter writes exactly `"name": "<key>"`; keys never contain
+/// characters that need JSON escaping).
+bool hasMetric(const std::string &Doc, const std::string &Key) {
+  return Doc.find("\"name\": \"" + Key + "\"") != std::string::npos;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+  std::vector<std::string> Required;
+  int A = 1;
+  if (A < argc && std::strcmp(argv[A], "--require") == 0) {
+    if (++A == argc) {
+      std::fprintf(stderr, "bench_json_check: --require needs a key list\n");
+      return 2;
+    }
+    std::string Keys = argv[A++];
+    for (size_t Pos = 0; Pos <= Keys.size();) {
+      size_t Comma = Keys.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Keys.size();
+      if (Comma > Pos)
+        Required.push_back(Keys.substr(Pos, Comma - Pos));
+      Pos = Comma + 1;
+    }
+  }
+  if (A == argc) {
+    std::fprintf(stderr, "usage: %s [--require a,b,c] <file.json>...\n",
+                 argv[0]);
     return 2;
   }
-  for (int A = 1; A != argc; ++A) {
+  for (; A != argc; ++A) {
     std::ifstream In(argv[A], std::ios::binary);
     if (!In) {
       std::fprintf(stderr, "bench_json_check: cannot open %s\n", argv[A]);
@@ -229,6 +261,13 @@ int main(int argc, char **argv) {
                    argv[A], P.At, P.Error.c_str());
       return 1;
     }
+    for (const std::string &Key : Required)
+      if (!hasMetric(Doc, Key)) {
+        std::fprintf(stderr,
+                     "bench_json_check: %s: required metric \"%s\" missing\n",
+                     argv[A], Key.c_str());
+        return 1;
+      }
     std::printf("bench_json_check: %s OK\n", argv[A]);
   }
   return 0;

@@ -45,19 +45,24 @@ else
 fi
 
 # Fails loudly (exit 1) when the just-emitted BENCH_<suite>.json is
-# missing or not valid JSON.
+# missing, not valid JSON, or (second arg) missing a required metric.
 check_json() {
   JSON="$SAFETSA_BENCH_DIR/BENCH_$1.json"
   if [ ! -f "$JSON" ]; then
     echo "error: $1 bench did not emit $JSON" >&2
     exit 1
   fi
-  "$BENCH_DIR/bench_json_check" "$JSON"
+  if [ -n "${2:-}" ]; then
+    "$BENCH_DIR/bench_json_check" --require "$2" "$JSON"
+  else
+    "$BENCH_DIR/bench_json_check" "$JSON"
+  fi
 }
 
-echo "== bench_exec (tree-walk vs tier 0 vs tier 1) =="
+echo "== bench_exec (tree-walk vs tier 0 vs tier 1 vs inlined tier 1) =="
 "$BENCH_DIR/bench_exec"
-check_json exec
+check_json exec \
+  inline_geomean,inline_geomean_callheavy,inline_callheavy_programs,inline_min_speedup,inline_sites_total,inline_guard_misses
 
 echo
 echo "== bench_gc (safepoint overhead + reclaim throughput) =="

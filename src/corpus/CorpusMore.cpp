@@ -743,6 +743,126 @@ class Main {
 }
 )MJ";
 
+static const char *AssemblerSrc = R"MJ(
+// Instruction emitter whose hot loop funnels every byte through layers
+// of tiny accessor and append helpers, plus a monomorphic virtual opcode
+// query — the call-dense shape behind javac's assembler
+// (sun.tools.asm.Assembler analogue) and the measurement target for
+// tier-1 call splicing.
+class Buf {
+  int[] data;
+  int len;
+  int checksum;
+
+  // The emitter sizes its code buffer up front, so the append helper is
+  // a straight store-and-count with no capacity branch.
+  Buf(int cap) {
+    data = new int[cap];
+    len = 0;
+    checksum = 0;
+  }
+
+  int size() { return len; }
+
+  int at(int i) { return data[i]; }
+
+  void put(int b) {
+    data[len] = b;
+    len = len + 1;
+  }
+
+  void tally(int b) { checksum = checksum + b * 31; }
+}
+
+class Instr {
+  int op() { return 0; }
+  int width() { return 1; }
+}
+
+class Narrow extends Instr {
+  int code;
+
+  Narrow(int c) { code = c; }
+
+  int op() { return code; }
+}
+
+class Wide extends Instr {
+  int operand;
+
+  Wide(int v) { operand = v; }
+
+  int op() { return 196; }
+  int width() { return 2; }
+}
+
+class Main {
+  static int emitCold(Buf b, Instr ins) {
+    b.put(ins.op());
+    b.tally(ins.op());
+    return ins.width();
+  }
+
+  static void main() {
+    Buf b = new Buf(65536);
+
+    // Keep every Instr subclass live so the hot op() site below stays a
+    // guarded (profiled-monomorphic) dispatch rather than folding away.
+    Instr w = new Wide(7);
+    Instr n0 = new Narrow(3);
+    int wide = emitCold(b, w) + emitCold(b, n0);
+
+    // Hot loop: five calls per byte — two virtual opcode queries, the
+    // append and checksum helpers, and a length read — with almost no
+    // straight-line work between them.
+    Instr ins = new Narrow(42);
+    int acc = wide;
+    int i = 0;
+    while (i < 50000) {
+      b.put(ins.op());
+      b.tally(ins.op());
+      acc = acc + b.size();
+      i = i + 1;
+    }
+
+    // Allocation under the same helpers: fresh instructions flow through
+    // the spliced bodies while the collector runs.
+    int alloc = 0;
+    int j = 0;
+    while (j < 600) {
+      Narrow m = new Narrow(j % 200);
+      alloc = alloc + m.op() + emitCold(b, m);
+      j = j + 1;
+    }
+
+    // Faulting reads through a flattened accessor: the out-of-bounds
+    // trap unwinds the spliced frame into this caller's handler.
+    int ok = 0;
+    int faults = 0;
+    int k = -4;
+    while (k < b.size() + 4) {
+      try {
+        ok = ok + b.at(k) % 7;
+      } catch {
+        faults = faults + 1;
+      }
+      k = k + 997;
+    }
+
+    IO.printInt(acc);
+    IO.println();
+    IO.printInt(b.checksum);
+    IO.println();
+    IO.printInt(alloc);
+    IO.printChar(' ');
+    IO.printInt(ok);
+    IO.printChar(' ');
+    IO.printInt(faults);
+    IO.println();
+  }
+}
+)MJ";
+
 void safetsa::appendCorpusPart2(std::vector<CorpusProgram> &Out) {
   Out.push_back({"BinaryCode", "sun.tools.java.BinaryCode",
                  BinaryCodeSrc});
@@ -754,4 +874,5 @@ void safetsa::appendCorpusPart2(std::vector<CorpusProgram> &Out) {
   Out.push_back({"BatchParser", "sun.tools.javac.BatchParser",
                  QueueGraphSrc});
   Out.push_back({"Main", "sun.tools.javac.Main", MatrixSrc});
+  Out.push_back({"Assembler", "sun.tools.asm.Assembler", AssemblerSrc});
 }

@@ -100,6 +100,11 @@ ExecResult TSAExec::call(const ExecUnit *Unit, const std::vector<Value> &Args) {
     PM.ICMisses.fetch_add(LocalICMisses, std::memory_order_relaxed);
     LocalICHits = LocalICMisses = 0;
   }
+  if (LocalInlineGuardMisses) {
+    PM.InlineGuardMisses.fetch_add(LocalInlineGuardMisses,
+                                   std::memory_order_relaxed);
+    LocalInlineGuardMisses = 0;
+  }
   if (R.ok())
     R.Ret = RetVal;
   return R;
@@ -159,6 +164,11 @@ RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
   size_t PC = 0;
   const ExecInst *In = nullptr;
   Type *CharTy = PM.Module->Types->getChar();
+  // Inlined activations currently live in THIS frame (EnterInline minus
+  // LeaveInline). Each contributes one Depth tick; an unwinding trap
+  // must strip this frame's contribution so Depth stays exact for the
+  // enclosing activations (DESIGN.md §14).
+  unsigned InlineLive = 0;
 
   // Call-entry safepoint work (GC only; both callers pop FrameChain).
   // Body ref slots are nulled so a root scan before their first
@@ -225,6 +235,7 @@ RuntimeError TSAExec::execute(const ExecUnit &U, size_t Base) {
       PC = static_cast<size_t>(In->Handler);                                 \
       SAFETSA_NEXT();                                                        \
     }                                                                        \
+    Depth -= InlineLive; /* Inlined frames unwind with this frame. */        \
     return TrapE;                                                            \
   } while (0)
 
@@ -713,6 +724,67 @@ DispatchLoop:
     R[In->Dst] = Idx;
     Cell.Slots[Idx.I] = R[In->C];
     ++PC;
+  }
+  SAFETSA_NEXT();
+
+  // Speculative inlining (tier 1, DESIGN.md §14). A spliced site runs
+  // GuardInline (mono sites) or EnterInline (direct sites), optional
+  // arg Moves, then the callee body renumbered into the caller-frame
+  // extension; every exit from the body carries the ledger decrement
+  // itself (InlineRet for value returns, a jumping LeaveInline for void
+  // returns and the trap trampoline), so the common path pays no
+  // separate continuation instruction. The receiver slot is a safe-ref
+  // certificate (a NullCheck dominates every dispatch), so the guard
+  // reads the cell header without a null test, exactly like
+  // DispatchMono.
+  SAFETSA_CASE(GuardInline) {
+    // Class hit doubles as the splice's EnterInline (one dispatch, not
+    // two); a mismatch — or an activation ledger already at the limit —
+    // takes the out-of-line DispatchMono fallback instead, which traps
+    // StackOverflow exactly where the un-inlined call would.
+    const HeapCell &Cell = RT.cell(R[In->A].R);
+    if (Cell.Class != static_cast<const ClassSymbol *>(In->P)) {
+      ++LocalInlineGuardMisses;
+      PC = static_cast<size_t>(In->X); // Out-of-line fallback (forward).
+    } else if (Depth >= MaxDepth) {
+      PC = static_cast<size_t>(In->X); // Not a speculation miss.
+    } else {
+      ++Depth;
+      ++InlineLive;
+    }
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(EnterInline) {
+    // The flattened frame still costs one activation tick, so
+    // StackOverflow traps at the same call site as the tree-walker's
+    // recursive call (the trap is uncatchable and unwinds).
+    if (Depth >= MaxDepth)
+      SAFETSA_TRAP(RuntimeError::StackOverflow);
+    ++Depth;
+    ++InlineLive;
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(LeaveInline) {
+    // Ledger decrement + unconditional transfer: the callee's RetVoid
+    // (X = the site continuation) and the trap trampoline (X = the
+    // caller's handler stub) both leave in one dispatch. Polled like any
+    // other unconditional jump so a backward handler cannot extend the
+    // collector's latency bound.
+    --Depth;
+    --InlineLive;
+    PC = static_cast<size_t>(In->X);
+    SAFETSA_BACKEDGE_POLL();
+  }
+  SAFETSA_NEXT();
+  SAFETSA_CASE(InlineRet) {
+    // Callee RetVal, flattened: result move + ledger decrement + jump
+    // past the splice (always forward — the continuation follows the
+    // spliced body, so no back-edge poll is needed).
+    if (In->Dst != ExecInst::NoSlot)
+      R[In->Dst] = R[In->A];
+    --Depth;
+    --InlineLive;
+    PC = static_cast<size_t>(In->X);
   }
   SAFETSA_NEXT();
 

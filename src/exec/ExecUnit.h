@@ -65,6 +65,14 @@ namespace safetsa {
 /// needed); Move2/MoveJmp collapse the flat-frame phi-edge copy chains.
 /// Fused forms MUST stay contiguous from BrCmpLtI through MoveJmp — the
 /// shadow-slot accounting in countOp range-checks that interval.
+///
+/// After the fused block comes the speculative-inlining vocabulary
+/// (DESIGN.md §14): GuardInline (receiver-class check guarding an inlined
+/// profiled-mono body, branch to the out-of-line fallback on miss),
+/// EnterInline / LeaveInline (activation-depth bookkeeping so an inlined
+/// frame still counts against MaxDepth exactly like the tree-walker's
+/// recursive call), and InlineRet (the callee's RetVal rewritten to a
+/// result move + jump to the continuation).
 #define SAFETSA_XOP_LIST(X)                                                  \
   X(Move) X(LoadConst) X(LoadStr) X(Jmp) X(BrFalse) X(RetVoid) X(RetVal)     \
   X(AddI) X(SubI) X(MulI) X(DivI) X(RemI) X(NegI) X(AndI) X(OrI) X(XorI)     \
@@ -79,7 +87,8 @@ namespace safetsa {
   X(BrCmpLtI) X(BrCmpLeI) X(BrCmpGtI) X(BrCmpGeI) X(BrCmpEqI) X(BrCmpNeI)    \
   X(BrCmpLtD) X(BrCmpLeD) X(BrCmpGtD) X(BrCmpGeD) X(BrCmpEqD) X(BrCmpNeD)    \
   X(NullGetField) X(NullSetField) X(IdxGetElt) X(IdxSetElt)                   \
-  X(Move2) X(MoveJmp)
+  X(Move2) X(MoveJmp)                                                        \
+  X(GuardInline) X(EnterInline) X(LeaveInline) X(InlineRet)
 
 enum class XOp : uint8_t {
 #define SAFETSA_XOP_ENUM(N) N,
@@ -171,6 +180,10 @@ public:
   /// this is the "did tier 1 improve any call in this unit" signal the
   /// fusion guard consults (see prepareModule pass 3).
   uint32_t DevirtSites = 0;
+  /// Tier-1 only: call sites in this unit whose callee body was spliced
+  /// in by speculative inlining (DESIGN.md §14). Counts as a call
+  /// improvement for the fusion guard, like DevirtSites.
+  uint32_t InlinedSites = 0;
 
   /// The unit's GC slot map: every frame slot that holds a reference,
   /// ascending. Derived at lowering time from the verifier's plane
@@ -229,6 +242,16 @@ public:
     /// Units whose tier-1 stream kept the tier-0 shape because fusion
     /// was vetoed by the per-unit guard (see fuseUnit's caller).
     uint32_t FusionGuardedUnits = 0;
+    /// Call sites (devirtualized CallUnit or profiled-mono DispatchMono)
+    /// whose callee body was spliced into the caller's stream
+    /// (DESIGN.md §14).
+    uint32_t InlinedSites = 0;
+    /// Profile heat summed over the spliced sites: how many dynamic
+    /// calls the profiling run sent through them. Divided by the
+    /// profiling run's executed-instruction count (Runtime::fuelLeft)
+    /// this gives the flattened-call density benches use to pick the
+    /// call-heavy corpus subset.
+    uint64_t InlinedHeat = 0;
   };
   TierStats Tiering;
 
@@ -239,6 +262,9 @@ public:
   /// immutable fields every executing thread reads.
   alignas(64) mutable std::atomic<uint64_t> ICHits{0};
   alignas(64) mutable std::atomic<uint64_t> ICMisses{0};
+  /// GuardInline receiver-class misses (fell back to the out-of-line
+  /// DispatchMono copy, which then also tallies an ICHit/ICMiss).
+  alignas(64) mutable std::atomic<uint64_t> InlineGuardMisses{0};
 
   const ExecUnit *unitFor(const MethodSymbol *M) const {
     return M && M->GlobalId < ByGlobalId.size() ? ByGlobalId[M->GlobalId]
@@ -283,6 +309,18 @@ struct PrepareOptions {
   /// Tier 1: receiver-class profiles gathered by tier-0 execution; null
   /// means no speculation (only closed-world devirt and fusion apply).
   const ProfileData *Profile = nullptr;
+  /// Tier 1: speculative-inlining callee size ceiling in ExecInsts. A
+  /// devirtualized or profiled-mono site is spliced into the caller when
+  /// the callee fits this budget and makes no further non-leaf calls
+  /// (DESIGN.md §14). 0 disables inlining as effectively as NoInlining.
+  uint32_t InlineBudget = 24;
+  /// Tier 1: skip speculative inlining entirely (env:
+  /// SAFETSA_EXEC_NOINLINE).
+  bool NoInlining = false;
+  /// Tier 1 (set by reprepareModule): the tier-0 twin, consulted purely
+  /// as a size oracle so lowering reserves each unit's instruction
+  /// stream and side tables up front instead of growing them per emit.
+  const PreparedModule *SizeHints = nullptr;
 };
 
 /// Lowers every method of \p Module once into prepared form. Requires a
@@ -368,6 +406,8 @@ private:
   /// free of shared-cacheline traffic).
   uint64_t LocalICHits = 0;
   uint64_t LocalICMisses = 0;
+  /// GuardInline miss tally, flushed to PM.InlineGuardMisses per call.
+  uint64_t LocalInlineGuardMisses = 0;
   /// Active-frame bookkeeping for precise root enumeration: one entry
   /// per live activation, innermost last. Maintained (and the frame's
   /// body ref slots nulled at entry) only when the Runtime's collector

@@ -57,6 +57,7 @@
 
 #include "sema/ClassTable.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <unordered_map>
@@ -740,7 +741,12 @@ static void fuseUnit(ExecUnit &U) {
   const size_t N = U.Code.size();
   std::vector<bool> IsTarget(N + 1, false);
   for (const ExecInst &X : U.Code) {
-    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse)
+    // GuardInline's X is its fallback block, InlineRet's and
+    // LeaveInline's their continuation/handler — all are code indices a
+    // jump lands on.
+    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse ||
+        X.Op == XOp::GuardInline || X.Op == XOp::InlineRet ||
+        X.Op == XOp::LeaveInline)
       IsTarget[static_cast<size_t>(X.X)] = true;
     if (X.Handler >= 0)
       IsTarget[static_cast<size_t>(X.Handler)] = true;
@@ -817,13 +823,15 @@ static void fuseUnit(ExecUnit &U) {
 /// Units with any unconditional-win fusion (move coalescing, fused
 /// null/index-checked accesses) or any IC/devirt gain always fuse.
 static bool fusionOnlyCondBranches(const ExecUnit &U) {
-  if (!U.ICs.empty() || U.DevirtSites != 0)
+  if (!U.ICs.empty() || U.DevirtSites != 0 || U.InlinedSites != 0)
     return false;
   // Mirror fuseUnit's pair matching (targets included) in a dry run.
   const size_t N = U.Code.size();
   std::vector<bool> IsTarget(N + 1, false);
   for (const ExecInst &X : U.Code) {
-    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse)
+    if (X.Op == XOp::Jmp || X.Op == XOp::BrFalse ||
+        X.Op == XOp::GuardInline || X.Op == XOp::InlineRet ||
+        X.Op == XOp::LeaveInline)
       IsTarget[static_cast<size_t>(X.X)] = true;
     if (X.Handler >= 0)
       IsTarget[static_cast<size_t>(X.Handler)] = true;
@@ -861,6 +869,431 @@ static bool envFlag(const char *Name) {
   return E && *E && !(E[0] == '0' && E[1] == '\0');
 }
 
+//===----------------------------------------------------------------------===//
+// Speculative inlining (tier 1, DESIGN.md §14)
+//===----------------------------------------------------------------------===//
+//
+// Runs between pass 2 (lowering) and pass 3 (fusion): call sites whose
+// callee is statically known — devirtualized/static CallUnit, or a
+// profiled-monomorphic DispatchMono whose one IC way names the callee —
+// are replaced by the callee's instruction body spliced into the caller's
+// stream. The callee frame is flattened into an extension of the caller
+// frame, so the call's frame push/pop disappears. The splice enters
+// through exactly one instruction — EnterInline for direct sites,
+// GuardInline for profiled-mono sites (a class hit doubles as the
+// enter) — and every body exit leaves in one instruction: RetVal
+// becomes InlineRet (result move + ledger decrement + jump past the
+// splice), RetVoid a jumping LeaveInline. The EnterInline/GuardInline
+// depth tick keeps the activation ledger exact, so StackOverflow still
+// traps where the tree-walker's recursive call would.
+//
+// Two properties keep the flattened form cheap enough to beat the call
+// it replaces (bench_exec's inlining section gates on it):
+//
+//  * One shared extension region per caller. Control can only ever be
+//    inside one splice at a time (bodies are self-contained, and a
+//    callee trap leaves through the site's trampoline before caller
+//    code resumes), so every splice renumbers by the same ExtBase =
+//    caller NumSlots and the region is sized by the LARGEST callee, not
+//    the sum — a caller with a dozen splices grows its frame (and its
+//    entry ref-nulling walk) by one callee, not twelve.
+//
+//  * Parameter aliasing. When the callee never writes a parameter slot
+//    (pre-fusion streams write frame slots only through Dst, so this is
+//    an exact scan), the body's parameter reads are renumbered straight
+//    to the caller's argument slots and the per-execution entry Moves
+//    vanish. The caller cannot mutate those slots mid-splice — only the
+//    body executes between EnterInline and LeaveInline.
+//
+// Profile gating: sites the tier-0 run never executed keep their calls
+// (a cold splice is pure frame/stream bloat). reprepareModule always
+// passes the tier-0 ProfileData; direct tier-1 preparation without a
+// profile splices every eligible site (the forced-inlining test mode).
+//
+// Profiled-mono sites keep their receiver speculation as a GuardInline
+// in front of the splice; a guard miss branches to an out-of-line copy
+// of the original DispatchMono appended behind the unit's code — the
+// un-inlined callee ExecUnit stays live, so no deoptimization metadata
+// is needed, and the fallback also tallies the site's IC counters.
+//
+// Exception structure is preserved: a callee-internal handler rebases
+// into the spliced body; a callee trap that would unwind transfers to a
+// per-site trampoline (LeaveInline, then jump to the caller's handler
+// stub) when the call site itself sits in a try, so catch semantics and
+// the depth ledger both match the un-inlined execution. The extension's
+// ref-slot map merged into the caller's is the deduplicated union over
+// the sharing splices, so caller-entry nulling and GC root enumeration
+// cover every slot any splice treats as a ref. Type safety survives the
+// sharing: handlers write whole Values, so a shared slot holding
+// another splice's non-ref carries R == 0 and the root scan reads it as
+// null, never as a stale ref.
+//
+// The pass is two-phase and closed: every site across every unit is
+// planned against the original pass-2 streams, then every mutated unit
+// is rebuilt into fresh, exactly-reserved vectors and swapped in at the
+// end. A callee snapshot therefore never contains Enter/LeaveInline
+// from its own inlining, keeping each splice's one-Leave accounting
+// exact even when a callee was itself a caller.
+
+/// True when \p U performs any unit-level call (native calls excluded:
+/// they cannot re-enter prepared code).
+static bool hasUnitCall(const ExecUnit &U) {
+  for (const ExecInst &X : U.Code)
+    switch (X.Op) {
+    case XOp::CallUnit:
+    case XOp::Dispatch:
+    case XOp::DispatchMono:
+    case XOp::DispatchIC:
+      return true;
+    default:
+      break;
+    }
+  return false;
+}
+
+/// Callee eligibility: fits the instruction budget, contains no virtual
+/// dispatch, and any remaining direct calls target leaf units — so a
+/// flattened frame nests at most one real invoke deep and the splice
+/// size stays bounded by the budget.
+static bool inlinableCallee(const ExecUnit &C, uint32_t Budget) {
+  if (C.Code.size() > Budget)
+    return false;
+  for (const ExecInst &X : C.Code)
+    switch (X.Op) {
+    case XOp::Dispatch:
+    case XOp::DispatchMono:
+    case XOp::DispatchIC:
+      return false;
+    case XOp::CallUnit: {
+      const ExecUnit *T = static_cast<const ExecUnit *>(X.P);
+      if (!T || hasUnitCall(*T))
+        return false;
+      break;
+    }
+    default:
+      break;
+    }
+  return true;
+}
+
+/// True when \p C writes any of its own parameter slots. Pre-fusion
+/// streams write frame slots only through Dst (the fused forms that
+/// also write B/C are produced after inlining), so this scan is exact
+/// for the callee snapshots the inliner splices.
+static bool writesParamSlot(const ExecUnit &C) {
+  for (const ExecInst &X : C.Code)
+    if (X.Dst != ExecInst::NoSlot && X.Dst < C.NumArgs)
+      return true;
+  return false;
+}
+
+static void inlineHotSites(PreparedModule &PM, const PrepareOptions &Opts) {
+  struct Plan {
+    size_t SiteIdx;                ///< Caller code index of the call.
+    const ExecUnit *Callee;
+    const ClassSymbol *GuardClass; ///< Non-null for DispatchMono sites.
+    bool AliasArgs;                ///< Read-only params: no entry Moves.
+    uint64_t Heat;                 ///< Profiled dynamic calls through it.
+  };
+  const ProfileData *Prof = Opts.Profile;
+  // Phase 1: plan every unit against the original streams (no unit is
+  // mutated until every plan is final).
+  std::vector<std::vector<Plan>> Plans(PM.Units.size());
+  for (const auto &UP : PM.Units) {
+    const ExecUnit &U = *UP;
+    // A caller the tier-0 run never entered cannot amortize a bigger
+    // frame or stream; keep its calls.
+    if (Prof && U.Index < Prof->numUnits() &&
+        Prof->invocations(U.Index) == 0)
+      continue;
+    for (size_t I = 0; I != U.Code.size(); ++I) {
+      const ExecInst &X = U.Code[I];
+      const ExecUnit *Callee = nullptr;
+      const ClassSymbol *Guard = nullptr;
+      uint64_t Heat = 1; // No profile: splice every eligible site.
+      if (X.Op == XOp::CallUnit) {
+        Callee = static_cast<const ExecUnit *>(X.P);
+        // Direct calls carry no per-site profile; the callee's
+        // module-wide activation count is the closest heat signal.
+        if (Prof && Callee && Callee->Index < Prof->numUnits())
+          Heat = Prof->invocations(Callee->Index);
+      } else if (X.Op == XOp::DispatchMono && X.S >= 0) {
+        const ICEntry &E = U.ICs[X.S];
+        Callee = E.Targets[0];
+        Guard = E.Classes[0];
+        if (Prof && static_cast<size_t>(X.S) < Prof->numSites())
+          Heat = Prof->site(static_cast<uint32_t>(X.S)).total();
+      }
+      if (!Callee || Callee == &U || Heat == 0)
+        continue;
+      if (!inlinableCallee(*Callee, Opts.InlineBudget))
+        continue;
+      if (Callee->NumArgs != X.N)
+        continue; // Defensive; arity always matches in verified modules.
+      if (U.NumSlots + Callee->NumSlots > 0xfffeu)
+        continue; // The shared extension would overflow the slot space.
+      Plans[U.Index].push_back(
+          {I, Callee, Guard, !writesParamSlot(*Callee), Heat});
+    }
+  }
+
+  // Phase 2: rebuild every planned caller into fresh vectors, reading
+  // only original streams; swap in at the end (phase 3).
+  struct Rebuilt {
+    ExecUnit *U;
+    std::vector<ExecInst> Code;
+    std::vector<uint16_t> ArgPool;
+    std::vector<Value> ConstPool;
+    std::vector<const std::string *> StrPool;
+    std::vector<uint16_t> RefSlots;
+    uint32_t NumSlots;
+  };
+  std::vector<Rebuilt> Results;
+  for (auto &UP : PM.Units) {
+    ExecUnit &U = *UP;
+    const std::vector<Plan> &Sites = Plans[U.Index];
+    if (Sites.empty())
+      continue;
+    const std::vector<ExecInst> &Old = U.Code;
+    const size_t OldN = Old.size();
+
+    // All splices in this caller time-share one frame extension at
+    // [ExtBase, ExtBase + MaxExt): sized by the largest callee, not the
+    // sum (16-bit slot safety was checked per site in phase 1).
+    const uint16_t ExtBase = static_cast<uint16_t>(U.NumSlots);
+    uint32_t MaxExt = 0;
+    for (const Plan &P : Sites)
+      MaxExt = std::max(MaxExt, P.Callee->NumSlots);
+
+    // The extension's ref-slot map is the deduplicated union over the
+    // sharing splices; aliased parameter slots are caller slots the
+    // caller's own map already tracks.
+    std::vector<uint16_t> ExtRefs;
+    for (const Plan &P : Sites)
+      for (uint16_t RS : P.Callee->RefSlots) {
+        if (P.AliasArgs && RS < P.Callee->NumArgs)
+          continue;
+        ExtRefs.push_back(static_cast<uint16_t>(RS + ExtBase));
+      }
+    std::sort(ExtRefs.begin(), ExtRefs.end());
+    ExtRefs.erase(std::unique(ExtRefs.begin(), ExtRefs.end()),
+                  ExtRefs.end());
+
+    Rebuilt R;
+    R.U = &U;
+    R.NumSlots = U.NumSlots + MaxExt;
+    // Exact final sizes, reserved once (no per-splice reallocation).
+    {
+      size_t CodeLen = OldN, ArgLen = U.ArgPool.size();
+      size_t ConstLen = U.ConstPool.size(), StrLen = U.StrPool.size();
+      size_t RefLen = U.RefSlots.size() + ExtRefs.size();
+      for (const Plan &P : Sites) {
+        const ExecInst &S = Old[P.SiteIdx];
+        bool Guarded = P.GuardClass != nullptr;
+        bool Tramp = S.Handler >= 0;
+        // Guard-or-Enter + arg moves (aliased: none) + body +
+        // trampoline?, replacing the 1-instruction call site; guarded
+        // sites add a 2-instruction out-of-line fallback. Body exits
+        // jump the ledger out themselves, so there is no continuation
+        // instruction.
+        CodeLen += 1 + (P.AliasArgs ? 0 : S.N) + P.Callee->Code.size() +
+                   (Tramp ? 1 : 0) - 1 + (Guarded ? 2 : 0);
+        ArgLen += P.Callee->ArgPool.size();
+        ConstLen += P.Callee->ConstPool.size();
+        StrLen += P.Callee->StrPool.size();
+      }
+      R.Code.reserve(CodeLen);
+      R.ArgPool.reserve(ArgLen);
+      R.ConstPool.reserve(ConstLen);
+      R.StrPool.reserve(StrLen);
+      R.RefSlots.reserve(RefLen);
+    }
+    // Caller pools stay as stable prefixes: verbatim instructions (and
+    // the out-of-line fallback's DispatchMono) keep their pool indices.
+    R.ArgPool.insert(R.ArgPool.end(), U.ArgPool.begin(), U.ArgPool.end());
+    R.ConstPool.insert(R.ConstPool.end(), U.ConstPool.begin(),
+                       U.ConstPool.end());
+    R.StrPool.insert(R.StrPool.end(), U.StrPool.begin(), U.StrPool.end());
+    R.RefSlots.insert(R.RefSlots.end(), U.RefSlots.begin(),
+                      U.RefSlots.end());
+    R.RefSlots.insert(R.RefSlots.end(), ExtRefs.begin(), ExtRefs.end());
+
+    // Old code index -> new code index (Map[OldN] = end), plus the new
+    // positions whose X / Handler still hold old caller indices to remap
+    // once the map is complete.
+    std::vector<size_t> Map(OldN + 1, 0);
+    std::vector<size_t> FixX, FixH;
+    struct FallbackRec {
+      ExecInst Orig;   ///< The replaced DispatchMono, verbatim.
+      size_t AfterOld; ///< Old index of the site's continuation.
+      size_t GuardAt;  ///< New index of the GuardInline to patch.
+    };
+    std::vector<FallbackRec> Fallbacks;
+
+    size_t NextPlan = 0;
+    for (size_t I = 0; I != OldN; ++I) {
+      Map[I] = R.Code.size();
+      if (NextPlan != Sites.size() && Sites[NextPlan].SiteIdx == I) {
+        const Plan &P = Sites[NextPlan++];
+        const ExecUnit &C = *P.Callee;
+        const ExecInst S = Old[I];
+        const bool Tramp = S.Handler >= 0;
+
+        // Exactly one entry instruction: a guard hit doubles as the
+        // EnterInline (depth check + ledger bump in the handler), so
+        // only unguarded direct splices need the separate EnterInline.
+        if (P.GuardClass) {
+          ExecInst G;
+          G.Op = XOp::GuardInline;
+          G.A = U.ArgPool[S.X]; // Receiver slot (safe-ref certificate).
+          G.P = P.GuardClass;
+          Fallbacks.push_back({S, I + 1, R.Code.size()});
+          R.Code.push_back(G); // X patched to the fallback below.
+        } else {
+          ExecInst E;
+          E.Op = XOp::EnterInline;
+          R.Code.push_back(E);
+        }
+        // Slot renumbering: body slots land in the shared extension;
+        // when the body never writes its parameters, parameter reads
+        // alias the caller's argument slots directly and the entry
+        // Moves below are dropped.
+        auto MapSlot = [&U, &S, &P, ExtBase, &C](uint16_t Slot) {
+          if (P.AliasArgs && Slot < C.NumArgs)
+            return U.ArgPool[S.X + Slot];
+          return static_cast<uint16_t>(Slot + ExtBase);
+        };
+        // Frame flattening: the call's argument transfer becomes plain
+        // Moves into the extension's argument region (read-only-param
+        // callees skip even that).
+        if (!P.AliasArgs)
+          for (unsigned K = 0; K != S.N; ++K) {
+            ExecInst Mv;
+            Mv.Op = XOp::Move;
+            Mv.A = U.ArgPool[S.X + K];
+            Mv.Dst = static_cast<uint16_t>(ExtBase + K);
+            R.Code.push_back(Mv);
+          }
+        const size_t BodyBase = R.Code.size();
+        const size_t TrampAt = BodyBase + C.Code.size();
+        // First instruction after the splice: body exits jump straight
+        // there, carrying the ledger decrement themselves.
+        const size_t After = TrampAt + (Tramp ? 1 : 0);
+        const int32_t ConstOff = static_cast<int32_t>(R.ConstPool.size());
+        const int32_t StrOff = static_cast<int32_t>(R.StrPool.size());
+        const int32_t ArgOff = static_cast<int32_t>(R.ArgPool.size());
+        R.ConstPool.insert(R.ConstPool.end(), C.ConstPool.begin(),
+                           C.ConstPool.end());
+        R.StrPool.insert(R.StrPool.end(), C.StrPool.begin(),
+                         C.StrPool.end());
+        for (uint16_t A : C.ArgPool)
+          R.ArgPool.push_back(MapSlot(A));
+
+        for (const ExecInst &CI : C.Code) {
+          ExecInst Y = CI;
+          // A/B/C are always frame slots in this ISA; unused fields are
+          // zero and never read, so blind renumbering is safe.
+          Y.A = MapSlot(Y.A);
+          Y.B = MapSlot(Y.B);
+          Y.C = MapSlot(Y.C);
+          if (Y.Dst != ExecInst::NoSlot)
+            Y.Dst = MapSlot(Y.Dst);
+          switch (CI.Op) {
+          case XOp::RetVal:
+            Y.Op = XOp::InlineRet; // Result move + ledger-out + jump.
+            Y.Dst = S.Dst;         // Site result slot (may be NoSlot).
+            Y.X = static_cast<int32_t>(After);
+            break;
+          case XOp::RetVoid:
+            Y.Op = XOp::LeaveInline; // Ledger-out + jump, one dispatch.
+            Y.X = static_cast<int32_t>(After);
+            break;
+          case XOp::Jmp:
+          case XOp::BrFalse:
+            Y.X += static_cast<int32_t>(BodyBase); // Body-internal.
+            break;
+          case XOp::LoadConst:
+            Y.X += ConstOff;
+            break;
+          case XOp::LoadStr:
+            Y.X += StrOff;
+            break;
+          case XOp::CallUnit:
+          case XOp::CallNative:
+            Y.X += ArgOff;
+            break;
+          default:
+            break; // Field/static/pool-free: X is frame-independent.
+          }
+          if (CI.Handler >= 0)
+            Y.Handler = static_cast<int32_t>(BodyBase) + CI.Handler;
+          else if (Tramp)
+            Y.Handler = static_cast<int32_t>(TrampAt);
+          R.Code.push_back(Y);
+        }
+        if (Tramp) {
+          // Catchable callee trap with the call site in a try: one
+          // jumping LeaveInline unwinds the inlined frame and enters
+          // the caller's handler stub.
+          ExecInst L;
+          L.Op = XOp::LeaveInline;
+          L.X = S.Handler; // Old caller index; remapped below.
+          FixX.push_back(R.Code.size());
+          R.Code.push_back(L);
+        }
+        ++U.InlinedSites;
+        ++PM.Tiering.InlinedSites;
+        PM.Tiering.InlinedHeat += P.Heat;
+        continue;
+      }
+      ExecInst Y = Old[I];
+      if (Y.Op == XOp::Jmp || Y.Op == XOp::BrFalse)
+        FixX.push_back(R.Code.size());
+      if (Y.Handler >= 0)
+        FixH.push_back(R.Code.size());
+      R.Code.push_back(Y);
+    }
+    Map[OldN] = R.Code.size();
+
+    // Out-of-line guard-miss fallbacks: the original DispatchMono (same
+    // IC site, same caller ArgPool indices — the prefix is unchanged),
+    // then a jump back to the site's continuation.
+    for (const FallbackRec &F : Fallbacks) {
+      R.Code[F.GuardAt].X = static_cast<int32_t>(R.Code.size());
+      ExecInst D = F.Orig;
+      if (D.Handler >= 0)
+        FixH.push_back(R.Code.size());
+      R.Code.push_back(D);
+      ExecInst J;
+      J.Op = XOp::Jmp;
+      J.X = static_cast<int32_t>(F.AfterOld);
+      FixX.push_back(R.Code.size());
+      R.Code.push_back(J);
+    }
+
+    for (size_t Pos : FixX)
+      R.Code[Pos].X =
+          static_cast<int32_t>(Map[static_cast<size_t>(R.Code[Pos].X)]);
+    for (size_t Pos : FixH)
+      R.Code[Pos].Handler =
+          static_cast<int32_t>(Map[static_cast<size_t>(R.Code[Pos].Handler)]);
+    Results.push_back(std::move(R));
+  }
+
+  // Phase 3: swap every rebuilt unit in. Until here every unit still
+  // exposed its original stream, so cross-unit splices read consistent
+  // (pre-inline) callee bodies.
+  for (Rebuilt &R : Results) {
+    ExecUnit &U = *R.U;
+    U.Code = std::move(R.Code);
+    U.ArgPool = std::move(R.ArgPool);
+    U.ConstPool = std::move(R.ConstPool);
+    U.StrPool = std::move(R.StrPool);
+    U.RefSlots = std::move(R.RefSlots);
+    U.NumSlots = R.NumSlots;
+  }
+}
+
 } // namespace
 
 std::unique_ptr<PreparedModule>
@@ -892,10 +1325,28 @@ safetsa::prepareModule(const TSAModule &Module, const PrepareOptions &Opts) {
   // module-wide in lowering order (deterministic across preparations).
   uint32_t NextSite = 0;
   for (auto &U : PM->Units) {
+    // Size oracle (reprepareModule passes the tier-0 twin): pre-inline
+    // tier-1 streams match the tier-0 shape instruction for instruction,
+    // so one up-front reservation replaces the per-emit growth.
+    if (Opts.SizeHints && U->Index < Opts.SizeHints->Units.size()) {
+      const ExecUnit &H = *Opts.SizeHints->Units[U->Index];
+      U->Code.reserve(H.Code.size());
+      U->ArgPool.reserve(H.ArgPool.size());
+      U->ConstPool.reserve(H.ConstPool.size());
+      U->StrPool.reserve(H.StrPool.size());
+      U->RefSlots.reserve(H.RefSlots.size());
+    }
     MethodLowerer L(*PM, *U->Method, *U, Opts, NextSite, PM->Tiering);
     if (!L.run())
       return nullptr;
   }
+
+  // Pass 2.5 (tier 1): speculative inlining — splice small statically-
+  // known callees into their callers before fusion, so the fused stream
+  // sees the flattened code (DESIGN.md §14).
+  if (Opts.Tier >= 1 && !Opts.NoInlining && Opts.InlineBudget > 0 &&
+      !envFlag("SAFETSA_EXEC_NOINLINE"))
+    inlineHotSites(*PM, Opts);
 
   // Pass 3 (tier 1): fuse after every handler stub and branch target has
   // been patched, so the peephole sees final indices. The per-unit guard
@@ -928,5 +1379,6 @@ std::unique_ptr<PreparedModule>
 safetsa::reprepareModule(const PreparedModule &T0, PrepareOptions Opts) {
   Opts.Tier = 1;
   Opts.Profile = T0.Profile.get();
+  Opts.SizeHints = &T0; // Reserve tier-1 tables at tier-0 twin sizes.
   return prepareModule(*T0.Module, Opts);
 }

@@ -77,7 +77,7 @@ size_t PreparedModule::countOp(XOp Op) const {
 }
 
 std::string safetsa::renderTierSummary(const PreparedModule &PM) {
-  char Buf[320];
+  char Buf[384];
   size_t Fused = 0;
   for (unsigned Op = static_cast<unsigned>(XOp::BrCmpLtI);
        Op <= static_cast<unsigned>(XOp::MoveJmp); ++Op)
@@ -86,15 +86,19 @@ std::string safetsa::renderTierSummary(const PreparedModule &PM) {
       Buf, sizeof(Buf),
       "tier=%u units=%zu insts=%zu mono=%zu poly=%zu "
       "vtable=%zu direct=%zu fused=%zu profmono=%u monodirect=%u "
-      "devirt=%u fguard=%u ichits=%llu icmisses=%llu",
+      "devirt=%u fguard=%u inlined=%u ichits=%llu icmisses=%llu "
+      "guardmiss=%llu",
       PM.Tier, PM.Units.size(), PM.totalCode(),
       PM.countOp(XOp::DispatchMono), PM.countOp(XOp::DispatchIC),
       PM.countOp(XOp::Dispatch), PM.countOp(XOp::CallUnit), Fused,
       PM.Tiering.ProfiledMono, PM.Tiering.MonoLoweredDirect,
       PM.Tiering.DevirtCalls, PM.Tiering.FusionGuardedUnits,
+      PM.Tiering.InlinedSites,
       static_cast<unsigned long long>(
           PM.ICHits.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
-          PM.ICMisses.load(std::memory_order_relaxed)));
+          PM.ICMisses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          PM.InlineGuardMisses.load(std::memory_order_relaxed)));
   return Buf;
 }

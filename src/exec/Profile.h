@@ -68,6 +68,12 @@ public:
   /// Counter stripes. A power of two; modest because each stripe carries
   /// full per-unit/per-site arrays.
   static constexpr unsigned kStripes = 8;
+  /// Saturation ceiling for every profile counter: adds stop here
+  /// instead of wrapping, so no amount of tier-0 execution can ever
+  /// wrap a hot tally around and demote the site/method below
+  /// HotThreshold. Low enough that a cross-stripe sum (kStripes x cap,
+  /// plus bounded racing overshoot) cannot overflow u64 either.
+  static constexpr uint64_t kSaturate = uint64_t(1) << 60;
 
   /// Merged read-side snapshot of one dispatch site: classes in
   /// first-seen claim order with per-class sample counts summed across
@@ -99,17 +105,19 @@ public:
   ProfileData(const ProfileData &) = delete;
   ProfileData &operator=(const ProfileData &) = delete;
 
-  /// Records one activation of unit \p UnitIdx. Lock-free; touches only
-  /// the calling thread's stripe.
-  void recordInvocation(uint32_t UnitIdx) {
-    stripe().Inv[UnitIdx].fetch_add(1, std::memory_order_relaxed);
+  /// Records \p N activations of unit \p UnitIdx (N > 1 is the bulk
+  /// form the saturation boundary tests use). Lock-free; touches only
+  /// the calling thread's stripe; saturates at kSaturate.
+  void recordInvocation(uint32_t UnitIdx, uint64_t N = 1) {
+    satAdd(stripe().Inv[UnitIdx], N);
   }
 
-  /// Records one dispatch at site \p SiteIdx with receiver class \p C.
-  /// Lock-free; safe from any number of threads. The class way is
+  /// Records \p N dispatches at site \p SiteIdx with receiver class
+  /// \p C. Lock-free; safe from any number of threads. The class way is
   /// claimed first-seen via CAS in the shared table; the sample count
-  /// lands in the calling thread's stripe.
-  void recordDispatch(uint32_t SiteIdx, const ClassSymbol *C) {
+  /// lands in the calling thread's stripe and saturates at kSaturate.
+  void recordDispatch(uint32_t SiteIdx, const ClassSymbol *C,
+                      uint64_t N = 1) {
     std::atomic<const ClassSymbol *> *Ways = &Classes[SiteIdx * kWays];
     Stripe &S = stripe();
     for (unsigned I = 0; I != kWays; ++I) {
@@ -122,11 +130,11 @@ public:
           Cur = C;
       }
       if (Cur == C) {
-        S.Cnt[SiteIdx * kCols + I].fetch_add(1, std::memory_order_relaxed);
+        satAdd(S.Cnt[SiteIdx * kCols + I], N);
         return;
       }
     }
-    S.Cnt[SiteIdx * kCols + kWays].fetch_add(1, std::memory_order_relaxed);
+    satAdd(S.Cnt[SiteIdx * kCols + kWays], N);
   }
 
   /// Activations of unit \p UnitIdx, summed across stripes.
@@ -173,6 +181,17 @@ private:
   /// Columns per site in a stripe's count matrix: kWays class tallies
   /// plus the overflow (megamorphic) tally.
   static constexpr unsigned kCols = kWays + 1;
+
+  /// Saturating relaxed add: once a counter reaches kSaturate it stops
+  /// moving. The load-then-add race lets concurrent writers overshoot
+  /// the cap by at most (writers - 1) * N, which the headroom between
+  /// kSaturate and u64 max absorbs with room for the stripe sum; what
+  /// can never happen is a wrap back toward zero.
+  static void satAdd(std::atomic<uint64_t> &C, uint64_t N) {
+    if (C.load(std::memory_order_relaxed) >= kSaturate)
+      return;
+    C.fetch_add(N, std::memory_order_relaxed);
+  }
 
   /// One thread stripe: separate 64-byte-aligned atomic arrays, so two
   /// stripes never share a cache line.

@@ -154,6 +154,10 @@ public:
   /// Burns one unit of fuel; returns false when exhausted.
   bool burnFuel() { return FuelLeft == 0 ? false : (--FuelLeft, true); }
 
+  /// Remaining fuel; initial fuel minus this is the executed-instruction
+  /// count, which benchmarks use to classify programs by call density.
+  uint64_t fuelLeft() const { return FuelLeft; }
+
   const std::string &getOutput() const { return Output; }
   void clearOutput() { Output.clear(); }
 

@@ -21,7 +21,7 @@ std::vector<uint8_t> safetsa::encodeStats(const ServeStats &S) {
       S.CacheDecodeFailures, S.CacheEntries, S.CacheBytes,
       S.CachePrepares, S.CacheReprepares, S.CacheICHits,
       S.CacheICMisses, S.GcCycles, S.GcCellsReclaimed,
-      S.GcPauseNs};
+      S.GcPauseNs, S.CacheInlinedSites, S.CacheInlineGuardMisses};
   std::vector<uint8_t> Out;
   Out.reserve(kServeStatsFields * 8);
   for (uint64_t F : Fields)
@@ -61,6 +61,8 @@ bool safetsa::decodeStats(ByteSpan Bytes, ServeStats &Out) {
   Out.GcCycles = Fields[19];
   Out.GcCellsReclaimed = Fields[20];
   Out.GcPauseNs = Fields[21];
+  Out.CacheInlinedSites = Fields[22];
+  Out.CacheInlineGuardMisses = Fields[23];
   return true;
 }
 
@@ -137,11 +139,14 @@ CodeServer::loadPrepared(const Digest &D, uint32_t MaxTier, std::string *Err) {
   Tier.MaxTier = std::min(MaxTier, Opts.MaxExecTier);
   Tier.HotThreshold = Opts.HotThreshold;
   Tier.Reprepare =
-      [NoFusion = Opts.NoFusion](
+      [NoFusion = Opts.NoFusion, InlineBudget = Opts.InlineBudget,
+       NoInlining = Opts.NoInlining](
           const std::shared_ptr<const PreparedModule> &T0,
           std::string *E) -> std::shared_ptr<const PreparedModule> {
     PrepareOptions PO;
     PO.NoFusion = NoFusion;
+    PO.InlineBudget = InlineBudget;
+    PO.NoInlining = NoInlining;
     auto T1 = reprepareModule(*T0, PO);
     if (!T1) {
       if (E)
@@ -199,6 +204,8 @@ ServeStats CodeServer::stats() const {
   S.CacheReprepares = C.Reprepares;
   S.CacheICHits = C.ICHits;
   S.CacheICMisses = C.ICMisses;
+  S.CacheInlinedSites = C.InlinedSites;
+  S.CacheInlineGuardMisses = C.InlineGuardMisses;
   // Process-wide striped aggregates; exact once collectors are quiescent
   // (same contract as the cache's counters).
   GcCounters &G = gcCounters();

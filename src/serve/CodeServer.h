@@ -64,10 +64,15 @@ struct ServeStats {
   uint64_t GcCycles = 0;
   uint64_t GcCellsReclaimed = 0;
   uint64_t GcPauseNs = 0;
+  /// Speculative-inlining telemetry over resident tier-1 modules
+  /// (DESIGN.md §14): call sites spliced at re-preparation, and
+  /// GuardInline receiver misses that took the out-of-line fallback.
+  uint64_t CacheInlinedSites = 0;
+  uint64_t CacheInlineGuardMisses = 0;
 };
 
 /// Number of u64 fields in the STATS payload.
-constexpr size_t kServeStatsFields = 22;
+constexpr size_t kServeStatsFields = 24;
 
 std::vector<uint8_t> encodeStats(const ServeStats &S);
 bool decodeStats(ByteSpan Bytes, ServeStats &Out);
@@ -94,6 +99,12 @@ struct CodeServerOptions {
   /// Disable superinstruction fusion in tier-1 streams (also settable
   /// process-wide via SAFETSA_EXEC_NOFUSION).
   bool NoFusion = false;
+  /// Speculative-inlining callee size ceiling for tier-1 re-preparation
+  /// (PrepareOptions::InlineBudget; DESIGN.md §14).
+  uint32_t InlineBudget = 24;
+  /// Disable speculative inlining in tier-1 streams (also settable
+  /// process-wide via SAFETSA_EXEC_NOINLINE).
+  bool NoInlining = false;
   /// Heap-collection policy for executions this server's modules feed:
   /// workers executing a loaded module construct their Runtime with
   /// these knobs (see gc/GC.h). The default keeps long-running servers

@@ -426,6 +426,10 @@ CacheStats ModuleCache::stats() const {
             KV.second->PreparedT1->ICHits.load(std::memory_order_relaxed);
         Out.ICMisses +=
             KV.second->PreparedT1->ICMisses.load(std::memory_order_relaxed);
+        Out.InlinedSites += KV.second->PreparedT1->Tiering.InlinedSites;
+        Out.InlineGuardMisses +=
+            KV.second->PreparedT1->InlineGuardMisses.load(
+                std::memory_order_relaxed);
       }
   }
   return Out;

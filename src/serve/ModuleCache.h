@@ -84,6 +84,11 @@ struct CacheStats {
   /// modules at read time (an evicted module takes its tallies with it).
   uint64_t ICHits = 0;
   uint64_t ICMisses = 0;
+  /// Speculative-inlining telemetry over resident tier-1 modules:
+  /// prepare-time spliced sites, and runtime GuardInline receiver
+  /// misses that fell back to the out-of-line dispatch (DESIGN.md §14).
+  uint64_t InlinedSites = 0;
+  uint64_t InlineGuardMisses = 0;
   size_t Entries = 0;          ///< Resident modules right now.
   size_t Bytes = 0;            ///< Charged bytes right now.
 };

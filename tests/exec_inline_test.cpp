@@ -1,0 +1,446 @@
+//===- tests/exec_inline_test.cpp - Speculative inlining tests -*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tier-1 speculative inlining (DESIGN.md §14), proved five ways:
+///
+///  1. Differential parity: with inlining forced onto every eligible
+///     site (InlineBudget maxed), tier 1 agrees with the definitional
+///     tree-walker on the full corpus — outputs and trap points.
+///  2. Structure: a flattened static leaf call leaves an EnterInline
+///     and an InlineRet exit and no CallUnit; the NoInlining option and
+///     the SAFETSA_EXEC_NOINLINE env var both restore the call.
+///  3. Guarded splices: a profiled-mono site keeps a GuardInline whose
+///     receiver miss takes the out-of-line DispatchMono fallback (and
+///     counts InlineGuardMisses), with no deoptimization anywhere.
+///  4. Unwind: traps raised inside an inlined body — caught, uncaught,
+///     and at the stack-depth limit — agree with the oracle, and the
+///     activation ledger stays exact across the longjmp-free unwind.
+///  5. GC: collect-at-every-allocation stress across inlined frames
+///     (merged RefSlots) neither crashes nor changes observable output.
+///
+/// Plus the profile-counter saturation boundary (satellite of the same
+/// change): tallies stop at ProfileData::kSaturate instead of wrapping.
+///
+/// Registered under `ctest -L exec` with _asan/_tsan variants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace safetsa;
+
+namespace {
+
+struct Outcome {
+  RuntimeError Err = RuntimeError::None;
+  std::string Output;
+};
+
+Outcome runTreeWalk(const TSAModule &M, ClassTable &Table) {
+  Runtime RT(Table);
+  TSAInterpreter I(M, RT);
+  ExecResult R = I.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+Outcome runModule(const PreparedModule &PM, ClassTable &Table,
+                  const GcOptions &Gc = {}) {
+  Runtime RT(Table, 200'000'000, Gc);
+  TSAExec X(PM, RT);
+  ExecResult R = X.runMain();
+  return {R.Err, RT.getOutput()};
+}
+
+/// Every call site the heuristics would ever take: no size ceiling.
+PrepareOptions forcedInline() {
+  PrepareOptions O;
+  O.InlineBudget = 0x7fffffff;
+  return O;
+}
+
+/// Profile once at tier 0, then re-quicken with \p Opts.
+std::unique_ptr<PreparedModule> tier1AfterOneRun(const TSAModule &M,
+                                                 ClassTable &Table,
+                                                 PrepareOptions Opts = {}) {
+  auto T0 = prepareModule(M);
+  EXPECT_TRUE(T0);
+  if (!T0)
+    return nullptr;
+  runModule(*T0, Table);
+  return reprepareModule(*T0, Opts);
+}
+
+const MethodSymbol *findMethod(const ClassTable &Table, const char *Class,
+                               const char *Name) {
+  for (const auto &C : Table.getClasses())
+    if (C->Name == Class)
+      for (const auto &M : C->Methods)
+        if (M->Name == Name)
+          return M.get();
+  return nullptr;
+}
+
+const ClassSymbol *findClass(const ClassTable &Table, const char *Name) {
+  for (const auto &C : Table.getClasses())
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: forced inlining agrees with the oracle everywhere.
+//===----------------------------------------------------------------------===//
+
+class InlineCorpusTest : public ::testing::TestWithParam<CorpusProgram> {};
+
+TEST_P(InlineCorpusTest, ForcedInliningMatchesTreeWalk) {
+  const CorpusProgram &P = GetParam();
+  auto C = compileMJ(std::string(P.Name) + ".mj", P.Source);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table); // Gather the profile the splices need.
+
+  auto T1 = reprepareModule(*T0, forcedInline());
+  ASSERT_TRUE(T1);
+  Outcome O = runModule(*T1, *C->Table);
+  EXPECT_EQ(O.Err, Ref.Err)
+      << P.Name << ": trapped " << runtimeErrorName(O.Err) << ", oracle "
+      << runtimeErrorName(Ref.Err);
+  EXPECT_EQ(O.Output, Ref.Output) << P.Name << ": output diverged";
+
+  // And the kill switch really kills: an inline-free tier 1 still agrees.
+  PrepareOptions Off;
+  Off.NoInlining = true;
+  auto T1Off = reprepareModule(*T0, Off);
+  ASSERT_TRUE(T1Off);
+  EXPECT_EQ(T1Off->Tiering.InlinedSites, 0u);
+  EXPECT_EQ(T1Off->countOp(XOp::EnterInline), 0u);
+  Outcome OOff = runModule(*T1Off, *C->Table);
+  EXPECT_EQ(OOff.Err, Ref.Err) << P.Name;
+  EXPECT_EQ(OOff.Output, Ref.Output) << P.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, InlineCorpusTest, ::testing::ValuesIn(getCorpus()),
+    [](const ::testing::TestParamInfo<CorpusProgram> &I) {
+      return std::string(I.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Structure: the splice shape, and both off switches.
+//===----------------------------------------------------------------------===//
+
+const char *kLeafSrc =
+    "class Main { "
+    "static int add(int a, int b) { return a + b; } "
+    "static void main() { int s = 0; int i = 0; "
+    "while (i < 5) { s = add(s, i); i = i + 1; } IO.printInt(s); } }";
+
+TEST(InlineStructure, StaticLeafCallIsFlattened) {
+  auto C = compileMJ("leaf.mj", kLeafSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  ASSERT_EQ(T0->countOp(XOp::CallUnit), 1u);
+  runModule(*T0, *C->Table);
+
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  // The direct call is gone; in its place the callee body bracketed by
+  // one EnterInline and (value-returning callee) an InlineRet exit — no
+  // separate LeaveInline continuation remains.
+  EXPECT_EQ(T1->countOp(XOp::CallUnit), 0u);
+  EXPECT_EQ(T1->countOp(XOp::EnterInline), 1u);
+  EXPECT_GE(T1->countOp(XOp::InlineRet), 1u);
+  EXPECT_EQ(T1->countOp(XOp::LeaveInline), 0u);
+  EXPECT_EQ(T1->countOp(XOp::GuardInline), 0u); // Static: no receiver.
+  EXPECT_EQ(T1->Tiering.InlinedSites, 1u);
+  // The un-inlined callee unit stays live (callable directly; no deopt
+  // metadata needed), and the caller frame grew by the callee's slots.
+  const MethodSymbol *Add = findMethod(*C->Table, "Main", "add");
+  ASSERT_TRUE(Add);
+  bool SawCallee = false;
+  for (const auto &U : T1->Units)
+    if (U->Symbol == Add) {
+      SawCallee = true;
+      EXPECT_FALSE(U->Code.empty());
+    }
+  EXPECT_TRUE(SawCallee);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "10");
+
+  // renderTierSummary carries the new tallies on the wire-facing string.
+  std::string Summary = renderTierSummary(*T1);
+  EXPECT_NE(Summary.find("inlined=1"), std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("guardmiss=0"), std::string::npos) << Summary;
+}
+
+TEST(InlineStructure, NoInliningOptionRestoresTheCall) {
+  auto C = compileMJ("leafoff.mj", kLeafSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table);
+  PrepareOptions Off;
+  Off.NoInlining = true;
+  auto T1 = reprepareModule(*T0, Off);
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::CallUnit), 1u);
+  EXPECT_EQ(T1->countOp(XOp::EnterInline), 0u);
+  EXPECT_EQ(T1->Tiering.InlinedSites, 0u);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "10");
+}
+
+TEST(InlineStructure, EnvVarDisablesInlining) {
+  auto C = compileMJ("leafenv.mj", kLeafSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table);
+  setenv("SAFETSA_EXEC_NOINLINE", "1", 1);
+  auto T1 = reprepareModule(*T0);
+  unsetenv("SAFETSA_EXEC_NOINLINE");
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::EnterInline), 0u);
+  EXPECT_EQ(T1->Tiering.InlinedSites, 0u);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "10");
+}
+
+TEST(InlineStructure, BudgetZeroInlinesNothing) {
+  auto C = compileMJ("leafb0.mj", kLeafSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table);
+  PrepareOptions B0;
+  B0.InlineBudget = 0;
+  auto T1 = reprepareModule(*T0, B0);
+  ASSERT_TRUE(T1);
+  EXPECT_EQ(T1->countOp(XOp::EnterInline), 0u);
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "10");
+}
+
+//===----------------------------------------------------------------------===//
+// Guarded splices: the mono receiver check and its fallback.
+//===----------------------------------------------------------------------===//
+
+const char *kMonoSrc =
+    "class A { int f() { return 1; } } "
+    "class B extends A { int f() { return 2; } } "
+    "class Main { "
+    "static int go(A a) { return a.f(); } "
+    "static void main() { A x = new A(); int s = 0; int i = 0; "
+    "while (i < 10) { s = s + go(x); i = i + 1; } IO.printInt(s); } }";
+
+TEST(InlineGuard, MonoSpliceGuardsAndKeepsFallback) {
+  auto C = compileMJ("monoinl.mj", kMonoSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  auto T0 = prepareModule(*C->TSA);
+  ASSERT_TRUE(T0);
+  runModule(*T0, *C->Table); // Only A receivers recorded.
+  auto T1 = reprepareModule(*T0);
+  ASSERT_TRUE(T1);
+  // The spliced site: guard in the stream, the original DispatchMono
+  // kept out of line as the miss path.
+  EXPECT_EQ(T1->countOp(XOp::GuardInline), 1u);
+  EXPECT_EQ(T1->countOp(XOp::DispatchMono), 1u);
+  EXPECT_EQ(T1->Tiering.InlinedSites, 1u);
+
+  // All-A workload: every guard hits, nothing tallies (splice hits are
+  // free — only misses are counted, at the fallback).
+  EXPECT_EQ(runModule(*T1, *C->Table).Output, "10");
+  EXPECT_EQ(T1->InlineGuardMisses.load(), 0u);
+  EXPECT_EQ(T1->ICHits.load(), 0u);
+  EXPECT_EQ(T1->ICMisses.load(), 0u);
+
+  // A B receiver misses the guard, reaches B.f through the fallback
+  // DispatchMono (whose own mono cache also misses), and is counted on
+  // both ledgers.
+  const MethodSymbol *Go = findMethod(*C->Table, "Main", "go");
+  const ClassSymbol *B = findClass(*C->Table, "B");
+  ASSERT_TRUE(Go && B);
+  Runtime RT(*C->Table);
+  TSAExec X(*T1, RT);
+  ExecResult R = X.call(Go, {Value::makeRef(RT.allocObject(B))});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Ret.I, 2);
+  EXPECT_EQ(T1->InlineGuardMisses.load(), 1u);
+  EXPECT_EQ(T1->ICMisses.load(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Unwind: traps inside inlined bodies, caught and uncaught.
+//===----------------------------------------------------------------------===//
+
+void expectInlineParity(const char *Name, const char *Src) {
+  auto C = compileMJ(std::string(Name) + ".mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  auto T1 = tier1AfterOneRun(*C->TSA, *C->Table, forcedInline());
+  ASSERT_TRUE(T1);
+  Outcome O = runModule(*T1, *C->Table);
+  EXPECT_EQ(O.Err, Ref.Err)
+      << Name << ": trapped " << runtimeErrorName(O.Err) << ", oracle "
+      << runtimeErrorName(Ref.Err);
+  EXPECT_EQ(O.Output, Ref.Output) << Name;
+}
+
+TEST(InlineTraps, UncaughtTrapInsideInlinedBody) {
+  // div is a leaf, gets spliced; the third iteration divides by zero.
+  // The partial output before the trap must survive.
+  expectInlineParity(
+      "inldiv",
+      "class Main { static int div(int a, int b) { return a / b; } "
+      "static void main() { int i = 2; while (i > 0 - 1) { "
+      "IO.printInt(div(6, i)); i = i - 1; } } }");
+}
+
+TEST(InlineTraps, NullDerefInsideInlinedCallee) {
+  expectInlineParity(
+      "inlnull",
+      "class P { int v; } "
+      "class Main { static int get(P p) { return p.v; } "
+      "static void main() { P p = new P(); p.v = 9; "
+      "IO.printInt(get(p)); P q = null; IO.printInt(get(q)); } }");
+}
+
+TEST(InlineTraps, CaughtTrapInsideInlinedBodyReachesSiteHandler) {
+  // The call site sits in a try block: the splice's trampoline must
+  // route a caught trap from inside the inlined body to the caller's
+  // handler with the inline activations unwound.
+  expectInlineParity(
+      "inlcatch",
+      "class Main { static int pick(int[] a, int i) { return a[i]; } "
+      "static void main() { int[] a = new int[3]; a[2] = 7; int i = 0; "
+      "while (i < 5) { try { IO.printInt(pick(a, i + 2)); } "
+      "catch { IO.printStr(\"oob \"); } i = i + 1; } } }");
+}
+
+TEST(InlineTraps, CatchInsideInlinedCalleeStaysLocal) {
+  // The callee has its own try/catch; its handlers are re-based into
+  // the caller's stream and must still fire locally.
+  expectInlineParity(
+      "inllocal",
+      "class Main { static int safe(int a, int b) { "
+      "try { return a / b; } catch { return 0 - 1; } } "
+      "static void main() { IO.printInt(safe(8, 2)); "
+      "IO.printInt(safe(8, 0)); } }");
+}
+
+TEST(InlineTraps, DepthLimitCountsInlinedFrames) {
+  // leaf() is spliced into deep(), but EnterInline still charges the
+  // activation ledger: recursing at the limit must overflow at the same
+  // observable point the tree-walker overflows.
+  expectInlineParity(
+      "inldepth",
+      "class Main { static int leaf(int x) { return x + 1; } "
+      "static int deep(int n) { int k = leaf(n); "
+      "if (n <= 0) { return k; } return deep(n - 1); } "
+      "static void main() { IO.printInt(deep(1000)); } }");
+}
+
+//===----------------------------------------------------------------------===//
+// GC stress: collect at every allocation across inlined frames.
+//===----------------------------------------------------------------------===//
+
+TEST(InlineGC, StressCollectAcrossInlinedFrames) {
+  // The inlined callee allocates, forcing collections while the caller's
+  // extended frame (merged RefSlots) holds the only references. Wrong
+  // root maps reclaim live cells and corrupt the sums.
+  const char *Src =
+      "class Box { int v; } "
+      "class Main { "
+      "static Box boxed(int v) { Box b = new Box(); b.v = v; return b; } "
+      "static int sum(Box a, Box b) { return a.v + b.v; } "
+      "static void main() { int s = 0; int i = 0; "
+      "while (i < 50) { Box x = boxed(i); Box y = boxed(i + i); "
+      "s = s + sum(x, y); i = i + 1; } IO.printInt(s); } }";
+  auto C = compileMJ("inlgc.mj", Src);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  auto T1 = tier1AfterOneRun(*C->TSA, *C->Table, forcedInline());
+  ASSERT_TRUE(T1);
+  EXPECT_GE(T1->Tiering.InlinedSites, 1u);
+  GcOptions Stress;
+  Stress.StressEveryNAllocs = 1;
+  Outcome O = runModule(*T1, *C->Table, Stress);
+  EXPECT_EQ(O.Err, Ref.Err);
+  EXPECT_EQ(O.Output, Ref.Output);
+}
+
+TEST(InlineGC, CorpusUnderStressWithForcedInlining) {
+  // The heaviest allocator in the corpus, collect-at-every-allocation,
+  // inlining forced: end-to-end pressure on the merged root maps.
+  const CorpusProgram *P = findCorpusProgram("BigInteger");
+  ASSERT_TRUE(P);
+  auto C = compileMJ("inlgcbig.mj", P->Source);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  Outcome Ref = runTreeWalk(*C->TSA, *C->Table);
+  auto T1 = tier1AfterOneRun(*C->TSA, *C->Table, forcedInline());
+  ASSERT_TRUE(T1);
+  GcOptions Stress;
+  Stress.StressEveryNAllocs = 1;
+  Outcome O = runModule(*T1, *C->Table, Stress);
+  EXPECT_EQ(O.Err, Ref.Err);
+  EXPECT_EQ(O.Output, Ref.Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-counter saturation (the satellite hardening this PR rides on).
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileSaturation, InvocationCounterStopsAtCeiling) {
+  ProfileData P(1, 0);
+  P.recordInvocation(0, ProfileData::kSaturate - 5);
+  EXPECT_EQ(P.invocations(0), ProfileData::kSaturate - 5);
+  // Crossing the boundary lands once...
+  P.recordInvocation(0, 10);
+  EXPECT_EQ(P.invocations(0), ProfileData::kSaturate + 5);
+  // ...then the counter is pinned: no further movement, never a wrap.
+  P.recordInvocation(0, ~uint64_t(0) / 2);
+  P.recordInvocation(0);
+  EXPECT_EQ(P.invocations(0), ProfileData::kSaturate + 5);
+  // A saturated method still reads as hot.
+  EXPECT_TRUE(P.anyHot(1));
+  EXPECT_TRUE(P.anyHot(ProfileData::kSaturate));
+}
+
+TEST(ProfileSaturation, DispatchWaysAndOverflowStopAtCeiling) {
+  auto C = compileMJ("sat.mj", kMonoSrc);
+  ASSERT_TRUE(C->ok()) << C->renderDiagnostics();
+  const ClassSymbol *A = findClass(*C->Table, "A");
+  const ClassSymbol *B = findClass(*C->Table, "B");
+  ASSERT_TRUE(A && B);
+
+  ProfileData P(0, 1);
+  P.recordDispatch(0, A, ProfileData::kSaturate - 1);
+  P.recordDispatch(0, A, 7);
+  P.recordDispatch(0, A, 7); // Pinned now.
+  ProfileData::SiteSummary S = P.site(0);
+  EXPECT_EQ(S.Classes[0], A);
+  EXPECT_EQ(S.Counts[0], ProfileData::kSaturate + 6);
+  // The second way saturates independently of the first.
+  P.recordDispatch(0, B, ProfileData::kSaturate);
+  P.recordDispatch(0, B);
+  S = P.site(0);
+  EXPECT_EQ(S.Classes[1], B);
+  EXPECT_EQ(S.Counts[1], ProfileData::kSaturate);
+  // total() of two saturated ways must not wrap either.
+  EXPECT_EQ(S.total(), 2 * ProfileData::kSaturate + 6);
+  EXPECT_FALSE(S.megamorphic());
+}
+
+} // namespace

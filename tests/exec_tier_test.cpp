@@ -313,7 +313,12 @@ TEST(TierIC, MonomorphicSiteGetsGuardedDirectCall) {
   EXPECT_EQ(O0.Output, "10");
   EXPECT_GT(T0->Profile->totalDispatchSamples(), 0u);
 
-  auto T1 = reprepareModule(*T0);
+  // Inlining off: this test pins the bare DispatchMono state machine and
+  // its exact ICHits tallies (a spliced site guards via GuardInline and
+  // does not tally hits; exec_inline_test covers that shape).
+  PrepareOptions NoInline;
+  NoInline.NoInlining = true;
+  auto T1 = reprepareModule(*T0, NoInline);
   ASSERT_TRUE(T1);
   EXPECT_EQ(T1->countOp(XOp::DispatchMono), 1u);
   EXPECT_EQ(T1->countOp(XOp::Dispatch), 0u);
@@ -387,6 +392,11 @@ TEST(TierIC, GuardMissFallsBackToVtableAndCounts) {
   EXPECT_EQ(R.Ret.I, 2); // B.f, not the cached A.f.
   EXPECT_EQ(T1->ICMisses.load(), 1u);
   EXPECT_EQ(T1->ICHits.load(), 0u);
+  // Default options inline this mono site, so the B receiver first
+  // missed the splice's GuardInline, then the out-of-line DispatchMono
+  // fallback (tallied above) reached the vtable.
+  EXPECT_EQ(T1->Tiering.InlinedSites, 1u);
+  EXPECT_EQ(T1->InlineGuardMisses.load(), 1u);
 }
 
 TEST(TierIC, PolymorphicSiteGetsBoundedPIC) {
@@ -623,8 +633,11 @@ TEST(TierConcurrency, ConcurrentProfilingAndTier1Execution) {
   EXPECT_EQ(T0->Profile->invocations(T0->MainUnit->Index), NumThreads);
 
   // Phase 2: many threads execute the re-quickened tier 1 concurrently;
-  // the per-call IC flushes must add up exactly.
-  auto T1 = reprepareModule(*T0);
+  // the per-call IC flushes must add up exactly. Inlining off so every
+  // guard hit lands in ICHits (spliced guards tally only misses).
+  PrepareOptions NoInline;
+  NoInline.NoInlining = true;
+  auto T1 = reprepareModule(*T0, NoInline);
   ASSERT_TRUE(T1);
   {
     std::vector<std::thread> Threads;

@@ -21,6 +21,7 @@
 #include "bytecode/BCVerifier.h"
 #include "codec/Codec.h"
 #include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
 #include "exec/TSAInterp.h"
 #include "opt/Optimizer.h"
 #include "support/Digest.h"
@@ -404,6 +405,50 @@ bool fusedAccepts(const std::vector<uint8_t> &Bytes) {
   return Unit != nullptr;
 }
 
+/// A stream both paths accept must also *execute* soundly at the top
+/// tier: profile it once at tier 0, re-quicken with speculative inlining
+/// forced onto every eligible site, and demand agreement with the
+/// tree-walk oracle run on the same decoded module. A surviving mutant
+/// that perturbs the splicer (slot remapping, handler re-basing, guard
+/// fallbacks) surfaces here as a divergence or a sanitizer report.
+void expectInlinedTier1Parity(const std::vector<uint8_t> &Bytes,
+                              const std::string &What) {
+  std::string Err;
+  auto Unit = decodeModule(ByteSpan(Bytes), &Err,
+                           DecodeOptions{CodecMode::Prefix, true});
+  ASSERT_TRUE(Unit) << What;
+  Outcome Ref;
+  {
+    Runtime RT(*Unit->Table, /*Fuel=*/20'000'000);
+    TSAInterpreter I(*Unit->Module, RT);
+    ExecResult R = I.runMain();
+    Ref = {R.Err, RT.getOutput()};
+  }
+  // Fuel-bound programs are excluded, as in DifferentialFuzz; the tier
+  // runs below get 10x the fuel so near-boundary accounting differences
+  // cannot fake a divergence.
+  if (Ref.Err == RuntimeError::OutOfFuel)
+    return;
+  auto T0 = prepareModule(*Unit->Module);
+  ASSERT_TRUE(T0) << What;
+  {
+    Runtime RT(*Unit->Table, /*Fuel=*/200'000'000);
+    TSAExec X(*T0, RT);
+    X.runMain(); // Gathers the profile the splices are planned from.
+  }
+  PrepareOptions Force;
+  Force.InlineBudget = 0x7fffffff;
+  auto T1 = reprepareModule(*T0, Force);
+  ASSERT_TRUE(T1) << What;
+  Runtime RT(*Unit->Table, /*Fuel=*/200'000'000);
+  TSAExec X(*T1, RT);
+  ExecResult R = X.runMain();
+  EXPECT_EQ(R.Err, Ref.Err)
+      << What << ": inlined tier 1 " << runtimeErrorName(R.Err)
+      << ", oracle " << runtimeErrorName(Ref.Err);
+  EXPECT_EQ(RT.getOutput(), Ref.Output) << What;
+}
+
 class FusedVerdictFuzz : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(FusedVerdictFuzz, FusedAndLegacyVerdictsMatch) {
@@ -429,6 +474,9 @@ TEST_P(FusedVerdictFuzz, FusedAndLegacyVerdictsMatch) {
     if (Bytes != Wire) {
       EXPECT_NE(digestOf(ByteSpan(Bytes)), digestOf(ByteSpan(Wire))) << What;
     }
+    // Survivors run all the way up the tier ladder.
+    if (Fused && Legacy)
+      expectInlinedTier1Parity(Bytes, What);
   };
 
   // The untampered encoding must be accepted by both.

@@ -676,6 +676,8 @@ TEST(Serve, StatsWireFormatRoundTripsTierCounters) {
   In.GcCycles = 19;
   In.GcCellsReclaimed = 20;
   In.GcPauseNs = 0x8877665544332211ull;
+  In.CacheInlinedSites = 21;
+  In.CacheInlineGuardMisses = 0x0102030405060708ull;
 
   std::vector<uint8_t> Bytes = encodeStats(In);
   EXPECT_EQ(Bytes.size(), kServeStatsFields * 8);
@@ -688,11 +690,15 @@ TEST(Serve, StatsWireFormatRoundTripsTierCounters) {
   EXPECT_EQ(Out.GcCycles, 19u);
   EXPECT_EQ(Out.GcCellsReclaimed, 20u);
   EXPECT_EQ(Out.GcPauseNs, 0x8877665544332211ull);
+  EXPECT_EQ(Out.CacheInlinedSites, 21u);
+  EXPECT_EQ(Out.CacheInlineGuardMisses, 0x0102030405060708ull);
   EXPECT_EQ(Out.StoreModules, 1u);
   EXPECT_EQ(Out.CacheBytes, 15u);
 
   // Frames from older protocol revisions (16 fields pre-tier, 19 fields
-  // pre-GC) are rejected, not misparsed.
+  // pre-GC, 22 fields pre-inlining) are rejected, not misparsed.
+  Bytes.resize(22 * 8);
+  EXPECT_FALSE(decodeStats(ByteSpan(Bytes), Out));
   Bytes.resize(19 * 8);
   EXPECT_FALSE(decodeStats(ByteSpan(Bytes), Out));
   Bytes.resize(16 * 8);
@@ -715,6 +721,10 @@ const char *kVirtualSrc =
 TEST(Serve, HotModuleIsRequickenedOnceUnderStorm) {
   CodeServerOptions Opts;
   Opts.HotThreshold = 1;
+  // Inlining off so the hot site stays a tallying DispatchMono: this
+  // test pins the IC counters on the wire (the inlined shape is covered
+  // by InlinedTierCountersFlowThroughStats below).
+  Opts.NoInlining = true;
   CodeServer Server(Opts);
   std::string Err;
   Digest D =
@@ -789,6 +799,76 @@ TEST(Serve, HotModuleIsRequickenedOnceUnderStorm) {
   EXPECT_EQ(WireStats.CacheReprepares, 1u);
   EXPECT_EQ(WireStats.CacheICHits, S.CacheICHits);
   EXPECT_EQ(WireStats.CacheICMisses, 0u);
+}
+
+// Default options speculatively inline the hot monomorphic site at
+// re-preparation: the spliced-site and guard-miss tallies must flow from
+// the resident tier-1 module through stats() and the STATS frame (the
+// two fields appended for DESIGN.md §14).
+TEST(Serve, InlinedTierCountersFlowThroughStats) {
+  CodeServerOptions Opts;
+  Opts.HotThreshold = 1;
+  CodeServer Server(Opts);
+  std::string Err;
+  Digest D =
+      Server.publish(ByteSpan(encodeProgram("inl.mj", kVirtualSrc)), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  auto Unit = Server.load(D, &Err);
+  ASSERT_TRUE(Unit) << Err;
+
+  auto T0 = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(T0) << Err;
+  {
+    Runtime RT(*Unit->Table);
+    TSAExec X(*T0, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  }
+  auto T1 = Server.loadPrepared(D, &Err);
+  ASSERT_TRUE(T1) << Err;
+  ASSERT_EQ(T1->Tier, 1u);
+
+  // The mono site was spliced; its all-A workload never misses the
+  // receiver guard, and splice hits do not tally as IC hits.
+  {
+    Runtime RT(*Unit->Table);
+    TSAExec X(*T1, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+    EXPECT_EQ(RT.getOutput(), "10");
+  }
+  ServeStats S = Server.stats();
+  EXPECT_GE(S.CacheInlinedSites, 1u);
+  EXPECT_EQ(S.CacheInlineGuardMisses, 0u);
+  EXPECT_EQ(S.CacheICHits, 0u);
+
+  Session Sess(Server);
+  CodeClient Client(Sess.clientEnd());
+  ServeStats WireStats;
+  ASSERT_TRUE(Client.stats(WireStats, &Err)) << Err;
+  EXPECT_EQ(WireStats.CacheInlinedSites, S.CacheInlinedSites);
+  EXPECT_EQ(WireStats.CacheInlineGuardMisses, 0u);
+
+  // The per-server kill switch flows through the reprepare hook: a
+  // NoInlining server re-quickens the same module with zero splices.
+  CodeServerOptions OffOpts;
+  OffOpts.HotThreshold = 1;
+  OffOpts.NoInlining = true;
+  CodeServer Off(OffOpts);
+  Digest D2 =
+      Off.publish(ByteSpan(encodeProgram("inloff.mj", kVirtualSrc)), &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  auto U2 = Off.load(D2, &Err);
+  ASSERT_TRUE(U2) << Err;
+  auto P0 = Off.loadPrepared(D2, &Err);
+  ASSERT_TRUE(P0) << Err;
+  {
+    Runtime RT(*U2->Table);
+    TSAExec X(*P0, RT);
+    ASSERT_EQ(X.runMain().Err, RuntimeError::None);
+  }
+  auto P1 = Off.loadPrepared(D2, &Err);
+  ASSERT_TRUE(P1) << Err;
+  ASSERT_EQ(P1->Tier, 1u);
+  EXPECT_EQ(Off.stats().CacheInlinedSites, 0u);
 }
 
 // A server capped at MaxExecTier=0 never re-quickens, no matter how hot
