@@ -81,6 +81,25 @@ echo "== bench_serve (distribution layer) =="
 check_json serve
 
 echo
+echo "== safetsa-gen (fixed-seed differential smoke sweep) =="
+# Grammar-aware generator soak: a fixed seed range through the full
+# tier/codec/GC configuration matrix (DESIGN.md §15). Seed count follows
+# SAFETSA_GEN_SEEDS (default 200, the same knob the gen ctest label
+# uses); reproducers for any divergence land under the build tree, never
+# the repo root. Deliberately emits no BENCH_*.json — it is a
+# correctness sweep, not a tracked perf suite, so bench_json_check
+# --require stays scoped to the real benchmark artifacts above.
+GEN_BIN="$BUILD_DIR/src/driver/safetsa-gen"
+if [ -x "$GEN_BIN" ]; then
+  "$GEN_BIN" --seeds "${SAFETSA_GEN_SEEDS:-200}" \
+             --dump "$BUILD_DIR/gen-dumps"
+else
+  echo "error: $GEN_BIN not found or not executable." >&2
+  echo "Build it with: cmake --build \"$BUILD_DIR\" --target safetsa-gen" >&2
+  exit 1
+fi
+
+echo
 echo "Results: $SAFETSA_BENCH_DIR/BENCH_exec.json" \
      "$SAFETSA_BENCH_DIR/BENCH_gc.json" \
      "$SAFETSA_BENCH_DIR/BENCH_scaling.json" \

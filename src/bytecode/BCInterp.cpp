@@ -569,6 +569,14 @@ Value BCInterpreter::execMethod(const BCMethod &M, std::vector<Value> Args,
           Recovered = false;
           break;
         }
+      if (!RT.arrayFitsBudget(Len.I))
+        {
+          Value FV = Fault(RuntimeError::OutOfMemory);
+          if (!Recovered)
+            return FV;
+          Recovered = false;
+          break;
+        }
       Push(Value::makeRef(RT.allocArray(Elem, Len.I)));
       break;
     }

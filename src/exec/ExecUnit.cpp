@@ -547,6 +547,8 @@ DispatchLoop:
     int32_t Len = R[In->A].I;
     if (Len < 0)
       SAFETSA_TRAP(RuntimeError::NegativeArraySize);
+    if (!RT.arrayFitsBudget(Len))
+      SAFETSA_TRAP(RuntimeError::OutOfMemory);
     R[In->Dst] = Value::makeRef(RT.allocArray(
         static_cast<Type *>(const_cast<void *>(In->P)), Len));
   }

@@ -60,6 +60,8 @@ const char *safetsa::runtimeErrorName(RuntimeError E) {
     return "StackOverflowError";
   case RuntimeError::OutOfFuel:
     return "OutOfFuel";
+  case RuntimeError::OutOfMemory:
+    return "OutOfMemoryError";
   case RuntimeError::Internal:
     return "InternalError";
   }

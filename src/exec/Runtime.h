@@ -82,6 +82,7 @@ enum class RuntimeError : uint8_t {
   NegativeArraySize,
   StackOverflow,
   OutOfFuel,
+  OutOfMemory,
   Internal
 };
 
@@ -125,6 +126,18 @@ public:
   uint32_t allocObject(const ClassSymbol *Class);
   /// Allocates an array of \p Length elements of \p ElemTy, zeroed.
   uint32_t allocArray(Type *ElemTy, int32_t Length);
+
+  /// Whether one array allocation of \p Length elements can fit the
+  /// collector's heap budget at all. When it cannot, no collection could
+  /// ever make room, so the interpreters trap OutOfMemory *before*
+  /// touching the backing store — a mobile-code `new int[huge]` (e.g.
+  /// from wrapped 32-bit arithmetic) must never commit host memory. This
+  /// is a hard per-allocation cap, distinct from the collection trigger,
+  /// and applies even with GcOptions::Disable.
+  bool arrayFitsBudget(int32_t Length) const {
+    return static_cast<size_t>(Length) * sizeof(Value) <=
+           Gc.options().HeapBudget;
+  }
   /// Interns a char[] for a string constant (one cell per distinct
   /// constant per runtime; MJ string literals are immutable by contract).
   /// \p CharTy is the canonical char type, recorded as the element type so

@@ -414,6 +414,8 @@ bool TSAInterpreter::execInst(const Instruction &I, const BasicBlock &BB,
     Value Len = val(I.Operands[0], F);
     if (Len.I < 0)
       return fail(RuntimeError::NegativeArraySize);
+    if (!RT.arrayFitsBudget(Len.I))
+      return fail(RuntimeError::OutOfMemory);
     return Set(Value::makeRef(
         RT.allocArray(I.OpType->getElemType(), Len.I)));
   }

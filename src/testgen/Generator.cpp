@@ -1,0 +1,887 @@
+//===- testgen/Generator.cpp - Seeded MJ program synthesis ----------------===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Generator.h"
+
+#include <sstream>
+#include <vector>
+
+namespace safetsa {
+namespace testgen {
+
+namespace {
+
+/// SplitMix64: tiny, fully specified, no library dependence. Using our
+/// own stream (instead of std::mt19937) keeps the byte-determinism
+/// contract independent of any standard-library implementation detail.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ^ 0x9e3779b97f4a7c15ull) {
+    // Warm up so small consecutive seeds do not share low-bit prefixes.
+    next();
+    next();
+  }
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); N == 0 returns 0.
+  unsigned pick(unsigned N) { return N ? unsigned(next() % N) : 0; }
+  bool coin() { return next() & 1; }
+  bool oneIn(unsigned N) { return pick(N) == 0; }
+
+private:
+  uint64_t State;
+};
+
+/// One class of the generated hierarchy. Index 0 is the root; every
+/// other class extends the root directly or through a chain.
+struct GenClass {
+  int Parent = -1;              ///< Index into the class list; -1 = root.
+  bool HasExtraField = false;   ///< Declares `int fe<index>`.
+  std::vector<bool> Overrides;  ///< Per root method: overridden here?
+};
+
+/// A reference-typed local in scope, with the static knowledge the
+/// generator needs to emit only well-typed, trap-controlled uses.
+struct RefVar {
+  std::string Name;
+  int Cls;        ///< Static type (class index); receiver of any root method.
+  bool MaybeNull; ///< Unless false, only dereference under try/catch.
+};
+
+class ProgramSynth {
+public:
+  explicit ProgramSynth(uint64_t Seed) : R(Seed) {}
+
+  std::string run() {
+    NumClasses = 2 + R.pick(3);          // Root + 1..3 subclasses.
+    NumMethods = 2 + R.pick(2);          // m0..m{1,2} plus pick().
+    NumStatics = 1 + R.pick(3);          // s0..s{0..2} on Main.
+    layOutHierarchy();
+    for (unsigned C = 0; C != NumClasses; ++C)
+      emitClass(C);
+    emitMain();
+    return OS.str();
+  }
+
+private:
+  Rng R;
+  std::ostringstream OS;
+  unsigned NumClasses = 0;
+  unsigned NumMethods = 0;
+  unsigned NumStatics = 0;
+  std::vector<GenClass> Classes;
+
+  // Scope state for the function body currently being generated.
+  std::vector<std::string> IntVars;
+  std::vector<std::string> BoolVars;
+  std::vector<std::string> IntArrVars;
+  std::vector<std::string> DblVars;
+  std::vector<RefVar> RefVars;
+  unsigned NextVar = 0;
+  unsigned MaxCallableStatic = 0; ///< Static s<i> may call s<j>, j < i.
+  bool InMainClass = false;       ///< g0/g1 and s<i> are visible here.
+  bool InMain = false;            ///< Inside main() itself (objs in scope).
+  bool InTry = false;             ///< Trap-risky forms allowed unguarded.
+  unsigned HotLoopsLeft = 0;      ///< Budget for the tier-1 feeder loops.
+
+  void indent(unsigned N) {
+    for (unsigned I = 0; I != N; ++I)
+      OS << "  ";
+  }
+
+  std::string cls(unsigned C) { return "C" + std::to_string(C); }
+  std::string freshVar() { return "v" + std::to_string(NextVar++); }
+
+  /// Extra int fields visible on a variable statically typed \p C: the
+  /// root fields always, plus fe<i> for every class on C's parent chain
+  /// (single inheritance, so the chain is a simple walk).
+  std::vector<std::string> intFieldsOf(int C) {
+    std::vector<std::string> Fs = {"fa", "fb"};
+    for (int I = C; I != -1; I = Classes[I].Parent)
+      if (Classes[I].HasExtraField)
+        Fs.push_back("fe" + std::to_string(I));
+    return Fs;
+  }
+
+  /// True when \p A is \p B or an ancestor of \p B.
+  bool isAncestorOf(int A, int B) {
+    for (int I = B; I != -1; I = Classes[I].Parent)
+      if (I == A)
+        return true;
+    return false;
+  }
+
+  /// Classes a value statically typed \p C may legally be cast to:
+  /// ancestors (widening) and descendants (checked narrowing). Sema
+  /// rejects casts between unrelated classes, so only these are emitted.
+  std::vector<unsigned> castTargetsOf(int C) {
+    std::vector<unsigned> Ts;
+    for (unsigned I = 0; I != NumClasses; ++I)
+      if (isAncestorOf(int(I), C) || isAncestorOf(C, int(I)))
+        Ts.push_back(I);
+    return Ts;
+  }
+
+  void layOutHierarchy() {
+    Classes.resize(NumClasses);
+    Classes[0].Overrides.assign(NumMethods, true); // Root defines all.
+    for (unsigned C = 1; C != NumClasses; ++C) {
+      // Parent is the root or any earlier class: chains up to depth 3.
+      Classes[C].Parent = C == 1 ? 0 : int(R.pick(C));
+      Classes[C].HasExtraField = R.coin();
+      Classes[C].Overrides.assign(NumMethods, false);
+      for (unsigned M = 0; M != NumMethods; ++M)
+        Classes[C].Overrides[M] = R.coin();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  /// Receivers that are statically safe to dereference here: non-null
+  /// vars anywhere, any var under try/catch.
+  const RefVar *pickReceiver() {
+    std::vector<const RefVar *> Ok;
+    for (const RefVar &V : RefVars)
+      if (InTry || !V.MaybeNull)
+        Ok.push_back(&V);
+    return Ok.empty() ? nullptr : Ok[R.pick(unsigned(Ok.size()))];
+  }
+
+  std::string smallConst() {
+    return std::to_string(int(R.pick(200)) - 100);
+  }
+
+  std::string intExpr(unsigned Depth) {
+    if (Depth == 0 || R.oneIn(4)) {
+      switch (R.pick(4)) {
+      case 0:
+        return smallConst();
+      case 1:
+        if (!IntVars.empty())
+          return IntVars[R.pick(unsigned(IntVars.size()))];
+        return std::to_string(R.pick(50));
+      case 2:
+        if (InMainClass)
+          return R.coin() ? "g0" : "g1";
+        [[fallthrough]];
+      default:
+        if (const RefVar *V = pickReceiver()) {
+          std::vector<std::string> Fs = intFieldsOf(V->Cls);
+          return V->Name + "." + Fs[R.pick(unsigned(Fs.size()))];
+        }
+        return std::to_string(R.pick(64));
+      }
+    }
+    switch (R.pick(10)) {
+    case 0:
+      return "(" + intExpr(Depth - 1) + " + " + intExpr(Depth - 1) + ")";
+    case 1:
+      return "(" + intExpr(Depth - 1) + " - " + intExpr(Depth - 1) + ")";
+    case 2:
+      return "(" + intExpr(Depth - 1) + " * " + intExpr(Depth - 1) + ")";
+    case 3:
+      // Division and remainder: unguarded (may trap) only under try or
+      // with 1-in-8 luck; otherwise the divisor is forced non-zero.
+      if (InTry || R.oneIn(8))
+        return "(" + intExpr(Depth - 1) + (R.coin() ? " / " : " % ") +
+               intExpr(Depth - 1) + ")";
+      return "(" + intExpr(Depth - 1) + (R.coin() ? " / " : " % ") + "((" +
+             intExpr(Depth - 1) + " & 7) + 1))";
+    case 4:
+      if (!IntArrVars.empty()) {
+        const std::string &A = IntArrVars[R.pick(unsigned(IntArrVars.size()))];
+        if (InTry && R.oneIn(3)) // Raw index: may trap, handler catches.
+          return A + "[" + intExpr(Depth - 1) + "]";
+        return A + "[(" + intExpr(Depth - 1) + ") & 3]";
+      }
+      return "(" + intExpr(Depth - 1) + " ^ " + intExpr(Depth - 1) + ")";
+    case 5:
+      return "(" + intExpr(Depth - 1) + " << " + std::to_string(R.pick(5)) +
+             ")";
+    case 6:
+      return "(" + intExpr(Depth - 1) + " >> " + std::to_string(R.pick(5)) +
+             ")";
+    case 7: {
+      // Virtual call as a value: the bread and butter of the exec tiers.
+      if (const RefVar *V = pickReceiver())
+        return V->Name + ".m" + std::to_string(R.pick(NumMethods)) + "(" +
+               intExpr(Depth - 1) + ")";
+      return "(- " + intExpr(Depth - 1) + ")";
+    }
+    case 8:
+      if (!DblVars.empty())
+        return "((int) " + DblVars[R.pick(unsigned(DblVars.size()))] + ")";
+      return "(" + intExpr(Depth - 1) + " & " + intExpr(Depth - 1) + ")";
+    default:
+      if (InMainClass && MaxCallableStatic > 0)
+        return "s" + std::to_string(R.pick(MaxCallableStatic)) + "(" +
+               intExpr(Depth - 1) + ", " + intExpr(Depth - 1) + ")";
+      return "(- " + intExpr(Depth - 1) + ")";
+    }
+  }
+
+  std::string boolExpr(unsigned Depth) {
+    if (Depth == 0 || R.oneIn(3)) {
+      if (!BoolVars.empty() && R.coin())
+        return BoolVars[R.pick(unsigned(BoolVars.size()))];
+      return R.coin() ? "true" : "false";
+    }
+    switch (R.pick(8)) {
+    case 0:
+      return "(" + intExpr(Depth - 1) + " < " + intExpr(Depth - 1) + ")";
+    case 1:
+      return "(" + intExpr(Depth - 1) + " == " + intExpr(Depth - 1) + ")";
+    case 2:
+      return "(" + boolExpr(Depth - 1) + " && " + boolExpr(Depth - 1) + ")";
+    case 3:
+      return "(" + boolExpr(Depth - 1) + " || " + boolExpr(Depth - 1) + ")";
+    case 4:
+      return "(!" + boolExpr(Depth - 1) + ")";
+    case 5:
+      if (!RefVars.empty()) {
+        const RefVar &V = RefVars[R.pick(unsigned(RefVars.size()))];
+        return "(" + V.Name + (R.coin() ? " == null)" : " != null)");
+      }
+      [[fallthrough]];
+    case 6:
+      if (!RefVars.empty()) {
+        const RefVar &V = RefVars[R.pick(unsigned(RefVars.size()))];
+        return "(" + V.Name + " instanceof " + cls(R.pick(NumClasses)) + ")";
+      }
+      [[fallthrough]];
+    default:
+      return "(" + intExpr(Depth - 1) + " >= " + intExpr(Depth - 1) + ")";
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Class bodies
+  //===------------------------------------------------------------------===//
+
+  /// Virtual method bodies: small field/param arithmetic. Method j may
+  /// only call methods with a strictly smaller index (on this or next),
+  /// so dynamic dispatch cannot recurse unboundedly even through
+  /// overrides or reference cycles.
+  void emitMethodBody(unsigned C, unsigned M) {
+    std::vector<std::string> Fs = intFieldsOf(int(C));
+    auto Field = [&] { return Fs[R.pick(unsigned(Fs.size()))]; };
+    auto Operand = [&] {
+      switch (R.pick(4)) {
+      case 0:
+        return std::string("a");
+      case 1:
+        return Field();
+      case 2:
+        return "(a & " + std::to_string(1 + R.pick(15)) + ")";
+      default:
+        return smallConst();
+      }
+    };
+    unsigned Stmts = 1 + R.pick(3);
+    for (unsigned I = 0; I != Stmts; ++I) {
+      switch (R.pick(6)) {
+      case 0:
+        indent(2);
+        OS << Field() << " = " << Field() << " + " << Operand() << ";\n";
+        break;
+      case 1:
+        indent(2);
+        OS << Field() << " = (" << Operand() << " * " << Operand() << ") ^ "
+           << Operand() << ";\n";
+        break;
+      case 2:
+        indent(2);
+        OS << "if (a > " << smallConst() << ") { " << Field() << " = "
+           << Field() << " - a; } else { " << Field() << " = " << Field()
+           << " + " << std::to_string(1 + R.pick(9)) << "; }\n";
+        break;
+      case 3:
+        // `next` is statically C0, so only root fields are legal on it.
+        indent(2);
+        OS << "if (next != null) { fb = fb + next."
+           << (R.coin() ? "fa" : "fb") << "; }\n";
+        break;
+      case 4:
+        if (M > 0) {
+          unsigned Callee = R.pick(M); // Strictly lower index.
+          indent(2);
+          if (R.coin()) {
+            OS << "fa = fa + m" << Callee << "(a - 1);\n";
+          } else {
+            OS << "if (next != null) { fa = fa + next.m" << Callee
+               << "(a & 15); }\n";
+          }
+          break;
+        }
+        [[fallthrough]];
+      default:
+        indent(2);
+        OS << "fd = fd * 0.5 + " << Operand() << ";\n";
+        break;
+      }
+    }
+    indent(2);
+    switch (R.pick(3)) {
+    case 0:
+      OS << "return fa + fb + a;\n";
+      break;
+    case 1:
+      OS << "return (fa ^ fb) + ((int) fd) + a * "
+         << std::to_string(1 + R.pick(7)) << ";\n";
+      break;
+    default:
+      OS << "return " << Field() << " - a;\n";
+      break;
+    }
+  }
+
+  void emitClass(unsigned C) {
+    OS << "class " << cls(C);
+    if (Classes[C].Parent != -1)
+      OS << " extends " << cls(unsigned(Classes[C].Parent));
+    OS << " {\n";
+    if (C == 0) {
+      indent(1);
+      OS << "int fa = " << std::to_string(R.pick(40)) << ";\n";
+      indent(1);
+      OS << "int fb;\n";
+      indent(1);
+      OS << "double fd = " << std::to_string(R.pick(8)) << ".5;\n";
+      indent(1);
+      OS << "C0 next;\n";
+    }
+    if (Classes[C].HasExtraField) {
+      indent(1);
+      OS << "int fe" << C << " = " << std::to_string(R.pick(20)) << ";\n";
+    }
+    for (unsigned M = 0; M != NumMethods; ++M) {
+      if (!Classes[C].Overrides[M])
+        continue;
+      indent(1);
+      OS << "int m" << M << "(int a) {\n";
+      emitMethodBody(C, M);
+      indent(1);
+      OS << "}\n";
+    }
+    // The ref-returning virtual: exercises reference returns (RetVal ref
+    // slots, GC roots across the call boundary). Root always defines it;
+    // subclasses override by coin.
+    if (C == 0 || R.coin()) {
+      indent(1);
+      OS << "C0 pick(int a) {\n";
+      indent(2);
+      if (R.coin())
+        OS << "if (a > " << std::to_string(R.pick(10))
+           << ") { return next; }\n";
+      else
+        OS << "if (next != null) { return next; }\n";
+      indent(2);
+      OS << "return this;\n";
+      indent(1);
+      OS << "}\n";
+    }
+    OS << "}\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Static helpers on Main
+  //===------------------------------------------------------------------===//
+
+  void genStaticHelper(unsigned Index) {
+    IntVars = {"a", "b"};
+    BoolVars.clear();
+    IntArrVars.clear();
+    DblVars.clear();
+    RefVars.clear();
+    MaxCallableStatic = Index;
+    InMainClass = true;
+    indent(1);
+    OS << "static int s" << Index << "(int a, int b) {\n";
+    indent(2);
+    OS << "int[] buf = new int[4];\n";
+    IntArrVars.push_back("buf");
+    genBlock(2, 2);
+    indent(2);
+    OS << "return " << intExpr(2) << ";\n";
+    indent(1);
+    OS << "}\n";
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void genPrintInt(const std::string &E, unsigned Ind) {
+    indent(Ind);
+    OS << "IO.printInt(" << E << ");\n";
+    indent(Ind);
+    OS << "IO.println();\n";
+  }
+
+  void genStmt(unsigned Depth, unsigned Ind) {
+    unsigned Kinds = Depth > 0 ? 15 : 7;
+    switch (R.pick(Kinds)) {
+    case 0: {
+      std::string V = freshVar();
+      indent(Ind);
+      OS << "int " << V << " = " << intExpr(2) << ";\n";
+      IntVars.push_back(V);
+      break;
+    }
+    case 1:
+      if (!IntVars.empty()) {
+        indent(Ind);
+        OS << IntVars[R.pick(unsigned(IntVars.size()))] << " = " << intExpr(2)
+           << ";\n";
+        break;
+      }
+      [[fallthrough]];
+    case 2:
+      genPrintInt(intExpr(2), Ind);
+      break;
+    case 3:
+      if (!IntArrVars.empty()) {
+        indent(Ind);
+        OS << IntArrVars[R.pick(unsigned(IntArrVars.size()))] << "[("
+           << intExpr(1) << ") & 3] = " << intExpr(2) << ";\n";
+        break;
+      }
+      [[fallthrough]];
+    case 4:
+      if (InMainClass) {
+        indent(Ind);
+        OS << (R.coin() ? "g0" : "g1") << " = " << intExpr(2) << ";\n";
+        break;
+      }
+      [[fallthrough]];
+    case 5: {
+      // Field store through a reference.
+      if (const RefVar *V = pickReceiver()) {
+        std::vector<std::string> Fs = intFieldsOf(V->Cls);
+        indent(Ind);
+        OS << V->Name << "." << Fs[R.pick(unsigned(Fs.size()))] << " = "
+           << intExpr(2) << ";\n";
+        break;
+      }
+      [[fallthrough]];
+    }
+    case 6: {
+      std::string B = freshVar();
+      indent(Ind);
+      OS << "boolean " << B << " = " << boolExpr(2) << ";\n";
+      BoolVars.push_back(B);
+      if (R.oneIn(3)) {
+        indent(Ind);
+        OS << "IO.printBool(" << B << ");\n";
+        indent(Ind);
+        OS << "IO.println();\n";
+      }
+      break;
+    }
+    case 7: {
+      indent(Ind);
+      OS << "if (" << boolExpr(2) << ") {\n";
+      genBlock(Depth - 1, Ind + 1);
+      if (R.coin()) {
+        indent(Ind);
+        OS << "} else {\n";
+        genBlock(Depth - 1, Ind + 1);
+      }
+      indent(Ind);
+      OS << "}\n";
+      break;
+    }
+    case 8: {
+      std::string I = freshVar();
+      indent(Ind);
+      if (R.oneIn(3)) {
+        OS << "int " << I << " = 0;\n";
+        indent(Ind);
+        OS << "while (" << I << " < " << (1 + R.pick(5)) << ") {\n";
+        IntVars.push_back(I);
+        genBlock(Depth - 1, Ind + 1);
+        indent(Ind + 1);
+        OS << I << "++;\n";
+        IntVars.pop_back();
+        indent(Ind);
+        OS << "}\n";
+      } else {
+        OS << "for (int " << I << " = 0; " << I << " < " << (1 + R.pick(5))
+           << "; " << I << "++) {\n";
+        IntVars.push_back(I);
+        genBlock(Depth - 1, Ind + 1);
+        IntVars.pop_back();
+        indent(Ind);
+        OS << "}\n";
+      }
+      break;
+    }
+    case 9:
+      genTryCatch(Depth, Ind);
+      break;
+    case 10:
+      if (InMain && HotLoopsLeft > 0) {
+        --HotLoopsLeft;
+        genHotLoop(Ind);
+        break;
+      }
+      [[fallthrough]];
+    case 11: {
+      // Virtual call for effect/print.
+      if (const RefVar *V = pickReceiver()) {
+        genPrintInt(V->Name + ".m" + std::to_string(R.pick(NumMethods)) +
+                        "(" + intExpr(1) + ")",
+                    Ind);
+        break;
+      }
+      [[fallthrough]];
+    }
+    case 12:
+      if (InMain && !RefVars.empty()) {
+        genInstanceofCast(Ind);
+        break;
+      }
+      [[fallthrough]];
+    case 13:
+      if (InMain && R.coin()) {
+        // Fresh object + link: grows the reachable graph mid-body.
+        genObjectBirth(Ind);
+        break;
+      }
+      [[fallthrough]];
+    default: {
+      std::string D = freshVar();
+      indent(Ind);
+      OS << "double " << D << " = " << intExpr(1) << " * 0.25;\n";
+      DblVars.push_back(D);
+      if (R.oneIn(3)) {
+        indent(Ind);
+        OS << "IO.printDouble(" << D << ");\n";
+        indent(Ind);
+        OS << "IO.println();\n";
+      }
+      break;
+    }
+    }
+  }
+
+  void genTryCatch(unsigned Depth, unsigned Ind) {
+    indent(Ind);
+    OS << "try {\n";
+    bool SavedTry = InTry;
+    InTry = true;
+    // Seed the try block with one deliberately risky statement, then
+    // normal statements (which are themselves allowed trap forms here).
+    genRiskyStmt(Ind + 1);
+    genBlock(Depth == 0 ? 0 : Depth - 1, Ind + 1);
+    InTry = SavedTry;
+    indent(Ind);
+    OS << "} catch {\n";
+    genBlock(Depth == 0 ? 0 : Depth - 1, Ind + 1);
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  /// One statement chosen to be able to trap: null dereference, raw
+  /// array index, division, negative array size, or a downcast that may
+  /// fail. Only ever emitted inside a try block.
+  void genRiskyStmt(unsigned Ind) {
+    switch (R.pick(5)) {
+    case 0: {
+      // Call through any ref var, maybe-null included.
+      if (!RefVars.empty()) {
+        const RefVar &V = RefVars[R.pick(unsigned(RefVars.size()))];
+        genPrintInt(V.Name + ".m" + std::to_string(R.pick(NumMethods)) + "(" +
+                        intExpr(1) + ")",
+                    Ind);
+        return;
+      }
+      [[fallthrough]];
+    }
+    case 1:
+      if (!IntArrVars.empty()) {
+        genPrintInt(IntArrVars[R.pick(unsigned(IntArrVars.size()))] + "[" +
+                        intExpr(1) + "]",
+                    Ind);
+        return;
+      }
+      [[fallthrough]];
+    case 2:
+      genPrintInt("(" + intExpr(1) + " / (" + intExpr(1) + "))", Ind);
+      return;
+    case 3: {
+      std::string V = freshVar();
+      indent(Ind);
+      OS << "int[] " << V << " = new int[" << intExpr(1) << "];\n";
+      genPrintInt(V + ".length", Ind);
+      // NOTE: V is not registered as an array var — its declaration sits
+      // inside the try block and later statements of the same source
+      // block may be emitted outside it after the brace closes.
+      return;
+    }
+    default: {
+      // Checked downcast that may legitimately fail (ClassCast is one of
+      // the five catchable traps). Only related classes: sema rejects
+      // casts across the hierarchy.
+      if (!RefVars.empty()) {
+        const RefVar &V = RefVars[R.pick(unsigned(RefVars.size()))];
+        std::vector<unsigned> Ts = castTargetsOf(V.Cls);
+        unsigned Target = Ts[R.pick(unsigned(Ts.size()))];
+        std::string N = freshVar();
+        indent(Ind);
+        OS << cls(Target) << " " << N << " = (" << cls(Target) << ") "
+           << V.Name << ";\n";
+        genPrintInt(N + ".fa", Ind);
+        return;
+      }
+      genPrintInt("(" + intExpr(1) + " % (" + intExpr(1) + "))", Ind);
+      return;
+    }
+    }
+  }
+
+  void genInstanceofCast(unsigned Ind) {
+    const RefVar &V = RefVars[R.pick(unsigned(RefVars.size()))];
+    // instanceof takes any class target; the guarded cast inside the
+    // then-branch must be to a class related to the static type.
+    std::vector<unsigned> Ts = castTargetsOf(V.Cls);
+    unsigned Target =
+        R.coin() ? R.pick(NumClasses) : Ts[R.pick(unsigned(Ts.size()))];
+    bool CastLegal = isAncestorOf(int(Target), V.Cls) ||
+                     isAncestorOf(V.Cls, int(Target));
+    indent(Ind);
+    OS << "if (" << V.Name << " instanceof " << cls(Target) << ") {\n";
+    if (CastLegal && !V.MaybeNull && R.coin()) {
+      // Guarded cast: cannot fail. Target 0 is the explicit upcast back
+      // to the root (`(C0) v`); deeper targets exercise Downcast.
+      std::string N = freshVar();
+      indent(Ind + 1);
+      OS << cls(Target) << " " << N << " = (" << cls(Target) << ") " << V.Name
+         << ";\n";
+      std::vector<std::string> Fs = intFieldsOf(int(Target));
+      indent(Ind + 1);
+      OS << N << "." << Fs[R.pick(unsigned(Fs.size()))] << " = "
+         << intExpr(1) << ";\n";
+    } else {
+      indent(Ind + 1);
+      OS << "g0 = g0 + " << std::to_string(1 + R.pick(9)) << ";\n";
+    }
+    indent(Ind);
+    OS << "} else {\n";
+    indent(Ind + 1);
+    OS << "g1 = g1 + 1;\n";
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  /// Declares a fresh non-null object, pokes its fields, and links it
+  /// into the existing graph (cycles allowed — the mark phase must not
+  /// care). Registered in scope so later statements can use it.
+  void genObjectBirth(unsigned Ind) {
+    std::string N = freshVar();
+    unsigned D = R.pick(NumClasses);
+    indent(Ind);
+    OS << cls(D) << " " << N << " = new " << cls(D) << "();\n";
+    RefVars.push_back({N, int(D), false});
+    if (R.coin()) {
+      indent(Ind);
+      OS << N << ".fa = " << intExpr(1) << ";\n";
+    }
+    if (!RefVars.empty() && R.coin()) {
+      const RefVar &Other = RefVars[R.pick(unsigned(RefVars.size()))];
+      indent(Ind);
+      OS << N << ".next = " << Other.Name << ";\n";
+    }
+  }
+
+  /// The tier-1 feeder: a counted loop whose body makes virtual calls
+  /// through a receiver that is monomorphic (fixed var), polymorphic
+  /// (mixed-class object array), or megamorphic-ish (both), optionally
+  /// with allocation churn so StressEveryNAllocs=1 collects on every
+  /// back-edge safepoint.
+  void genHotLoop(unsigned Ind) {
+    std::string Acc = freshVar();
+    std::string I = freshVar();
+    unsigned Iters = 16 + R.pick(48);
+    indent(Ind);
+    OS << "int " << Acc << " = 0;\n";
+    IntVars.push_back(Acc);
+    indent(Ind);
+    OS << "for (int " << I << " = 0; " << I << " < " << Iters << "; " << I
+       << "++) {\n";
+    unsigned M = R.pick(NumMethods);
+    // Polymorphic site through the shared object array (always in scope
+    // in main): objs length is a power of two, mask is length - 1.
+    if (R.coin()) {
+      indent(Ind + 1);
+      OS << Acc << " = " << Acc << " + objs[" << I << " & " << (ObjsLen - 1)
+         << "].m" << M << "(" << I << ");\n";
+    }
+    // Monomorphic site through a fixed non-null receiver.
+    if (const RefVar *V = pickReceiver()) {
+      indent(Ind + 1);
+      OS << Acc << " = " << Acc << " + " << V->Name << ".m"
+         << std::to_string(R.pick(NumMethods)) << "(" << I << " + "
+         << std::to_string(R.pick(8)) << ");\n";
+    }
+    if (R.coin()) {
+      // Allocation churn: a short-lived object per iteration. Dead as
+      // soon as the iteration ends — reclaimable at the next safepoint.
+      std::string T = freshVar();
+      unsigned D = R.pick(NumClasses);
+      indent(Ind + 1);
+      OS << cls(D) << " " << T << " = new " << cls(D) << "();\n";
+      indent(Ind + 1);
+      OS << T << ".fb = " << I << ";\n";
+      indent(Ind + 1);
+      OS << Acc << " = " << Acc << " + " << T << ".m"
+         << std::to_string(R.pick(NumMethods)) << "(" << I << " & 7);\n";
+    }
+    if (R.oneIn(3)) {
+      // Ref-returning dispatch inside the loop: pick() may yield null.
+      std::string P = freshVar();
+      indent(Ind + 1);
+      OS << "C0 " << P << " = objs[" << I << " & " << (ObjsLen - 1)
+         << "].pick(" << I << ");\n";
+      indent(Ind + 1);
+      OS << "if (" << P << " != null) { " << Acc << " = " << Acc << " + "
+         << P << ".fa; }\n";
+    }
+    indent(Ind);
+    OS << "}\n";
+    genPrintInt(Acc, Ind);
+  }
+
+  void genBlock(unsigned Depth, unsigned Ind) {
+    // MJ scoping: declarations inside a block are invisible outside it.
+    size_t SavedInts = IntVars.size();
+    size_t SavedBools = BoolVars.size();
+    size_t SavedArrs = IntArrVars.size();
+    size_t SavedDbls = DblVars.size();
+    size_t SavedRefs = RefVars.size();
+    unsigned N = 1 + R.pick(3);
+    for (unsigned I = 0; I != N; ++I)
+      genStmt(Depth, Ind);
+    IntVars.resize(SavedInts);
+    BoolVars.resize(SavedBools);
+    IntArrVars.resize(SavedArrs);
+    DblVars.resize(SavedDbls);
+    RefVars.resize(SavedRefs);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Main
+  //===------------------------------------------------------------------===//
+
+  unsigned ObjsLen = 4;
+
+  void emitMain() {
+    OS << "class Main {\n";
+    indent(1);
+    OS << "static int g0;\n";
+    indent(1);
+    OS << "static int g1 = " << std::to_string(R.pick(64)) << ";\n";
+    for (unsigned S = 0; S != NumStatics; ++S)
+      genStaticHelper(S);
+
+    IntVars.clear();
+    BoolVars.clear();
+    IntArrVars.clear();
+    DblVars.clear();
+    RefVars.clear();
+    MaxCallableStatic = NumStatics;
+    InMainClass = true;
+    InMain = true;
+    HotLoopsLeft = 1 + R.pick(2);
+    indent(1);
+    OS << "static void main() {\n";
+
+    // Fixed prologue: a scratch array, the mixed-class object array (the
+    // polymorphic dispatch food), and a couple of named objects.
+    indent(2);
+    OS << "int[] data = new int[4];\n";
+    IntArrVars.push_back("data");
+    ObjsLen = R.coin() ? 4 : 8;
+    indent(2);
+    OS << "C0[] objs = new C0[" << ObjsLen << "];\n";
+    for (unsigned I = 0; I != ObjsLen; ++I) {
+      indent(2);
+      OS << "objs[" << I << "] = new " << cls(R.pick(NumClasses)) << "();\n";
+    }
+    unsigned NumNamed = 1 + R.pick(2);
+    for (unsigned I = 0; I != NumNamed; ++I) {
+      std::string N = "r" + std::to_string(I);
+      unsigned D = R.pick(NumClasses);
+      indent(2);
+      OS << cls(D) << " " << N << " = new " << cls(D) << "();\n";
+      RefVars.push_back({N, int(D), false});
+    }
+    if (R.coin()) {
+      indent(2);
+      OS << "C0 rn = null;\n";
+      RefVars.push_back({"rn", 0, true});
+      if (R.coin()) {
+        indent(2);
+        OS << "if (g1 > " << std::to_string(R.pick(64))
+           << ") { rn = objs[0]; }\n";
+      }
+    }
+    // Link the graph (cycles welcome).
+    unsigned Links = 1 + R.pick(3);
+    for (unsigned I = 0; I != Links; ++I) {
+      indent(2);
+      if (R.coin())
+        OS << "objs[" << R.pick(ObjsLen) << "].next = objs["
+           << R.pick(ObjsLen) << "];\n";
+      else
+        OS << "r0.next = objs[" << R.pick(ObjsLen) << "];\n";
+    }
+    std::string S0 = freshVar();
+    indent(2);
+    OS << "int " << S0 << " = " << (1 + R.pick(100)) << ";\n";
+    IntVars.push_back(S0);
+
+    genBlock(3, 2);
+
+    // Fixed epilogue: drain every static helper, checksum the object
+    // graph through dispatch AND raw field reads, and print the statics.
+    for (unsigned F = 0; F != NumStatics; ++F)
+      genPrintInt("s" + std::to_string(F) + "(" + intExpr(1) + ", " +
+                      intExpr(1) + ")",
+                  2);
+    indent(2);
+    OS << "int chk = 0;\n";
+    indent(2);
+    OS << "for (int i = 0; i < " << ObjsLen << "; i++) {\n";
+    indent(3);
+    OS << "chk = chk * 31 + objs[i].m" << R.pick(NumMethods)
+       << "(i) + objs[i].fa + objs[i].fb;\n";
+    indent(2);
+    OS << "}\n";
+    genPrintInt("chk", 2);
+    genPrintInt("g0 + g1", 2);
+    indent(1);
+    OS << "}\n";
+    OS << "}\n";
+  }
+};
+
+} // namespace
+
+std::string generateProgram(uint64_t Seed) {
+  return ProgramSynth(Seed).run();
+}
+
+} // namespace testgen
+} // namespace safetsa

@@ -1,0 +1,51 @@
+//===- testgen/Generator.h - Seeded MJ program synthesis ------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, grammar-aware synthesis of well-typed MJ programs for
+/// differential testing (DESIGN.md §15). Every program a seed produces is
+/// accepted by the front end and the verifier by construction; its shapes
+/// are chosen to light up every execution-tier mechanism the repo has
+/// accumulated: a single-inheritance class hierarchy with virtual methods
+/// (overridden per subclass, so call sites profile monomorphic,
+/// polymorphic, or megamorphic), instance fields including reference
+/// links (GC-traceable object graphs, cycles allowed), hot loops with
+/// back edges (safepoint polls, superinstruction fusion, inline caches,
+/// speculative-inlining splices), allocation churn inside loops (GC
+/// stress food), try/catch around deliberately trapping operations
+/// (null, index, division, negative-size, class-cast), static helper
+/// functions, arrays, and mixed int/double/bool arithmetic.
+///
+/// Determinism contract: the same seed yields a byte-identical source
+/// string in every process on every platform — the generator uses its
+/// own SplitMix64 stream and no hashed containers, so no
+/// iteration-order or libc dependence can leak into the output. The
+/// suite pins this with a cross-process test.
+///
+/// Termination contract: every loop is counted with a constant bound and
+/// every call chain strictly decreases an index (virtual method j only
+/// calls methods < j, static helper i only calls helpers < i), so
+/// generated programs cannot diverge; the differential fuel cap is a
+/// backstop, not a crutch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_TESTGEN_GENERATOR_H
+#define SAFETSA_TESTGEN_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace safetsa {
+namespace testgen {
+
+/// Emits one well-typed MJ program for \p Seed. Byte-deterministic.
+std::string generateProgram(uint64_t Seed);
+
+} // namespace testgen
+} // namespace safetsa
+
+#endif // SAFETSA_TESTGEN_GENERATOR_H

@@ -1,0 +1,161 @@
+//===- testgen/Shrinker.cpp - Greedy program-level reducer ----------------===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Shrinker.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace safetsa {
+namespace testgen {
+
+namespace {
+
+struct Candidate {
+  size_t Begin; ///< First line removed.
+  size_t End;   ///< One past the last line removed.
+  size_t size() const { return End - Begin; }
+};
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      if (Pos < S.size())
+        Lines.push_back(S.substr(Pos));
+      break;
+    }
+    Lines.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+int braceDelta(const std::string &L, bool *Opens) {
+  int D = 0;
+  *Opens = false;
+  for (char C : L) {
+    if (C == '{') {
+      ++D;
+      *Opens = true;
+    } else if (C == '}') {
+      --D;
+    }
+  }
+  return D;
+}
+
+std::string trimmed(const std::string &L) {
+  size_t B = L.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = L.find_last_not_of(" \t");
+  return L.substr(B, E - B + 1);
+}
+
+/// Enumerates removal candidates over the currently-alive lines:
+/// brace-balanced regions (a net-opening line through the line where the
+/// depth returns to its entry value — an entire class, method, loop,
+/// if/else chain, or try/catch) and single statement lines. The
+/// generator's one-statement-per-line layout makes this exact.
+std::vector<Candidate> enumerate(const std::vector<std::string> &Lines,
+                                 const std::vector<bool> &Alive) {
+  std::vector<Candidate> Cands;
+  std::vector<int> DepthBefore(Lines.size() + 1, 0);
+  std::vector<int> Delta(Lines.size(), 0);
+  int D = 0;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    DepthBefore[I] = D;
+    bool Opens = false;
+    Delta[I] = Alive[I] ? braceDelta(Lines[I], &Opens) : 0;
+    D += Delta[I];
+  }
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    if (!Alive[I])
+      continue;
+    const std::string T = trimmed(Lines[I]);
+    if (T.empty())
+      continue;
+    if (Delta[I] > 0) {
+      // Region: scan forward until depth returns to the entry value.
+      int Depth = Delta[I];
+      for (size_t J = I + 1; J != Lines.size(); ++J) {
+        Depth += Delta[J];
+        if (Depth <= 0) {
+          Cands.push_back({I, J + 1});
+          break;
+        }
+      }
+    } else if (Delta[I] == 0 && DepthBefore[I] > 0 && T.back() == ';') {
+      Cands.push_back({I, I + 1});
+    }
+  }
+  // Largest first: removing a whole class beats removing its statements
+  // one by one.
+  std::stable_sort(Cands.begin(), Cands.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.size() > B.size();
+                   });
+  return Cands;
+}
+
+std::string render(const std::vector<std::string> &Lines,
+                   const std::vector<bool> &Alive) {
+  std::string S;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (Alive[I]) {
+      S += Lines[I];
+      S += '\n';
+    }
+  return S;
+}
+
+} // namespace
+
+std::string
+shrinkSource(const std::string &Source,
+             const std::function<bool(const std::string &)> &StillFails,
+             unsigned MaxAttempts, ShrinkStats *Stats) {
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Alive(Lines.size(), true);
+  ShrinkStats Local;
+  ShrinkStats &S = Stats ? *Stats : Local;
+
+  bool Changed = true;
+  std::string Best = Source;
+  while (Changed && S.Attempts < MaxAttempts) {
+    Changed = false;
+    for (const Candidate &C : enumerate(Lines, Alive)) {
+      if (S.Attempts >= MaxAttempts)
+        break;
+      bool AnyAlive = false;
+      for (size_t I = C.Begin; I != C.End; ++I)
+        AnyAlive |= Alive[I];
+      if (!AnyAlive)
+        continue;
+      std::vector<bool> Saved(Alive.begin() + long(C.Begin),
+                              Alive.begin() + long(C.End));
+      for (size_t I = C.Begin; I != C.End; ++I)
+        Alive[I] = false;
+      std::string Reduced = render(Lines, Alive);
+      ++S.Attempts;
+      if (StillFails(Reduced)) {
+        ++S.Accepted;
+        Best = std::move(Reduced);
+        Changed = true;
+        // Candidate indices shifted in meaning; re-enumerate.
+        break;
+      }
+      std::copy(Saved.begin(), Saved.end(), Alive.begin() + long(C.Begin));
+    }
+  }
+  return Best;
+}
+
+} // namespace testgen
+} // namespace safetsa

@@ -1,0 +1,46 @@
+//===- testgen/Shrinker.h - Greedy program-level reducer ------*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural minimization of a failing MJ source (DESIGN.md §15).
+/// Candidates are whole brace-balanced regions — classes, methods,
+/// loops, if/else chains, try/catch statements — and individual
+/// single-line statements, tried largest-first and removed whenever the
+/// caller's predicate still holds on the reduced program. A candidate
+/// that breaks compilation simply fails the predicate (the runner
+/// treats non-compiling sources as non-reproducing) and is reverted, so
+/// the shrinker needs no grammar knowledge beyond brace counting and
+/// the generator's one-statement-per-line layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFETSA_TESTGEN_SHRINKER_H
+#define SAFETSA_TESTGEN_SHRINKER_H
+
+#include <functional>
+#include <string>
+
+namespace safetsa {
+namespace testgen {
+
+struct ShrinkStats {
+  unsigned Attempts = 0; ///< Predicate evaluations.
+  unsigned Accepted = 0; ///< Candidates that stayed removed.
+};
+
+/// Returns the smallest source found for which \p StillFails holds.
+/// \p StillFails must be true for \p Source itself, pure, and
+/// deterministic; it is called up to \p MaxAttempts times. The result
+/// always satisfies the predicate (worst case it is \p Source).
+std::string
+shrinkSource(const std::string &Source,
+             const std::function<bool(const std::string &)> &StillFails,
+             unsigned MaxAttempts = 500, ShrinkStats *Stats = nullptr);
+
+} // namespace testgen
+} // namespace safetsa
+
+#endif // SAFETSA_TESTGEN_SHRINKER_H

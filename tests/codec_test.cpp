@@ -183,6 +183,99 @@ TEST(Codec, TruncationAtEveryLengthIsHandled) {
   }
 }
 
+// Negative-path table: every hostile stream shape must be rejected
+// *cleanly* — a typed (non-empty, human-readable) error, identical
+// verdicts from the table-driven and scalar bit readers, and no
+// allocation sized by attacker-controlled length fields. The last
+// property is what the _asan variant of this test proves: a decoder
+// that reserved `claimed count` elements up front would trip the
+// sanitizer allocator long before the plausibility check fired.
+TEST(CodecNegative, HostileStreamTableFailsCleanly) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  ASSERT_GT(Wire.size(), 16u);
+
+  struct Case {
+    std::string Name;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<Case> Cases;
+
+  // Truncations at structurally interesting lengths: inside the magic,
+  // right after the 6-byte header, mid-class-section, mid-bodies, and
+  // one byte short of complete.
+  for (size_t Len : {size_t(3), size_t(6), size_t(7), Wire.size() / 4,
+                     Wire.size() / 2, Wire.size() - 1})
+    Cases.push_back({"truncated-at-" + std::to_string(Len),
+                     {Wire.begin(), Wire.begin() + long(Len)}});
+
+  // Oversized length fields: stomp the bytes right after the header
+  // (where the class-section counts live) with 0xFF so every varuint
+  // reads as an enormous claimed count.
+  for (size_t Stomp : {size_t(1), size_t(4), size_t(8)}) {
+    Case C{"oversized-counts-" + std::to_string(Stomp), Wire};
+    for (size_t I = 0; I != Stomp && 6 + I < C.Bytes.size(); ++I)
+      C.Bytes[6 + I] = 0xFF;
+    Cases.push_back(std::move(C));
+  }
+  // A header followed by nothing but 0xFF: maximal counts everywhere,
+  // at every nesting level the decoder reaches.
+  {
+    Case C{"header-plus-ff", {Wire.begin(), Wire.begin() + 6}};
+    C.Bytes.insert(C.Bytes.end(), 64, 0xFF);
+    Cases.push_back(std::move(C));
+  }
+
+  for (const Case &C : Cases) {
+    for (bool Table : {true, false}) {
+      DecodeOptions DO;
+      DO.TableDecode = Table;
+      std::string Err;
+      auto Unit = decodeModule(ByteSpan(C.Bytes), &Err, DO);
+      if (Unit) {
+        // A tail-only stomp can land in padding; the module must then be
+        // fully intact (fused decode == verified) and re-encode stably.
+        EXPECT_EQ(encodeModule(*Unit->Module),
+                  encodeModule(*Unit->Module))
+            << C.Name;
+        continue;
+      }
+      EXPECT_FALSE(Err.empty())
+          << C.Name << ": rejected without a typed error";
+    }
+    // Both readers must agree on the verdict (accept xor typed reject).
+    std::string E1, E2;
+    DecodeOptions Scalar;
+    Scalar.TableDecode = false;
+    bool A1 = decodeModule(ByteSpan(C.Bytes), &E1, DecodeOptions{}) != nullptr;
+    bool A2 = decodeModule(ByteSpan(C.Bytes), &E2, Scalar) != nullptr;
+    EXPECT_EQ(A1, A2) << C.Name << ": table=" << A1 << " scalar=" << A2;
+  }
+}
+
+// Trailing garbage after a complete module: the decoder stops at the
+// end of the symbol stream, so appended bytes either land in ignored
+// padding (the module must be byte-identical on re-encode) or break
+// framing with a typed error. Never a crash, never a different module.
+TEST(CodecNegative, TrailingGarbageNeverChangesTheModule) {
+  auto P = compile(DemoSrc);
+  std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+  std::mt19937 Rng(424242);
+  for (unsigned N : {1u, 2u, 8u, 64u, 4096u}) {
+    std::vector<uint8_t> M = Wire;
+    for (unsigned I = 0; I != N; ++I)
+      M.push_back(static_cast<uint8_t>(Rng()));
+    std::string Err;
+    auto Unit = decodeModule(ByteSpan(M), &Err, DecodeOptions{});
+    if (!Unit) {
+      EXPECT_FALSE(Err.empty()) << "garbage+" << N;
+      continue;
+    }
+    EXPECT_EQ(encodeModule(*Unit->Module), Wire)
+        << "garbage+" << N << ": trailing bytes leaked into the module";
+  }
+}
+
 /// Random multi-byte corruption; parameterized by seed.
 class CodecFuzz : public ::testing::TestWithParam<unsigned> {};
 

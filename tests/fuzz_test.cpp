@@ -14,6 +14,12 @@
 /// opinion about what the right answer is, only that every pipeline
 /// produces the same one.
 ///
+/// Mutation survivors (streams both decoder pipelines accept) are handed
+/// to the shared testgen DifferentialRunner wire matrix — scalar decode,
+/// tier 0 ± GC stress, and all five tier-1 variants against the
+/// tree-walk oracle — with reproducer dump-on-failure, the same harness
+/// `safetsa-gen` soaks with (DESIGN.md §15).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/BCCompiler.h"
@@ -21,14 +27,15 @@
 #include "bytecode/BCVerifier.h"
 #include "codec/Codec.h"
 #include "driver/Compiler.h"
-#include "exec/ExecUnit.h"
 #include "exec/TSAInterp.h"
 #include "opt/Optimizer.h"
 #include "support/Digest.h"
+#include "testgen/DifferentialRunner.h"
 #include "tsa/Verifier.h"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <random>
 #include <sstream>
 
@@ -405,48 +412,24 @@ bool fusedAccepts(const std::vector<uint8_t> &Bytes) {
   return Unit != nullptr;
 }
 
-/// A stream both paths accept must also *execute* soundly at the top
-/// tier: profile it once at tier 0, re-quicken with speculative inlining
-/// forced onto every eligible site, and demand agreement with the
-/// tree-walk oracle run on the same decoded module. A surviving mutant
-/// that perturbs the splicer (slot remapping, handler re-basing, guard
-/// fallbacks) surfaces here as a divergence or a sanitizer report.
-void expectInlinedTier1Parity(const std::vector<uint8_t> &Bytes,
-                              const std::string &What) {
-  std::string Err;
-  auto Unit = decodeModule(ByteSpan(Bytes), &Err,
-                           DecodeOptions{CodecMode::Prefix, true});
-  ASSERT_TRUE(Unit) << What;
-  Outcome Ref;
-  {
-    Runtime RT(*Unit->Table, /*Fuel=*/20'000'000);
-    TSAInterpreter I(*Unit->Module, RT);
-    ExecResult R = I.runMain();
-    Ref = {R.Err, RT.getOutput()};
-  }
-  // Fuel-bound programs are excluded, as in DifferentialFuzz; the tier
-  // runs below get 10x the fuel so near-boundary accounting differences
-  // cannot fake a divergence.
-  if (Ref.Err == RuntimeError::OutOfFuel)
-    return;
-  auto T0 = prepareModule(*Unit->Module);
-  ASSERT_TRUE(T0) << What;
-  {
-    Runtime RT(*Unit->Table, /*Fuel=*/200'000'000);
-    TSAExec X(*T0, RT);
-    X.runMain(); // Gathers the profile the splices are planned from.
-  }
-  PrepareOptions Force;
-  Force.InlineBudget = 0x7fffffff;
-  auto T1 = reprepareModule(*T0, Force);
-  ASSERT_TRUE(T1) << What;
-  Runtime RT(*Unit->Table, /*Fuel=*/200'000'000);
-  TSAExec X(*T1, RT);
-  ExecResult R = X.runMain();
-  EXPECT_EQ(R.Err, Ref.Err)
-      << What << ": inlined tier 1 " << runtimeErrorName(R.Err)
-      << ", oracle " << runtimeErrorName(Ref.Err);
-  EXPECT_EQ(RT.getOutput(), Ref.Output) << What;
+/// A stream both paths accept must also *execute* soundly — not just at
+/// one forced-inlining configuration, but across the shared testgen
+/// matrix: scalar decode, tier 0 (± GC stress), and every tier-1 variant
+/// (default, fusion masked, inlining masked, budget-maxed, GC stress),
+/// each against the tree-walk oracle on the decoded module. A surviving
+/// mutant that perturbs the splicer, the fusion shadow slots, or the
+/// reference-slot maps surfaces here as a divergence or a sanitizer
+/// report — and dumps its wire image + detail into the reproducer
+/// directory for offline triage.
+testgen::DifferentialRunner &survivorRunner() {
+  static testgen::DifferentialRunner *Runner = [] {
+    testgen::RunnerOptions Opts;
+    Opts.DumpDir = (std::filesystem::temp_directory_path() /
+                    "safetsa_fuzz_survivors")
+                       .string();
+    return new testgen::DifferentialRunner(Opts);
+  }();
+  return *Runner;
 }
 
 class FusedVerdictFuzz : public ::testing::TestWithParam<unsigned> {};
@@ -474,9 +457,13 @@ TEST_P(FusedVerdictFuzz, FusedAndLegacyVerdictsMatch) {
     if (Bytes != Wire) {
       EXPECT_NE(digestOf(ByteSpan(Bytes)), digestOf(ByteSpan(Wire))) << What;
     }
-    // Survivors run all the way up the tier ladder.
-    if (Fused && Legacy)
-      expectInlinedTier1Parity(Bytes, What);
+    // Survivors run the full execution matrix; any divergence dumps a
+    // reproducer (wire bytes + detail, keyed by content digest).
+    if (Fused && Legacy) {
+      std::string Detail;
+      EXPECT_TRUE(survivorRunner().checkWire(Bytes, What, &Detail))
+          << Detail << "\n" << Source;
+    }
   };
 
   // The untampered encoding must be accepted by both.

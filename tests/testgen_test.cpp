@@ -1,0 +1,416 @@
+//===- tests/testgen_test.cpp - Differential generator tests --*- C++ -*-===//
+//
+// Part of the SafeTSA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The grammar-aware differential test generator (DESIGN.md §15), proved
+/// five ways:
+///
+///  1. Soak parity: a fixed seed range (default 200, SAFETSA_GEN_SEEDS
+///     overrides) runs the full 14-configuration matrix — tree-walk
+///     oracle vs tier 0 vs tier 1 (± fusion, ± inlining, budget-maxed),
+///     scalar vs table decode, optimized vs not, GC stress, round-trip
+///     digest — with byte-exact output parity on every seed.
+///  2. Determinism: the same seed yields byte-identical source and wire
+///     bytes in-process and across two separate process runs (the
+///     safetsa-gen binary, exercised over a pipe).
+///  3. Replay: a failure on config K is reproduced byte-exactly by a
+///     single-seed, single-config re-run (proved via the injected-
+///     failure hook, so the machinery is tested without a compiler bug).
+///  4. Reproducers: failures dump a self-contained .mj file (metadata as
+///     comments, so it compiles as-is) and the greedy shrinker produces
+///     a smaller program that still fails.
+///  5. Coverage: the generated corpus actually contains the shapes the
+///     matrix is meant to light up — inheritance, virtual calls, loops,
+///     try/catch, arrays, instanceof/cast, allocation churn.
+///
+/// Plus the regression named after the first soak-found bug (seed 2229):
+/// a `new int[huge]` from wrapped arithmetic must trap OutOfMemory
+/// before committing host memory, identically in every tier.
+///
+/// Registered as `ctest -L gen` with _asan/_tsan variants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codec/Codec.h"
+#include "driver/Compiler.h"
+#include "exec/ExecUnit.h"
+#include "exec/TSAInterp.h"
+#include "support/Digest.h"
+#include "testgen/DifferentialRunner.h"
+#include "testgen/Generator.h"
+#include "testgen/Shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace safetsa;
+using namespace safetsa::testgen;
+
+namespace {
+
+unsigned soakSeeds() {
+  if (const char *Env = std::getenv("SAFETSA_GEN_SEEDS"))
+    if (unsigned N = unsigned(std::strtoul(Env, nullptr, 10)))
+      return N;
+  return 200;
+}
+
+std::string tempDir(const char *Tag) {
+  std::string D = (std::filesystem::temp_directory_path() /
+                   (std::string("safetsa_testgen_") + Tag))
+                      .string();
+  std::filesystem::remove_all(D);
+  return D;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream F(Path);
+  std::ostringstream SS;
+  SS << F.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// 1. Soak parity
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenSoak, FixedSeedSweepFullMatrixParity) {
+  const unsigned N = soakSeeds();
+  DifferentialRunner Runner;
+  unsigned Ok = 0, FuelSkipped = 0;
+  for (unsigned S = 0; S != N; ++S) {
+    SeedReport R = Runner.run(S);
+    ASSERT_TRUE(R.CompileOk) << R.summary();
+    if (R.FuelBound) {
+      ++FuelSkipped;
+      continue;
+    }
+    ASSERT_TRUE(R.ok()) << R.summary();
+    EXPECT_EQ(R.ConfigsRun, DifferentialRunner::configCount());
+    ++Ok;
+  }
+  // Fuel-bound programs are legal but must stay the exception, or the
+  // sweep stops exercising the matrix.
+  EXPECT_GE(Ok * 10, N * 9) << Ok << " ok / " << FuelSkipped
+                            << " fuel-skipped of " << N;
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenDeterminism, SameSeedSameSourceInProcess) {
+  for (uint64_t S : {0ull, 7ull, 42ull, 2229ull, 123456789ull}) {
+    std::string A = generateProgram(S);
+    std::string B = generateProgram(S);
+    EXPECT_EQ(A, B) << "seed " << S;
+    EXPECT_FALSE(A.empty());
+  }
+  EXPECT_NE(generateProgram(1), generateProgram(2));
+}
+
+TEST(TestGenDeterminism, SameSeedSameWireBytes) {
+  for (uint64_t S : {3ull, 99ull}) {
+    std::string Src = generateProgram(S);
+    auto P1 = compileMJ("a.mj", Src);
+    auto P2 = compileMJ("b.mj", Src);
+    ASSERT_TRUE(P1->ok() && P2->ok()) << "seed " << S;
+    std::vector<uint8_t> W1 = encodeModule(*P1->TSA);
+    std::vector<uint8_t> W2 = encodeModule(*P2->TSA);
+    EXPECT_EQ(W1, W2) << "seed " << S;
+    EXPECT_EQ(digestOf(ByteSpan(W1)).hex(), digestOf(ByteSpan(W2)).hex());
+  }
+}
+
+#ifdef SAFETSA_GEN_BIN
+std::string runGen(const std::string &Args) {
+  std::string Cmd = std::string(SAFETSA_GEN_BIN) + " " + Args + " 2>/dev/null";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return "<popen failed>";
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof Buf, P)) > 0)
+    Out.append(Buf, N);
+  pclose(P);
+  return Out;
+}
+
+TEST(TestGenDeterminism, SameSeedSameBytesAcrossProcesses) {
+  // Two independent process invocations: byte-identical source and wire
+  // digest. This is the determinism contract scripts and CI rely on.
+  std::string S1 = runGen("--seed 11 --emit-source");
+  std::string S2 = runGen("--seed 11 --emit-source");
+  ASSERT_FALSE(S1.empty());
+  EXPECT_EQ(S1, S2);
+  EXPECT_EQ(S1, generateProgram(11)) << "CLI and library disagree";
+
+  std::string D1 = runGen("--seed 11 --emit-digest");
+  std::string D2 = runGen("--seed 11 --emit-digest");
+  ASSERT_FALSE(D1.empty());
+  EXPECT_EQ(D1, D2);
+}
+#endif // SAFETSA_GEN_BIN
+
+//===----------------------------------------------------------------------===//
+// 3. Single-config replay
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenReplay, InjectedFailureIsCaughtAndReplaysByConfig) {
+  // Inject a divergence into config 9 (tier1/noinlining): the full
+  // matrix must flag exactly that config, a single-config replay of 9
+  // must reproduce it, and a replay of any other config must pass.
+  RunnerOptions Opts;
+  Opts.InjectFailure = 9;
+  DifferentialRunner Full(Opts);
+  SeedReport R = Full.run(5);
+  ASSERT_TRUE(R.CompileOk);
+  ASSERT_FALSE(R.FuelBound) << "pick a non-fuel-bound seed";
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_EQ(R.Failures[0].Config, 9u);
+  EXPECT_EQ(R.Failures[0].Name, "tier1/noinlining");
+
+  Opts.OnlyConfig = 9;
+  SeedReport Replay = DifferentialRunner(Opts).run(5);
+  ASSERT_EQ(Replay.Failures.size(), 1u);
+  EXPECT_EQ(Replay.Failures[0].Config, 9u);
+  // Byte-exact: the replayed divergence renders identically.
+  EXPECT_EQ(Replay.Failures[0].Detail, R.Failures[0].Detail);
+
+  Opts.OnlyConfig = 8;
+  EXPECT_TRUE(DifferentialRunner(Opts).run(5).ok());
+}
+
+TEST(TestGenReplay, DigestConfigInjection) {
+  RunnerOptions Opts;
+  Opts.InjectFailure = 13;
+  SeedReport R = DifferentialRunner(Opts).run(5);
+  ASSERT_EQ(R.Failures.size(), 1u);
+  EXPECT_EQ(R.Failures[0].Config, 13u);
+  EXPECT_NE(R.Failures[0].Detail.find("digest"), std::string::npos);
+}
+
+TEST(TestGenReplay, ConfigTableIsFrozen) {
+  // Reproducer files reference configs by index; renumbering breaks
+  // every dumped replay command. Pin the table.
+  ASSERT_EQ(DifferentialRunner::configCount(), 14u);
+  EXPECT_STREQ(DifferentialRunner::configName(0), "treewalk/source");
+  EXPECT_STREQ(DifferentialRunner::configName(2), "treewalk/decoded-scalar");
+  EXPECT_STREQ(DifferentialRunner::configName(6), "tier0/gcstress");
+  EXPECT_STREQ(DifferentialRunner::configName(7), "tier1");
+  EXPECT_STREQ(DifferentialRunner::configName(10), "tier1/maxinline");
+  EXPECT_STREQ(DifferentialRunner::configName(12), "tier1/optimized-decoded");
+  EXPECT_STREQ(DifferentialRunner::configName(13), "roundtrip-digest");
+}
+
+//===----------------------------------------------------------------------===//
+// 4. Reproducer dump + shrinker
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenRepro, FailureDumpsCompilableReproducerAndShrinks) {
+  std::string Dir = tempDir("repro");
+  RunnerOptions Opts;
+  Opts.InjectFailure = 7;
+  Opts.DumpDir = Dir;
+  Opts.Shrink = true;
+  SeedReport R = DifferentialRunner(Opts).run(5);
+  ASSERT_FALSE(R.Failures.empty());
+
+  ASSERT_FALSE(R.ReproPath.empty());
+  std::string Dump = slurp(R.ReproPath);
+  EXPECT_NE(Dump.find("// seed: 5"), std::string::npos);
+  EXPECT_NE(Dump.find("// failing config 7 (tier1)"), std::string::npos);
+  EXPECT_NE(Dump.find("--seed 5 --config 7"), std::string::npos);
+  // Self-contained: metadata rides as comments, the file compiles as-is.
+  EXPECT_TRUE(compileMJ("repro.mj", Dump)->ok());
+
+  // The injected failure reproduces on every program, so the shrinker
+  // can strip the source down hard; what remains must still compile.
+  ASSERT_FALSE(R.MinimizedPath.empty());
+  std::string Min = slurp(R.MinimizedPath);
+  EXPECT_LT(Min.size(), generateProgram(5).size());
+  EXPECT_TRUE(compileMJ("min.mj", Min)->ok());
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TestGenRepro, ShrinkerGreedyOnPlainPredicate) {
+  // Shrinker unit contract, no runner involved: keep only what the
+  // predicate pins. The marker line survives, unrelated statements and
+  // whole unrelated regions go.
+  std::string Src = "class A {\n"
+                    "  int f;\n"
+                    "  int g;\n"
+                    "}\n"
+                    "class Main {\n"
+                    "  static void main() {\n"
+                    "    int keep = 1;\n"
+                    "    int drop1 = 2;\n"
+                    "    if (true) {\n"
+                    "      int drop2 = 3;\n"
+                    "    }\n"
+                    "  }\n"
+                    "}\n";
+  ShrinkStats Stats;
+  std::string Min = shrinkSource(
+      Src,
+      [](const std::string &S) {
+        return S.find("keep") != std::string::npos &&
+               compileMJ("s.mj", S)->ok();
+      },
+      200, &Stats);
+  EXPECT_NE(Min.find("keep"), std::string::npos);
+  EXPECT_EQ(Min.find("drop1"), std::string::npos);
+  EXPECT_EQ(Min.find("drop2"), std::string::npos);
+  EXPECT_EQ(Min.find("class A"), std::string::npos);
+  EXPECT_GT(Stats.Accepted, 0u);
+  EXPECT_TRUE(compileMJ("m.mj", Min)->ok());
+}
+
+TEST(TestGenRepro, ShrinkerReturnsInputWhenNothingRemovable) {
+  std::string Src = "class Main {\n  static void main() {\n  }\n}\n";
+  std::string Min = shrinkSource(
+      Src, [](const std::string &S) { return compileMJ("s.mj", S)->ok(); },
+      50);
+  EXPECT_TRUE(compileMJ("m.mj", Min)->ok());
+}
+
+//===----------------------------------------------------------------------===//
+// 5. Grammar coverage
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenCoverage, CorpusContainsEveryTargetShape) {
+  std::string All;
+  for (uint64_t S = 0; S != 100; ++S)
+    All += generateProgram(S);
+  // The shapes the matrix is built to light up: single inheritance and
+  // overrides (inline caches, devirt guards), loops with back edges
+  // (safepoints, re-quickening), try/catch (exception stubs), arrays and
+  // index traps, instanceof/cast, null checks, allocation churn (GC),
+  // static helper chains (speculative inlining).
+  for (const char *Shape :
+       {"extends", "try {", "} catch {", "for (", "while (", "new int[",
+        "instanceof", "(C0)", "null", ".next", "static int s0",
+        "IO.printInt", "IO.printDouble", "IO.printBool", "new C", "objs[",
+        "int[] data", "/ (", "this"})
+    EXPECT_NE(All.find(Shape), std::string::npos) << Shape;
+}
+
+TEST(TestGenCoverage, EveryEarlySeedCompilesAndVerifies) {
+  for (uint64_t S = 0; S != 50; ++S) {
+    auto P = compileMJ("gen.mj", generateProgram(S));
+    ASSERT_TRUE(P->ok()) << "seed " << S << ":\n" << P->renderDiagnostics();
+    ASSERT_NE(P->TSA, nullptr);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: seed 2229 (first 10k soak)
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenRegression, Seed2229HugeArrayAllocTrapsBeforeCommitting) {
+  // Seed 2229 feeds a wrapped-arithmetic int (~2 billion) into a risky
+  // `new int[a]`; before the per-allocation budget cap this committed
+  // tens of GB of host memory inside every configuration. The whole
+  // matrix must now agree and terminate.
+  SeedReport R = DifferentialRunner().run(2229);
+  EXPECT_TRUE(R.ok() || R.FuelBound) << R.summary();
+}
+
+TEST(TestGenRegression, OutOfMemoryTrapsUniformlyAcrossTiers) {
+  // Directly pin the new trap: an allocation that cannot fit the heap
+  // budget raises OutOfMemoryError (uncatchable — no collection could
+  // make room) without committing the backing store, in the tree-walk
+  // interpreter and both prepared tiers alike.
+  const std::string Src = "class Main {\n"
+                          "  static void main() {\n"
+                          "    int n = 2000000000;\n"
+                          "    try { int[] a = new int[n]; IO.printInt(a.length); } catch {\n"
+                          "      IO.printStr(\"caught\"); IO.println();\n"
+                          "    }\n"
+                          "    IO.printStr(\"after\"); IO.println();\n"
+                          "  }\n"
+                          "}\n";
+  auto P = compileMJ("oom.mj", Src);
+  ASSERT_TRUE(P->ok()) << P->renderDiagnostics();
+
+  auto treewalk = [&] {
+    Runtime RT(*P->Table);
+    TSAInterpreter I(*P->TSA, RT);
+    ExecResult R = I.runMain();
+    return std::make_pair(R.Err, RT.getOutput());
+  };
+  auto [Err, Out] = treewalk();
+  EXPECT_EQ(Err, RuntimeError::OutOfMemory);
+  EXPECT_EQ(Out, ""); // Uncatchable: the catch block must NOT run.
+  EXPECT_FALSE(isCatchableError(RuntimeError::OutOfMemory));
+  EXPECT_STREQ(runtimeErrorName(RuntimeError::OutOfMemory),
+               "OutOfMemoryError");
+
+  for (int Tier : {0, 1}) {
+    auto T0 = prepareModule(*P->TSA);
+    ASSERT_NE(T0, nullptr);
+    const PreparedModule *PM = T0.get();
+    std::unique_ptr<PreparedModule> T1;
+    if (Tier == 1) {
+      {
+        Runtime RT(*P->Table);
+        TSAExec X(*T0, RT);
+        X.runMain();
+      }
+      T1 = reprepareModule(*T0);
+      ASSERT_NE(T1, nullptr);
+      PM = T1.get();
+    }
+    Runtime RT(*P->Table);
+    TSAExec X(*PM, RT);
+    ExecResult R = X.runMain();
+    EXPECT_EQ(R.Err, RuntimeError::OutOfMemory) << "tier " << Tier;
+    EXPECT_EQ(RT.getOutput(), "") << "tier " << Tier;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Wire-level matrix (the fuzz_test survivor entry point)
+//===----------------------------------------------------------------------===//
+
+TEST(TestGenWire, CheckWireAcceptsGeneratedModules) {
+  DifferentialRunner Runner;
+  for (uint64_t S : {1ull, 9ull, 17ull}) {
+    auto P = compileMJ("gen.mj", generateProgram(S));
+    ASSERT_TRUE(P->ok());
+    std::vector<uint8_t> Wire = encodeModule(*P->TSA);
+    std::string Detail;
+    EXPECT_TRUE(Runner.checkWire(Wire, "seed " + std::to_string(S), &Detail))
+        << Detail;
+  }
+}
+
+TEST(TestGenWire, CheckWireDumpsOnFailure) {
+  // A wire image that fails to decode is reported with a detail string;
+  // with a dump dir set, the bytes and the detail land on disk keyed by
+  // content digest.
+  std::string Dir = tempDir("wire");
+  RunnerOptions Opts;
+  Opts.DumpDir = Dir;
+  DifferentialRunner Runner(Opts);
+  std::vector<uint8_t> Junk = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+  std::string Detail;
+  EXPECT_FALSE(Runner.checkWire(Junk, "junk", &Detail));
+  EXPECT_NE(Detail.find("junk"), std::string::npos);
+  std::string Stem = Dir + "/wire_" + digestOf(ByteSpan(Junk)).hex();
+  EXPECT_TRUE(std::filesystem::exists(Stem + ".bin"));
+  EXPECT_TRUE(std::filesystem::exists(Stem + ".txt"));
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
